@@ -1,0 +1,104 @@
+// odagen generates synthetic facility telemetry: the stand-in for the
+// paper's instrumented HPC environment. Output is CSV (one observation
+// per line) or OCF (the columnar format the OCEAN tier stores).
+//
+// Usage:
+//
+//	odagen -system compass -nodes 32 -source power_temp -minutes 5 -format csv > power.csv
+//	odagen -source gpu -minutes 1 -format ocf -o gpu.ocf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"odakit/internal/columnar"
+	"odakit/internal/jobsched"
+	"odakit/internal/schema"
+	"odakit/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		system  = flag.String("system", "compass", "system generation: compass or mountain")
+		nodes   = flag.Int("nodes", 32, "scale the machine down to this many nodes")
+		source  = flag.String("source", "power_temp", "telemetry source to emit")
+		minutes = flag.Int("minutes", 1, "window length in minutes")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		format  = flag.String("format", "csv", "output format: csv or ocf")
+		out     = flag.String("o", "", "output file (default stdout)")
+		start   = flag.String("start", "2024-06-01T00:00:00Z", "window start (RFC3339)")
+		idle    = flag.Bool("idle", false, "idle machine (no simulated workload)")
+	)
+	flag.Parse()
+
+	from, err := time.Parse(time.RFC3339, *start)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+	to := from.Add(time.Duration(*minutes) * time.Minute)
+
+	var cfg telemetry.SystemConfig
+	switch *system {
+	case "compass":
+		cfg = telemetry.FrontierLike(*seed)
+	case "mountain":
+		cfg = telemetry.SummitLike(*seed)
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+	cfg = cfg.Scaled(*nodes)
+
+	var load telemetry.NodeLoad
+	if !*idle {
+		sim := jobsched.New(jobsched.Config{Nodes: cfg.Nodes, System: cfg.Name,
+			Workload: jobsched.WorkloadConfig{Seed: *seed}})
+		load = sim.Run(from.Add(-2*time.Hour), to.Add(time.Hour))
+	}
+	gen := telemetry.NewGenerator(cfg, load)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		w = fh
+	}
+
+	n := 0
+	switch *format {
+	case "csv":
+		bw := bufio.NewWriter(w)
+		defer bw.Flush()
+		fmt.Fprintln(bw, "ts,system,source,component,metric,value")
+		err = gen.EmitSource(telemetry.Source(*source), from, to, func(o schema.Observation) error {
+			n++
+			_, werr := fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%g\n",
+				o.Ts.Format(time.RFC3339Nano), o.System, o.Source, o.Component, o.Metric, o.Value)
+			return werr
+		})
+	case "ocf":
+		cw := columnar.NewWriter(w, schema.ObservationSchema, columnar.WriterOptions{})
+		err = gen.EmitSource(telemetry.Source(*source), from, to, func(o schema.Observation) error {
+			n++
+			return cw.WriteRow(o.Row())
+		})
+		if err == nil {
+			err = cw.Close()
+		}
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "emitted %d observations of %s over %d minute(s)\n", n, *source, *minutes)
+}

@@ -1,0 +1,84 @@
+// odatwin replays a power trace through the digital twin (Fig 11) and
+// prints the plant response, energy-loss breakdown, and an optional
+// what-if comparison.
+//
+// Usage:
+//
+//	odatwin -nodes 128 -hours 2 -whatif-rect 0.96
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	oda "odakit"
+	"odakit/internal/twin"
+	"odakit/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nodes  = flag.Int("nodes", 128, "machine scale in nodes")
+		hours  = flag.Float64("hours", 2, "trace duration in hours")
+		step   = flag.Duration("step", 10*time.Second, "trace step")
+		rect   = flag.Float64("whatif-rect", 0, "what-if rectifier base efficiency (0 = skip)")
+		svgOut = flag.String("svg", "", "write an SVG of the run to this file")
+	)
+	flag.Parse()
+
+	cfg := oda.DefaultTwinConfig()
+	cfg.Nodes = *nodes
+	start := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	trace := oda.HPLTrace(oda.HPLConfig{
+		Nodes: cfg.Nodes, IdlePowerW: cfg.IdlePowerW, MaxPowerW: cfg.MaxPowerW,
+		Duration: time.Duration(*hours * float64(time.Hour)), Step: *step,
+	}, start)
+
+	sim, err := oda.NewTwin(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sim.Run(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var it, input, ret []float64
+	for _, r := range results {
+		it = append(it, r.ITPowerW/1000)
+		input = append(input, r.InputPowerW/1000)
+		ret = append(ret, r.ReturnTempC)
+	}
+	fmt.Printf("IT power (kW)      %s\n", oda.Sparkline(viz.Downsample(it, 100)))
+	fmt.Printf("input power (kW)   %s\n", oda.Sparkline(viz.Downsample(input, 100)))
+	fmt.Printf("return water (°C)  %s\n", oda.Sparkline(viz.Downsample(ret, 100)))
+
+	sum := sim.Summary()
+	fmt.Printf("\nenergy: IT %.1f kWh | rect loss %.1f | conv loss %.1f | cooling %.1f | loss %.1f%% | PUE %.3f\n",
+		sum.ITkWh, sum.RectLosskWh, sum.ConvLosskWh, sum.CoolingkWh, 100*sum.LossFraction, sum.MeanPUE)
+
+	if *rect > 0 {
+		variant := cfg
+		variant.RectBaseEff = *rect
+		base, v, err := twin.WhatIf(cfg, variant, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("what-if rect=%.2f: rect loss %.1f -> %.1f kWh, PUE %.3f -> %.3f\n",
+			*rect, base.RectLosskWh, v.RectLosskWh, base.MeanPUE, v.MeanPUE)
+	}
+
+	if *svgOut != "" {
+		svg := viz.SVGLine("digital twin replay", map[string][]float64{
+			"it_kw":    viz.Downsample(it, 400),
+			"input_kw": viz.Downsample(input, 400),
+		}, 900, 280)
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}

@@ -1,0 +1,3 @@
+module odakit
+
+go 1.22

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// Data exploration campaigns (§VI-A): "these campaigns first focus on
+// building a data dictionary that has qualitative information about the
+// dataset such as sample rate, failure rates, logical and physical sensor
+// location, and their meaning". RunCampaign does exactly that from a
+// sample of raw observations: it profiles every metric it sees — sample
+// rate, value range, component coverage, estimated loss — and writes the
+// resulting entries into the dictionary, advancing the stream from
+// "collected" toward "cataloged".
+
+// MetricProfile is what the campaign learned about one metric.
+type MetricProfile struct {
+	Metric        string
+	Components    int
+	Samples       int
+	SampleRate    time.Duration // median inter-sample gap per component
+	Min, Max      float64
+	EstimatedLoss float64 // 1 - observed/expected, when expected is known
+}
+
+// CampaignReport summarizes one exploration campaign over a source.
+type CampaignReport struct {
+	Source   string
+	Window   time.Duration
+	Profiles []MetricProfile
+	// EntriesAdded counts dictionary entries written.
+	EntriesAdded int
+}
+
+// ErrNoObservations reports an empty campaign sample.
+var ErrNoObservations = errors.New("catalog: campaign sample is empty")
+
+// guessUnit infers a unit from the facility's metric naming convention.
+func guessUnit(metric string) string {
+	switch {
+	case strings.HasSuffix(metric, "_w"):
+		return "W"
+	case strings.HasSuffix(metric, "_kw"):
+		return "kW"
+	case strings.HasSuffix(metric, "_c"):
+		return "C"
+	case strings.HasSuffix(metric, "_pct"):
+		return "%"
+	case strings.HasSuffix(metric, "_mbps"):
+		return "MB/s"
+	case strings.HasSuffix(metric, "_gbps"):
+		return "GB/s"
+	case strings.HasSuffix(metric, "_gb"):
+		return "GB"
+	case strings.HasSuffix(metric, "_mhz"):
+		return "MHz"
+	case strings.HasSuffix(metric, "_lps"):
+		return "L/s"
+	case strings.HasSuffix(metric, "_ops") || strings.HasSuffix(metric, "ops"):
+		return "ops/s"
+	default:
+		return ""
+	}
+}
+
+// RunCampaign profiles a sample of observations from one source and
+// writes dictionary entries. expectedPerComponent, when positive, is the
+// number of samples each component should have contributed over the
+// window (ticks × metrics known from the collection plan) and enables the
+// loss estimate; pass 0 when unknown.
+func RunCampaign(d *Dictionary, source string, obs []schema.Observation, window time.Duration, expectedPerComponent int, at time.Time) (CampaignReport, error) {
+	if len(obs) == 0 {
+		return CampaignReport{}, ErrNoObservations
+	}
+	type acc struct {
+		comps    map[string][]int64 // component -> sorted sample times
+		min, max float64
+		n        int
+	}
+	byMetric := map[string]*acc{}
+	for _, o := range obs {
+		if o.Source != source {
+			continue
+		}
+		a, ok := byMetric[o.Metric]
+		if !ok {
+			a = &acc{comps: map[string][]int64{}, min: o.Value, max: o.Value}
+			byMetric[o.Metric] = a
+		}
+		a.comps[o.Component] = append(a.comps[o.Component], o.Ts.UnixNano())
+		if o.Value < a.min {
+			a.min = o.Value
+		}
+		if o.Value > a.max {
+			a.max = o.Value
+		}
+		a.n++
+	}
+	if len(byMetric) == 0 {
+		return CampaignReport{}, ErrNoObservations
+	}
+
+	rep := CampaignReport{Source: source, Window: window}
+	metrics := make([]string, 0, len(byMetric))
+	for m := range byMetric {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		a := byMetric[m]
+		p := MetricProfile{
+			Metric: m, Components: len(a.comps), Samples: a.n,
+			Min: a.min, Max: a.max,
+		}
+		// Median inter-sample gap across components.
+		var gaps []int64
+		for _, times := range a.comps {
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			for i := 1; i < len(times); i++ {
+				gaps = append(gaps, times[i]-times[i-1])
+			}
+		}
+		if len(gaps) > 0 {
+			sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+			p.SampleRate = time.Duration(gaps[len(gaps)/2])
+		}
+		if expectedPerComponent > 0 {
+			expected := expectedPerComponent * len(a.comps)
+			if expected > 0 {
+				p.EstimatedLoss = 1 - float64(a.n)/float64(expected)
+				if p.EstimatedLoss < 0 {
+					p.EstimatedLoss = 0
+				}
+			}
+		}
+		rep.Profiles = append(rep.Profiles, p)
+		err := d.Put(SensorEntry{
+			Source: source, Metric: m, Unit: guessUnit(m),
+			SampleRate:  p.SampleRate,
+			Location:    "campaign-profiled",
+			Meaning:     "profiled by exploration campaign; see report",
+			FailureRate: p.EstimatedLoss,
+			AddedAt:     at,
+		})
+		if err != nil {
+			return rep, err
+		}
+		rep.EntriesAdded++
+	}
+	return rep, nil
+}

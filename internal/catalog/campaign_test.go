@@ -1,0 +1,108 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"odakit/internal/schema"
+	"odakit/internal/telemetry"
+)
+
+func TestGuessUnit(t *testing.T) {
+	cases := map[string]string{
+		"node_power_w": "W", "pump_kw": "kW", "cpu_temp_c": "C",
+		"gpu_util_pct": "%", "tx_mbps": "MB/s", "mem_bw_gbps": "GB/s",
+		"mem_used_gb": "GB", "sm_clock_mhz": "MHz", "flow_lps": "L/s",
+		"read_ops": "ops/s", "mystery": "",
+	}
+	for in, want := range cases {
+		if got := guessUnit(in); got != want {
+			t.Fatalf("guessUnit(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunCampaignOnRealTelemetry(t *testing.T) {
+	cfg := telemetry.FrontierLike(31).Scaled(8)
+	cfg.LossRate = 0.1
+	cfg.SkewMax = 0
+	gen := telemetry.NewGenerator(cfg, nil)
+	from := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	window := 2 * time.Minute
+	obs, err := gen.CollectSource(telemetry.SourcePowerTemp, from, from.Add(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDictionary()
+	// power_temp ticks once a second: each component-metric expects 120.
+	rep, err := RunCampaign(d, string(telemetry.SourcePowerTemp), obs, window, 120, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesAdded != 10 { // the 10 power_temp metrics
+		t.Fatalf("entries = %d, want 10", rep.EntriesAdded)
+	}
+	if len(rep.Profiles) != 10 {
+		t.Fatalf("profiles = %d", len(rep.Profiles))
+	}
+	for _, p := range rep.Profiles {
+		if p.Components != 8 {
+			t.Fatalf("%s components = %d, want 8", p.Metric, p.Components)
+		}
+		// 1 Hz sampling discovered from data.
+		if p.SampleRate < 900*time.Millisecond || p.SampleRate > 3*time.Second {
+			t.Fatalf("%s sample rate = %v, want ~1s", p.Metric, p.SampleRate)
+		}
+		// ~10% injected loss estimated within a tolerant band.
+		if p.EstimatedLoss < 0.05 || p.EstimatedLoss > 0.15 {
+			t.Fatalf("%s loss = %.3f, want ~0.10", p.Metric, p.EstimatedLoss)
+		}
+		if p.Min > p.Max {
+			t.Fatalf("%s min %v > max %v", p.Metric, p.Min, p.Max)
+		}
+	}
+	// The dictionary now answers questions about the stream.
+	e, err := d.Get("power_temp", "node_power_w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Unit != "W" || e.SampleRate == 0 || e.FailureRate == 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if c := d.Coverage("power_temp", 10); c != 1 {
+		t.Fatalf("coverage after campaign = %v, want 1", c)
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	d := NewDictionary()
+	if _, err := RunCampaign(d, "x", nil, time.Minute, 0, time.Time{}); !errors.Is(err, ErrNoObservations) {
+		t.Fatal("empty sample accepted")
+	}
+	// Observations from a different source are ignored.
+	obs := []schema.Observation{{Source: "other", Metric: "m", Value: 1}}
+	if _, err := RunCampaign(d, "x", obs, time.Minute, 0, time.Time{}); !errors.Is(err, ErrNoObservations) {
+		t.Fatal("foreign-source sample accepted")
+	}
+}
+
+func TestRunCampaignWithoutExpectation(t *testing.T) {
+	d := NewDictionary()
+	from := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	obs := []schema.Observation{
+		{Ts: from, Source: "s", Component: "c", Metric: "m", Value: 1},
+		{Ts: from.Add(time.Second), Source: "s", Component: "c", Metric: "m", Value: 2},
+	}
+	rep, err := RunCampaign(d, "s", obs, time.Minute, 0, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profiles[0].EstimatedLoss != 0 {
+		t.Fatal("loss should be unknown (0) without an expectation")
+	}
+	if rep.Profiles[0].SampleRate != time.Second {
+		t.Fatalf("sample rate = %v", rep.Profiles[0].SampleRate)
+	}
+}

@@ -1,0 +1,359 @@
+// Package catalog is the organizational data catalog: the data dictionary
+// built by exploration campaigns (§VI-A), the L0-L5 stream-maturity model
+// of Fig 2, the usage-area registry of Table I, and the readiness matrix
+// of Fig 3 (area × source × system generation). It is deliberately plain
+// data — the value is in making the producer/consumer matrix explicit.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Maturity is the L0-L5 data-usage readiness level of Fig 2: a stream
+// matures from an identified requirement to institutionalized,
+// multi-generation operational use.
+type Maturity int
+
+// The maturity levels.
+const (
+	L0 Maturity = iota // identified: requirement captured, nothing lands yet
+	L1                 // collected: raw stream lands (Bronze exists)
+	L2                 // cataloged: data dictionary entries exist
+	L3                 // refined: sustained Silver pipeline in production
+	L4                 // served: dashboards / applications consume it
+	L5                 // operational: embedded in day-to-day decisions across generations
+)
+
+// String returns "L0".."L5".
+func (m Maturity) String() string {
+	if m < L0 || m > L5 {
+		return fmt.Sprintf("L?(%d)", int(m))
+	}
+	return fmt.Sprintf("L%d", int(m))
+}
+
+// Description explains the level.
+func (m Maturity) Description() string {
+	switch m {
+	case L0:
+		return "identified: requirement captured, no data landing"
+	case L1:
+		return "collected: raw stream lands in the Bronze tier"
+	case L2:
+		return "cataloged: data dictionary documents meaning and quality"
+	case L3:
+		return "refined: sustained Silver pipeline in production"
+	case L4:
+		return "served: dashboards and applications consume it"
+	case L5:
+		return "operational: drives day-to-day decisions across generations"
+	default:
+		return "unknown"
+	}
+}
+
+// Area is one operational-data usage area (a Table I row).
+type Area struct {
+	Name        string
+	Category    string // System Management, Administrative, Procurement, R&D
+	Description string
+}
+
+// Areas is the Table I registry.
+var Areas = []Area{
+	{"system_admin", "System Management", "system performance, stability and reliability ensurance: compute, interconnect, storage"},
+	{"facility_mgmt", "System Management", "reliable and energy efficient power and cooling supply system design and operations"},
+	{"cyber_security", "System Management", "detection, diagnosis and prevention of security issues"},
+	{"user_assist", "System Management", "diagnostics for swift troubleshooting and solutions"},
+	{"program_mgmt", "Administrative", "resource allocation, coordination, and reporting to sponsors"},
+	{"job_sched", "Administrative", "job execution priority adjustment based on program needs and user requests"},
+	{"system_design", "Procurement", "technology integration, tuning, testing, and projection for future systems"},
+	{"performance", "R&D", "performance optimization, tuning"},
+	{"reliability", "R&D", "reliability projection and prediction"},
+	{"applications", "R&D", "runtime performance monitoring and optimization, tuning, energy efficiency"},
+	{"energy_eff", "R&D", "energy usage optimization from various layers of an HPC data center"},
+}
+
+// AreaByName looks up a Table I area.
+func AreaByName(name string) (Area, bool) {
+	for _, a := range Areas {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// SensorEntry is one data-dictionary record: the qualitative knowledge a
+// data exploration campaign captures about a sensor channel (§VI-A).
+type SensorEntry struct {
+	Source      string
+	Metric      string
+	Unit        string
+	SampleRate  time.Duration
+	Location    string // logical/physical sensor location
+	Meaning     string // relation to the underlying process
+	FailureRate float64
+	AddedAt     time.Time
+}
+
+// ErrNoEntry reports a dictionary miss.
+var ErrNoEntry = errors.New("catalog: no such entry")
+
+// Dictionary is the data dictionary. Safe for concurrent use.
+type Dictionary struct {
+	mu      sync.RWMutex
+	entries map[string]SensorEntry // key source/metric
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary { return &Dictionary{entries: make(map[string]SensorEntry)} }
+
+func dictKey(source, metric string) string { return source + "/" + metric }
+
+// Put adds or updates an entry.
+func (d *Dictionary) Put(e SensorEntry) error {
+	if e.Source == "" || e.Metric == "" {
+		return errors.New("catalog: entry needs source and metric")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[dictKey(e.Source, e.Metric)] = e
+	return nil
+}
+
+// Get fetches an entry.
+func (d *Dictionary) Get(source, metric string) (SensorEntry, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[dictKey(source, metric)]
+	if !ok {
+		return SensorEntry{}, fmt.Errorf("%w: %s/%s", ErrNoEntry, source, metric)
+	}
+	return e, nil
+}
+
+// BySource lists entries for one source, sorted by metric.
+func (d *Dictionary) BySource(source string) []SensorEntry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []SensorEntry
+	for _, e := range d.entries {
+		if e.Source == source {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out
+}
+
+// Coverage reports how many of a source's metrics are documented, given
+// the total the generator emits — the "data coverage" the paper tracks.
+func (d *Dictionary) Coverage(source string, totalMetrics int) float64 {
+	if totalMetrics <= 0 {
+		return 0
+	}
+	n := len(d.BySource(source))
+	if n > totalMetrics {
+		n = totalMetrics
+	}
+	return float64(n) / float64(totalMetrics)
+}
+
+// Len returns the number of dictionary entries.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// MaturityEvent is one transition in a stream's life (Fig 2 progression).
+type MaturityEvent struct {
+	At    time.Time
+	Level Maturity
+	Note  string
+}
+
+// StreamStatus tracks one (system, source, area) cell of Fig 3.
+type StreamStatus struct {
+	System  string
+	Source  string
+	Area    string
+	Level   Maturity
+	Owner   bool // the area owns/produces this source (boldface in Fig 3)
+	History []MaturityEvent
+}
+
+// Matrix is the Fig 3 readiness matrix. Safe for concurrent use.
+type Matrix struct {
+	mu    sync.RWMutex
+	cells map[string]*StreamStatus
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix { return &Matrix{cells: make(map[string]*StreamStatus)} }
+
+func cellKey(system, source, area string) string { return system + "|" + source + "|" + area }
+
+// ErrSkippedLevel reports an attempt to jump maturity levels.
+var ErrSkippedLevel = errors.New("catalog: maturity must advance one level at a time")
+
+// Declare registers a cell at L0 (requirement identified).
+func (m *Matrix) Declare(system, source, area string, owner bool, at time.Time, note string) error {
+	if _, ok := AreaByName(area); !ok {
+		return fmt.Errorf("catalog: unknown area %q", area)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := cellKey(system, source, area)
+	if _, ok := m.cells[k]; ok {
+		return fmt.Errorf("catalog: cell %s already declared", k)
+	}
+	m.cells[k] = &StreamStatus{
+		System: system, Source: source, Area: area, Level: L0, Owner: owner,
+		History: []MaturityEvent{{At: at, Level: L0, Note: note}},
+	}
+	return nil
+}
+
+// Advance moves a cell up exactly one maturity level.
+func (m *Matrix) Advance(system, source, area string, at time.Time, note string) (Maturity, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cells[cellKey(system, source, area)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s/%s", ErrNoEntry, system, source, area)
+	}
+	if c.Level >= L5 {
+		return c.Level, fmt.Errorf("catalog: cell already at L5")
+	}
+	c.Level++
+	c.History = append(c.History, MaturityEvent{At: at, Level: c.Level, Note: note})
+	return c.Level, nil
+}
+
+// Get returns a cell's status.
+func (m *Matrix) Get(system, source, area string) (StreamStatus, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.cells[cellKey(system, source, area)]
+	if !ok {
+		return StreamStatus{}, fmt.Errorf("%w: %s/%s/%s", ErrNoEntry, system, source, area)
+	}
+	out := *c
+	out.History = append([]MaturityEvent(nil), c.History...)
+	return out, nil
+}
+
+// Cells returns every cell sorted by (source, area, system).
+func (m *Matrix) Cells() []StreamStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]StreamStatus, 0, len(m.cells))
+	for _, c := range m.cells {
+		cc := *c
+		cc.History = append([]MaturityEvent(nil), c.History...)
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		return out[i].System < out[j].System
+	})
+	return out
+}
+
+// Render draws the Fig 3 matrix as text: rows are sources, columns are
+// areas, each cell shows per-system levels (owner cells in brackets).
+func (m *Matrix) Render(systems []string) string {
+	cells := m.Cells()
+	srcSet := map[string]bool{}
+	areaSet := map[string]bool{}
+	byKey := map[string]StreamStatus{}
+	for _, c := range cells {
+		srcSet[c.Source] = true
+		areaSet[c.Area] = true
+		byKey[cellKey(c.System, c.Source, c.Area)] = c
+	}
+	sources := sortedKeys(srcSet)
+	areas := make([]string, 0, len(areaSet))
+	for _, a := range Areas { // Table I order
+		if areaSet[a.Name] {
+			areas = append(areas, a.Name)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "source \\ area")
+	for _, a := range areas {
+		fmt.Fprintf(&b, "%-16s", a)
+	}
+	b.WriteByte('\n')
+	for _, s := range sources {
+		fmt.Fprintf(&b, "%-22s", s)
+		for _, a := range areas {
+			var parts []string
+			for _, sys := range systems {
+				if c, ok := byKey[cellKey(sys, s, a)]; ok {
+					lv := c.Level.String()
+					if c.Owner {
+						lv = "[" + lv + "]"
+					}
+					parts = append(parts, lv)
+				} else {
+					parts = append(parts, "--")
+				}
+			}
+			fmt.Fprintf(&b, "%-16s", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GapReport lists cells whose maturity lags the owner's by two or more
+// levels — the paper's observation that streams valuable to many areas
+// reach full readiness only where they are owned.
+type Gap struct {
+	Source, Area, System string
+	Level, OwnerLevel    Maturity
+}
+
+// Gaps computes the readiness gaps per source within one system.
+func (m *Matrix) Gaps(system string) []Gap {
+	cells := m.Cells()
+	ownerLevel := map[string]Maturity{}
+	for _, c := range cells {
+		if c.System == system && c.Owner && c.Level > ownerLevel[c.Source] {
+			ownerLevel[c.Source] = c.Level
+		}
+	}
+	var out []Gap
+	for _, c := range cells {
+		if c.System != system || c.Owner {
+			continue
+		}
+		if ol, ok := ownerLevel[c.Source]; ok && ol >= c.Level+2 {
+			out = append(out, Gap{Source: c.Source, Area: c.Area, System: system, Level: c.Level, OwnerLevel: ol})
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestMaturityStrings(t *testing.T) {
+	if L0.String() != "L0" || L5.String() != "L5" {
+		t.Fatal("maturity names wrong")
+	}
+	if Maturity(9).String() != "L?(9)" {
+		t.Fatal("unknown level fallback wrong")
+	}
+	for m := L0; m <= L5; m++ {
+		if m.Description() == "unknown" || m.Description() == "" {
+			t.Fatalf("level %v lacks a description", m)
+		}
+	}
+	if Maturity(9).Description() != "unknown" {
+		t.Fatal("unknown description wrong")
+	}
+}
+
+func TestAreasTableI(t *testing.T) {
+	if len(Areas) != 11 {
+		t.Fatalf("Table I areas = %d, want 11", len(Areas))
+	}
+	cats := map[string]int{}
+	for _, a := range Areas {
+		cats[a.Category]++
+		if a.Description == "" {
+			t.Fatalf("area %s lacks a description", a.Name)
+		}
+	}
+	if cats["System Management"] != 4 || cats["Administrative"] != 2 || cats["Procurement"] != 1 || cats["R&D"] != 4 {
+		t.Fatalf("category counts = %v", cats)
+	}
+	a, ok := AreaByName("energy_eff")
+	if !ok || a.Category != "R&D" {
+		t.Fatalf("AreaByName = %+v, %v", a, ok)
+	}
+	if _, ok := AreaByName("nope"); ok {
+		t.Fatal("unknown area resolved")
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	e := SensorEntry{
+		Source: "power_temp", Metric: "node_power_w", Unit: "W",
+		SampleRate: time.Second, Location: "node PSU", Meaning: "whole-node draw",
+		FailureRate: 0.01, AddedAt: epoch,
+	}
+	if err := d.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(SensorEntry{}); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	got, err := d.Get("power_temp", "node_power_w")
+	if err != nil || got != e {
+		t.Fatalf("get = %+v, %v", got, err)
+	}
+	if _, err := d.Get("power_temp", "ghost"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("ghost get: %v", err)
+	}
+	_ = d.Put(SensorEntry{Source: "power_temp", Metric: "cpu_temp_c", Unit: "C", AddedAt: epoch})
+	_ = d.Put(SensorEntry{Source: "gpu", Metric: "gpu_util_pct", Unit: "%", AddedAt: epoch})
+	list := d.BySource("power_temp")
+	if len(list) != 2 || list[0].Metric != "cpu_temp_c" {
+		t.Fatalf("BySource = %+v", list)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if c := d.Coverage("power_temp", 10); c != 0.2 {
+		t.Fatalf("coverage = %v, want 0.2", c)
+	}
+	if c := d.Coverage("power_temp", 0); c != 0 {
+		t.Fatalf("coverage with zero total = %v", c)
+	}
+	if c := d.Coverage("power_temp", 1); c != 1 {
+		t.Fatalf("coverage capped = %v", c)
+	}
+}
+
+func TestMatrixLifecycle(t *testing.T) {
+	m := NewMatrix()
+	if err := m.Declare("compass", "power_temp", "energy_eff", true, epoch, "plan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Declare("compass", "power_temp", "energy_eff", true, epoch, "again"); err == nil {
+		t.Fatal("duplicate declare accepted")
+	}
+	if err := m.Declare("compass", "power_temp", "bogus_area", false, epoch, ""); err == nil {
+		t.Fatal("unknown area accepted")
+	}
+	for want := L1; want <= L5; want++ {
+		got, err := m.Advance("compass", "power_temp", "energy_eff", epoch.AddDate(0, int(want), 0), "step")
+		if err != nil || got != want {
+			t.Fatalf("advance to %v: got %v, %v", want, got, err)
+		}
+	}
+	if _, err := m.Advance("compass", "power_temp", "energy_eff", epoch, "past L5"); err == nil {
+		t.Fatal("advance past L5 accepted")
+	}
+	if _, err := m.Advance("ghost", "x", "y", epoch, ""); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("ghost advance: %v", err)
+	}
+	c, err := m.Get("compass", "power_temp", "energy_eff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Level != L5 || !c.Owner || len(c.History) != 6 {
+		t.Fatalf("cell = %+v", c)
+	}
+	for i := 1; i < len(c.History); i++ {
+		if c.History[i].Level != c.History[i-1].Level+1 {
+			t.Fatal("history levels must be sequential")
+		}
+	}
+}
+
+func TestFigureThreeSeed(t *testing.T) {
+	m, err := FigureThree(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := m.Cells()
+	if len(cells) != 2*len(figureThreeCells) {
+		t.Fatalf("cells = %d, want %d", len(cells), 2*len(figureThreeCells))
+	}
+	// Spot-check transcribed values.
+	c, err := m.Get("mountain", "syslog", "system_admin")
+	if err != nil || c.Level != L5 || !c.Owner {
+		t.Fatalf("mountain syslog/system_admin = %+v, %v", c, err)
+	}
+	c, _ = m.Get("compass", "power_temp", "user_assist")
+	if c.Level != L3 {
+		t.Fatalf("compass power_temp/user_assist = %v, want L3", c.Level)
+	}
+	c, _ = m.Get("compass", "perf_counters", "performance")
+	if c.Level != L0 {
+		t.Fatalf("perf counters should be the L0 inundation source, got %v", c.Level)
+	}
+	// Every declared owner cell exists once per source at most.
+	owners := map[string]int{}
+	for _, c := range cells {
+		if c.Owner && c.System == "compass" {
+			owners[c.Source]++
+		}
+	}
+	for src, n := range owners {
+		if n != 1 {
+			t.Fatalf("source %s has %d owners", src, n)
+		}
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	m, _ := FigureThree(epoch)
+	out := m.Render(FigureThreeSystems)
+	if !strings.Contains(out, "power_temp") || !strings.Contains(out, "system_admin") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "[L5]") {
+		t.Fatalf("render missing owner marker:\n%s", out)
+	}
+	if !strings.Contains(out, "--") {
+		t.Fatalf("render missing empty cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestGaps(t *testing.T) {
+	m, _ := FigureThree(epoch)
+	gaps := m.Gaps("compass")
+	if len(gaps) == 0 {
+		t.Fatal("Fig 3 shows readiness gaps; none found")
+	}
+	for _, g := range gaps {
+		if g.OwnerLevel < g.Level+2 {
+			t.Fatalf("gap %+v does not satisfy the gap definition", g)
+		}
+	}
+	// resource_util program_mgmt owns at L5; user_assist sits at L0 ⇒ gap.
+	found := false
+	for _, g := range gaps {
+		if g.Source == "resource_util" && g.Area == "user_assist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected resource_util/user_assist gap, got %+v", gaps)
+	}
+}

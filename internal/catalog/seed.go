@@ -1,0 +1,113 @@
+package catalog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Seeded reproduction of the Fig 3 readiness matrix for the two simulated
+// generations ("mountain" = prior, "compass" = current). Cell levels are
+// transcribed from the figure; area names map onto the Table I registry
+// (the figure's generic "R&D" column maps to the closest R&D-category
+// area per source). This is reference data for the Fig 3 bench and the
+// odareport tool, not live state.
+
+type figCell struct {
+	source   string
+	area     string
+	owner    bool
+	mountain Maturity
+	compass  Maturity
+}
+
+var figureThreeCells = []figCell{
+	// Compute system: performance counters — collected, barely used (L0).
+	{"perf_counters", "applications", false, L0, L0},
+	{"perf_counters", "system_design", false, L0, L0},
+	{"perf_counters", "performance", false, L0, L0},
+	// Compute system: resource utilization.
+	{"resource_util", "user_assist", false, L0, L0},
+	{"resource_util", "applications", false, L0, L1},
+	{"resource_util", "program_mgmt", true, L5, L5},
+	{"resource_util", "system_design", false, L2, L1},
+	{"resource_util", "performance", false, L0, L1},
+	// Compute system: power & temperature.
+	{"power_temp", "system_admin", false, L1, L1},
+	{"power_temp", "user_assist", false, L0, L3},
+	{"power_temp", "facility_mgmt", false, L4, L4},
+	{"power_temp", "applications", false, L2, L2},
+	{"power_temp", "system_design", false, L1, L1},
+	{"power_temp", "energy_eff", true, L5, L3},
+	// Compute system: storage client.
+	{"storage_client", "system_admin", false, L1, L1},
+	{"storage_client", "user_assist", false, L5, L5},
+	{"storage_client", "applications", false, L0, L1},
+	{"storage_client", "system_design", false, L2, L1},
+	{"storage_client", "performance", true, L5, L1},
+	// Compute system: interconnect client.
+	{"fabric_client", "system_admin", false, L1, L1},
+	{"fabric_client", "user_assist", false, L5, L5},
+	{"fabric_client", "applications", false, L0, L1},
+	{"fabric_client", "system_design", false, L2, L0},
+	{"fabric_client", "performance", false, L0, L1},
+	// Storage system (server side).
+	{"storage_system", "system_admin", true, L4, L2},
+	{"storage_system", "system_design", false, L2, L0},
+	{"storage_system", "performance", false, L0, L0},
+	// Interconnect (switch side).
+	{"fabric", "system_admin", true, L0, L0},
+	{"fabric", "user_assist", false, L0, L0},
+	{"fabric", "system_design", false, L2, L1},
+	{"fabric", "performance", false, L0, L0},
+	// Syslog & events.
+	{"syslog", "system_admin", true, L5, L5},
+	{"syslog", "user_assist", false, L5, L5},
+	{"syslog", "facility_mgmt", false, L4, L1},
+	{"syslog", "cyber_security", false, L5, L4},
+	{"syslog", "system_design", false, L4, L2},
+	{"syslog", "performance", false, L4, L1},
+	// Resource manager.
+	{"resource_manager", "system_admin", true, L5, L5},
+	{"resource_manager", "user_assist", false, L5, L5},
+	{"resource_manager", "cyber_security", false, L5, L4},
+	{"resource_manager", "program_mgmt", false, L5, L5},
+	{"resource_manager", "system_design", false, L5, L4},
+	{"resource_manager", "performance", false, L5, L3},
+	// CRM (user/project administration).
+	{"crm", "user_assist", false, L5, L5},
+	{"crm", "program_mgmt", true, L5, L5},
+	{"crm", "system_design", false, L1, L1},
+	// Facility (cooling plant, power distribution).
+	{"facility", "facility_mgmt", true, L5, L4},
+	{"facility", "system_design", false, L5, L5},
+	{"facility", "energy_eff", false, L4, L3},
+}
+
+// FigureThreeSystems names the two generations in display order.
+var FigureThreeSystems = []string{"mountain", "compass"}
+
+// FigureThree builds the seeded Fig 3 matrix, replaying each cell's
+// maturity progression as dated history events (one quarter per level,
+// starting at epoch).
+func FigureThree(epoch time.Time) (*Matrix, error) {
+	m := NewMatrix()
+	for _, c := range figureThreeCells {
+		for sysIdx, sys := range FigureThreeSystems {
+			level := c.mountain
+			if sys == "compass" {
+				level = c.compass
+			}
+			at := epoch.AddDate(0, 3*sysIdx, 0)
+			if err := m.Declare(sys, c.source, c.area, c.owner, at, "requirement captured"); err != nil {
+				return nil, err
+			}
+			for l := L1; l <= level; l++ {
+				at = at.AddDate(0, 3, 0)
+				if _, err := m.Advance(sys, c.source, c.area, at, fmt.Sprintf("advanced to %s", l)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}

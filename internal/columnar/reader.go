@@ -1,0 +1,438 @@
+package columnar
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"odakit/internal/schema"
+)
+
+// ColStats are per-row-group per-column statistics used for predicate
+// pushdown: a reader can skip a whole row group when the queried range
+// cannot intersect [Min, Max].
+type ColStats struct {
+	Count     int
+	NullCount int
+	// Min and Max are null when the chunk holds no non-null values.
+	Min schema.Value
+	Max schema.Value
+}
+
+func computeStats(col *schema.Column) ColStats {
+	s := ColStats{Count: col.Len()}
+	for i := 0; i < col.Len(); i++ {
+		v := col.Value(i)
+		if v.IsNull() {
+			s.NullCount++
+			continue
+		}
+		if s.Min.IsNull() || v.Compare(s.Min) < 0 {
+			s.Min = v
+		}
+		if s.Max.IsNull() || v.Compare(s.Max) > 0 {
+			s.Max = v
+		}
+	}
+	return s
+}
+
+func appendStats(buf []byte, s ColStats) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.Count))
+	buf = binary.AppendUvarint(buf, uint64(s.NullCount))
+	return schema.AppendRow(buf, schema.Row{s.Min, s.Max})
+}
+
+func decodeStats(buf []byte) (ColStats, int, error) {
+	var s ColStats
+	c, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return s, 0, fmt.Errorf("columnar: bad stats count")
+	}
+	off := sz
+	nc, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return s, 0, fmt.Errorf("columnar: bad stats null count")
+	}
+	off += sz
+	row, n, err := schema.DecodeRow(buf[off:])
+	if err != nil || len(row) != 2 {
+		return s, 0, fmt.Errorf("columnar: bad stats min/max: %v", err)
+	}
+	off += n
+	s.Count, s.NullCount, s.Min, s.Max = int(c), int(nc), row[0], row[1]
+	return s, off, nil
+}
+
+// RowGroup is one decoded-on-demand row group of an OCF stream.
+type RowGroup struct {
+	Rows  int
+	Stats []ColStats // aligned with the schema fields
+	// chunk payload slices (compression flag, raw length, payload)
+	chunks []chunkRef
+	sch    *schema.Schema
+}
+
+type chunkRef struct {
+	comp    Compression
+	rawLen  int
+	payload []byte
+}
+
+// FileReader provides random access over an in-memory OCF stream: schema,
+// row-group statistics, and per-group decode, with predicate pushdown.
+type FileReader struct {
+	sch    *schema.Schema
+	groups []*RowGroup
+}
+
+// NewFileReader parses the structure of an OCF stream without decoding
+// column payloads. Concatenated streams with equal schemas are accepted.
+func NewFileReader(data []byte) (*FileReader, error) {
+	fr := &FileReader{}
+	off := 0
+	for off < len(data) {
+		if bytes.HasPrefix(data[off:], Magic) {
+			off += len(Magic)
+			sch, n, err := decodeSchema(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			if fr.sch == nil {
+				fr.sch = sch
+			} else if !fr.sch.Equal(sch) {
+				return nil, fmt.Errorf("columnar: concatenated stream schema mismatch: %s vs %s", fr.sch, sch)
+			}
+			continue
+		}
+		if fr.sch == nil {
+			return nil, fmt.Errorf("columnar: missing magic header")
+		}
+		if data[off] != markerRowGroup {
+			return nil, fmt.Errorf("columnar: unknown block marker 0x%02x at offset %d", data[off], off)
+		}
+		off++
+		g := &RowGroup{sch: fr.sch}
+		rows, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("columnar: bad row count")
+		}
+		off += sz
+		g.Rows = int(rows)
+		ncols, sz := binary.Uvarint(data[off:])
+		if sz <= 0 || int(ncols) != fr.sch.Len() {
+			return nil, fmt.Errorf("columnar: row group has %d columns, schema has %d", ncols, fr.sch.Len())
+		}
+		off += sz
+		for c := 0; c < int(ncols); c++ {
+			st, n, err := decodeStats(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			g.Stats = append(g.Stats, st)
+			if off >= len(data) {
+				return nil, fmt.Errorf("columnar: truncated chunk header")
+			}
+			comp := Compression(data[off])
+			off++
+			rawLen, sz := binary.Uvarint(data[off:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("columnar: bad raw length")
+			}
+			off += sz
+			compLen, sz := binary.Uvarint(data[off:])
+			if sz <= 0 || off+sz+int(compLen) > len(data) {
+				return nil, fmt.Errorf("columnar: bad compressed length")
+			}
+			off += sz
+			g.chunks = append(g.chunks, chunkRef{
+				comp: comp, rawLen: int(rawLen), payload: data[off : off+int(compLen)],
+			})
+			off += int(compLen)
+		}
+		fr.groups = append(fr.groups, g)
+	}
+	if fr.sch == nil {
+		return nil, fmt.Errorf("columnar: empty stream")
+	}
+	return fr, nil
+}
+
+func decodeSchema(buf []byte) (*schema.Schema, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("columnar: bad schema field count")
+	}
+	off := sz
+	fields := make([]schema.Field, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || uint64(off+sz)+l+1 > uint64(len(buf)) {
+			return nil, 0, fmt.Errorf("columnar: truncated schema")
+		}
+		off += sz
+		name := string(buf[off : off+int(l)])
+		off += int(l)
+		kind := schema.Kind(buf[off])
+		off++
+		fields = append(fields, schema.Field{Name: name, Kind: kind})
+	}
+	return schema.New(fields...), off, nil
+}
+
+// Schema returns the stream's schema.
+func (fr *FileReader) Schema() *schema.Schema { return fr.sch }
+
+// NumRowGroups returns the number of row groups.
+func (fr *FileReader) NumRowGroups() int { return len(fr.groups) }
+
+// GroupStats returns the statistics of row group i.
+func (fr *FileReader) GroupStats(i int) []ColStats { return fr.groups[i].Stats }
+
+// decodeChunk inflates and decodes one column chunk of a group.
+func (fr *FileReader) decodeChunk(g *RowGroup, c int) (*schema.Column, error) {
+	ch := g.chunks[c]
+	raw := ch.payload
+	if ch.comp == CompressFlate {
+		zr := flate.NewReader(bytes.NewReader(ch.payload))
+		dec := make([]byte, 0, ch.rawLen)
+		b := bytes.NewBuffer(dec)
+		if _, err := io.Copy(b, zr); err != nil {
+			return nil, fmt.Errorf("columnar: inflate: %w", err)
+		}
+		raw = b.Bytes()
+	}
+	col, _, err := decodeColumn(raw)
+	if err != nil {
+		return nil, fmt.Errorf("columnar: column %d: %w", c, err)
+	}
+	if col.Len() != g.Rows {
+		return nil, fmt.Errorf("columnar: column %d has %d rows, group has %d", c, col.Len(), g.Rows)
+	}
+	return col, nil
+}
+
+// ReadGroup decodes row group i into a frame.
+func (fr *FileReader) ReadGroup(i int) (*schema.Frame, error) {
+	if i < 0 || i >= len(fr.groups) {
+		return nil, fmt.Errorf("columnar: row group %d out of range", i)
+	}
+	g := fr.groups[i]
+	f := schema.NewFrame(fr.sch)
+	cols := make([]*schema.Column, fr.sch.Len())
+	for c := range g.chunks {
+		col, err := fr.decodeChunk(g, c)
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = col
+	}
+	// Rebuild the frame row-wise (columns validated above).
+	for r := 0; r < g.Rows; r++ {
+		row := make(schema.Row, len(cols))
+		for c := range cols {
+			row[c] = cols[c].Value(r)
+		}
+		if err := f.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Predicate restricts a scan to row groups whose statistics may match.
+type Predicate struct {
+	// Col is the column the range applies to.
+	Col string
+	// Min and Max bound the wanted values inclusively; a null bound is
+	// unbounded on that side.
+	Min schema.Value
+	Max schema.Value
+}
+
+// matches reports whether a row group may contain rows in the range.
+func (p Predicate) matches(sch *schema.Schema, stats []ColStats) bool {
+	i, ok := sch.Index(p.Col)
+	if !ok {
+		return true // unknown column: cannot prune
+	}
+	st := stats[i]
+	if st.Min.IsNull() {
+		// No non-null values: nothing can satisfy a bounded range.
+		return p.Min.IsNull() && p.Max.IsNull()
+	}
+	if !p.Min.IsNull() && st.Max.Compare(p.Min) < 0 {
+		return false
+	}
+	if !p.Max.IsNull() && st.Min.Compare(p.Max) > 0 {
+		return false
+	}
+	return true
+}
+
+// ScanResult reports pushdown effectiveness alongside the data.
+type ScanResult struct {
+	Frame         *schema.Frame
+	GroupsTotal   int
+	GroupsScanned int
+	// ColumnsDecoded / ColumnsTotal report projection pushdown: how many
+	// column chunks were actually inflated vs what a full scan decodes.
+	ColumnsDecoded int
+	ColumnsTotal   int
+}
+
+// ScanColumns is Scan with projection pushdown: only the named columns
+// (plus any columns the predicates reference) are decoded, and the result
+// frame contains exactly the named columns in the given order. On wide
+// Silver frames this skips most of the inflate work.
+func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanResult, error) {
+	outSchema, err := fr.sch.Project(columns...)
+	if err != nil {
+		return nil, err
+	}
+	// Columns that must be decoded: projection plus predicate columns.
+	need := map[int]bool{}
+	outIdx := make([]int, len(columns))
+	for i, c := range columns {
+		j := fr.sch.MustIndex(c)
+		outIdx[i] = j
+		need[j] = true
+	}
+	predIdx := make([]int, len(preds))
+	for i, p := range preds {
+		j, ok := fr.sch.Index(p.Col)
+		if !ok {
+			predIdx[i] = -1
+			continue
+		}
+		predIdx[i] = j
+		need[j] = true
+	}
+
+	res := &ScanResult{Frame: schema.NewFrame(outSchema), GroupsTotal: len(fr.groups)}
+	for _, g := range fr.groups {
+		res.ColumnsTotal += len(g.chunks)
+		skip := false
+		for _, p := range preds {
+			if !p.matches(fr.sch, g.Stats) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		res.GroupsScanned++
+		decoded := make(map[int]*schema.Column, len(need))
+		for c := range need {
+			col, err := fr.decodeChunk(g, c)
+			if err != nil {
+				return nil, err
+			}
+			decoded[c] = col
+			res.ColumnsDecoded++
+		}
+		for r := 0; r < g.Rows; r++ {
+			keep := true
+			for i, p := range preds {
+				if predIdx[i] < 0 {
+					continue
+				}
+				v := decoded[predIdx[i]].Value(r)
+				if v.IsNull() ||
+					(!p.Min.IsNull() && v.Compare(p.Min) < 0) ||
+					(!p.Max.IsNull() && v.Compare(p.Max) > 0) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			row := make(schema.Row, len(outIdx))
+			for i, c := range outIdx {
+				row[i] = decoded[c].Value(r)
+			}
+			if err := res.Frame.AppendRow(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Scan decodes all row groups that survive every predicate, filters the
+// decoded rows exactly, and returns the matching rows plus pushdown
+// counters. Predicates are conjunctive.
+func (fr *FileReader) Scan(preds ...Predicate) (*ScanResult, error) {
+	res := &ScanResult{Frame: schema.NewFrame(fr.sch), GroupsTotal: len(fr.groups)}
+	for i, g := range fr.groups {
+		skip := false
+		for _, p := range preds {
+			if !p.matches(fr.sch, g.Stats) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		res.GroupsScanned++
+		f, err := fr.ReadGroup(i)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < f.Len(); r++ {
+			row := f.Row(r)
+			keep := true
+			for _, p := range preds {
+				ci, ok := fr.sch.Index(p.Col)
+				if !ok {
+					continue
+				}
+				v := row[ci]
+				if v.IsNull() {
+					keep = false
+					break
+				}
+				if !p.Min.IsNull() && v.Compare(p.Min) < 0 {
+					keep = false
+					break
+				}
+				if !p.Max.IsNull() && v.Compare(p.Max) > 0 {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				if err := res.Frame.AppendRow(row); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ReadAll decodes the entire stream into one frame.
+func ReadAll(data []byte) (*schema.Frame, error) {
+	fr, err := NewFileReader(data)
+	if err != nil {
+		return nil, err
+	}
+	out := schema.NewFrame(fr.sch)
+	for i := 0; i < fr.NumRowGroups(); i++ {
+		f, err := fr.ReadGroup(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AppendFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package columnar
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"odakit/internal/schema"
+)
+
+// Magic identifies an OCF stream.
+var Magic = []byte("OCF1")
+
+// Block markers within a stream.
+const (
+	markerRowGroup byte = 0x01
+)
+
+// Compression selects the per-column-chunk compression codec.
+type Compression byte
+
+// Supported compression codecs.
+const (
+	CompressNone  Compression = 0
+	CompressFlate Compression = 1
+)
+
+// WriterOptions tunes the writer.
+type WriterOptions struct {
+	// RowGroupRows flushes a row group after this many buffered rows.
+	// Defaults to 8192.
+	RowGroupRows int
+	// Compression is the column-chunk codec; defaults to CompressFlate.
+	Compression Compression
+	// FlateLevel is the flate level when Compression is CompressFlate;
+	// defaults to flate.DefaultCompression.
+	FlateLevel int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.RowGroupRows <= 0 {
+		o.RowGroupRows = 8192
+	}
+	if o.Compression == CompressFlate && o.FlateLevel == 0 {
+		o.FlateLevel = flate.DefaultCompression
+	}
+	return o
+}
+
+// Writer streams frames into an OCF byte stream. It buffers rows into row
+// groups; Close flushes the final partial group. A Writer is not safe for
+// concurrent use.
+type Writer struct {
+	w      io.Writer
+	sch    *schema.Schema
+	opts   WriterOptions
+	buf    *schema.Frame
+	header bool
+	closed bool
+
+	// RawBytes and CompressedBytes count column-chunk payload sizes, the
+	// numbers behind the compression ablation bench.
+	RawBytes        int64
+	CompressedBytes int64
+}
+
+// NewWriter returns a writer that emits an OCF stream for the schema.
+func NewWriter(w io.Writer, s *schema.Schema, opts WriterOptions) *Writer {
+	return &Writer{w: w, sch: s, opts: opts.withDefaults(), buf: schema.NewFrame(s)}
+}
+
+// WriteRow buffers one row, flushing a row group when full.
+func (w *Writer) WriteRow(r schema.Row) error {
+	if w.closed {
+		return fmt.Errorf("columnar: write after close")
+	}
+	if err := w.buf.AppendRow(r); err != nil {
+		return err
+	}
+	if w.buf.Len() >= w.opts.RowGroupRows {
+		return w.flush()
+	}
+	return nil
+}
+
+// WriteFrame buffers all rows of f.
+func (w *Writer) WriteFrame(f *schema.Frame) error {
+	for i := 0; i < f.Len(); i++ {
+		if err := w.WriteRow(f.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered rows. It writes the header even for an empty
+// stream so readers can recover the schema.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if w.buf.Len() > 0 {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+func (w *Writer) writeHeader() error {
+	if w.header {
+		return nil
+	}
+	w.header = true
+	var hdr []byte
+	hdr = append(hdr, Magic...)
+	hdr = binary.AppendUvarint(hdr, uint64(w.sch.Len()))
+	for i := 0; i < w.sch.Len(); i++ {
+		f := w.sch.Field(i)
+		hdr = binary.AppendUvarint(hdr, uint64(len(f.Name)))
+		hdr = append(hdr, f.Name...)
+		hdr = append(hdr, byte(f.Kind))
+	}
+	_, err := w.w.Write(hdr)
+	return err
+}
+
+func (w *Writer) flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	f := w.buf
+	w.buf = schema.NewFrame(w.sch)
+
+	var out []byte
+	out = append(out, markerRowGroup)
+	out = binary.AppendUvarint(out, uint64(f.Len()))
+	out = binary.AppendUvarint(out, uint64(w.sch.Len()))
+	for c := 0; c < w.sch.Len(); c++ {
+		col := f.Col(c)
+		stats := computeStats(col)
+		out = appendStats(out, stats)
+
+		raw := encodeColumn(col)
+		w.RawBytes += int64(len(raw))
+		payload := raw
+		comp := w.opts.Compression
+		if comp == CompressFlate {
+			var zb bytes.Buffer
+			zw, err := flate.NewWriter(&zb, w.opts.FlateLevel)
+			if err != nil {
+				return fmt.Errorf("columnar: flate: %w", err)
+			}
+			if _, err := zw.Write(raw); err != nil {
+				return fmt.Errorf("columnar: flate write: %w", err)
+			}
+			if err := zw.Close(); err != nil {
+				return fmt.Errorf("columnar: flate close: %w", err)
+			}
+			if zb.Len() < len(raw) {
+				payload = zb.Bytes()
+			} else {
+				comp = CompressNone // incompressible chunk: store raw
+			}
+		}
+		w.CompressedBytes += int64(len(payload))
+		out = append(out, byte(comp))
+		out = binary.AppendUvarint(out, uint64(len(raw)))
+		out = binary.AppendUvarint(out, uint64(len(payload)))
+		out = append(out, payload...)
+	}
+	_, err := w.w.Write(out)
+	return err
+}
+
+// Encode serializes a frame into a standalone OCF buffer.
+func Encode(f *schema.Frame, opts WriterOptions) ([]byte, error) {
+	var b bytes.Buffer
+	w := NewWriter(&b, f.Schema(), opts)
+	if err := w.WriteFrame(f); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,231 @@
+// Package copacetic reproduces the paper's in-house cybersecurity
+// analytics tool (§VII-B): it consumes "a reliable feed of real-time
+// events and logs from non-homogeneous data sources provided by ODA
+// infrastructure" and "detects when certain specific combinations of
+// network availability, system state, and user behavior occur", alerting
+// administrative teams. Here a Rule combines event-pattern conditions
+// (evaluated against the log index) with state probes (arbitrary checks,
+// typically LAKE metric queries), all within a trailing window.
+package copacetic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"odakit/internal/logsearch"
+)
+
+// EventCond matches a class of events within the rule window.
+type EventCond struct {
+	// Terms are full-text terms that must all appear (AND).
+	Terms []string
+	// Severity restricts matches when non-empty.
+	Severity string
+	// MinCount is the number of matching events required (default 1).
+	MinCount int
+	// PerHost requires the count to occur on a single host when true
+	// (e.g. many failed sessions on one login node).
+	PerHost bool
+}
+
+// StateProbe checks non-event state (metric thresholds, availability).
+type StateProbe struct {
+	Name string
+	// Check returns whether the condition holds at the evaluation time,
+	// plus human-readable evidence.
+	Check func(now time.Time) (bool, string)
+}
+
+// Rule is one detection: every event condition and every probe must hold
+// within the trailing window for an alert to fire.
+type Rule struct {
+	Name        string
+	Description string
+	Window      time.Duration
+	Events      []EventCond
+	Probes      []StateProbe
+	Severity    string // alert severity: "notice", "warning", "critical"
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return errors.New("copacetic: rule needs a name")
+	}
+	if r.Window <= 0 {
+		return errors.New("copacetic: rule needs a positive window")
+	}
+	if len(r.Events) == 0 && len(r.Probes) == 0 {
+		return errors.New("copacetic: rule needs at least one condition")
+	}
+	return nil
+}
+
+// Alert is one fired detection.
+type Alert struct {
+	Rule     string
+	Severity string
+	At       time.Time
+	Evidence []string
+}
+
+// Engine evaluates rules against the log index. Safe for concurrent use.
+type Engine struct {
+	logs *logsearch.Index
+
+	mu     sync.Mutex
+	rules  map[string]Rule
+	fired  []Alert
+	checks int64
+}
+
+// NewEngine returns an engine reading the given log index.
+func NewEngine(logs *logsearch.Index) *Engine {
+	return &Engine{logs: logs, rules: make(map[string]Rule)}
+}
+
+// AddRule registers a detection rule.
+func (e *Engine) AddRule(r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rules[r.Name]; dup {
+		return fmt.Errorf("copacetic: duplicate rule %q", r.Name)
+	}
+	e.rules[r.Name] = r
+	return nil
+}
+
+// Rules lists registered rules sorted by name.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Rule, 0, len(e.rules))
+	for _, r := range e.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Evaluate checks every rule at `now` and returns (and records) alerts.
+func (e *Engine) Evaluate(now time.Time) []Alert {
+	var alerts []Alert
+	for _, r := range e.Rules() {
+		e.mu.Lock()
+		e.checks++
+		e.mu.Unlock()
+		if a, ok := e.evaluateRule(r, now); ok {
+			alerts = append(alerts, a)
+		}
+	}
+	if len(alerts) > 0 {
+		e.mu.Lock()
+		e.fired = append(e.fired, alerts...)
+		e.mu.Unlock()
+	}
+	return alerts
+}
+
+func (e *Engine) evaluateRule(r Rule, now time.Time) (Alert, bool) {
+	from := now.Add(-r.Window)
+	var evidence []string
+	for _, ec := range r.Events {
+		min := ec.MinCount
+		if min <= 0 {
+			min = 1
+		}
+		hits := e.logs.Search(logsearch.Query{
+			Terms: ec.Terms, Severity: ec.Severity,
+			From: from, To: now, Limit: 10000,
+		})
+		if ec.PerHost {
+			byHost := map[string]int{}
+			bestHost, best := "", 0
+			for _, h := range hits {
+				byHost[h.Host]++
+				if byHost[h.Host] > best {
+					best, bestHost = byHost[h.Host], h.Host
+				}
+			}
+			if best < min {
+				return Alert{}, false
+			}
+			evidence = append(evidence, fmt.Sprintf("%d x %v on %s", best, ec.Terms, bestHost))
+			continue
+		}
+		if len(hits) < min {
+			return Alert{}, false
+		}
+		evidence = append(evidence, fmt.Sprintf("%d x %v (need %d)", len(hits), ec.Terms, min))
+	}
+	for _, p := range r.Probes {
+		ok, ev := p.Check(now)
+		if !ok {
+			return Alert{}, false
+		}
+		evidence = append(evidence, p.Name+": "+ev)
+	}
+	return Alert{Rule: r.Name, Severity: r.Severity, At: now, Evidence: evidence}, true
+}
+
+// Alerts returns all alerts fired so far.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.fired...)
+}
+
+// Stats reports engine counters.
+type Stats struct {
+	Rules  int
+	Checks int64
+	Alerts int
+}
+
+// Stats returns current counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Rules: len(e.rules), Checks: e.checks, Alerts: len(e.fired)}
+}
+
+// DefaultRules are detections matching the synthetic facility's event
+// vocabulary — the "combinations of network availability, system state,
+// and user behavior" class the paper describes.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:        "session-burst",
+			Description: "unusually many sessions opened on one host in a short window (credential stuffing / scripted access)",
+			Window:      10 * time.Minute,
+			Events: []EventCond{
+				{Terms: []string{"session", "opened"}, MinCount: 5, PerHost: true},
+			},
+			Severity: "warning",
+		},
+		{
+			Name:        "link-instability-with-access",
+			Description: "network link flaps concurrent with interactive sessions: availability + user behavior combination",
+			Window:      15 * time.Minute,
+			Events: []EventCond{
+				{Terms: []string{"link", "flap"}, Severity: "error", MinCount: 2},
+				{Terms: []string{"session", "opened"}, MinCount: 1},
+			},
+			Severity: "notice",
+		},
+		{
+			Name:        "hardware-error-storm",
+			Description: "burst of hardware error events across the machine (possible tamper or cascading failure)",
+			Window:      5 * time.Minute,
+			Events: []EventCond{
+				{Severity: "error", MinCount: 10},
+			},
+			Severity: "critical",
+		},
+	}
+}

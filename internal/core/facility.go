@@ -1,0 +1,306 @@
+// Package core assembles the substrates into the paper's end-to-end ODA
+// framework: one Facility owns the STREAM broker, LAKE stores, OCEAN
+// object store, GLACIER archive, the application platform, the medallion
+// registry, governance, ML pipeline, and reporting (Fig 5), and drives
+// the data life cycle of Fig 1 — collection → engineering/management →
+// discovery/analysis → visualization/reporting → advanced usage →
+// governance/distribution — over synthetic facility telemetry.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"odakit/internal/archive"
+	"odakit/internal/catalog"
+	"odakit/internal/columnar"
+	"odakit/internal/governance"
+	"odakit/internal/jobsched"
+	"odakit/internal/logsearch"
+	"odakit/internal/medallion"
+	"odakit/internal/mlops"
+	"odakit/internal/objstore"
+	"odakit/internal/platform"
+	"odakit/internal/report"
+	"odakit/internal/schema"
+	"odakit/internal/stream"
+	"odakit/internal/telemetry"
+	"odakit/internal/tsdb"
+)
+
+// Buckets in the OCEAN tier.
+const (
+	BucketBronze = "bronze"
+	BucketSilver = "silver"
+	BucketGold   = "gold"
+)
+
+// BronzeTopic returns the broker topic name for a source's raw stream.
+func BronzeTopic(src telemetry.Source) string { return "bronze." + string(src) }
+
+// Options configures a Facility.
+type Options struct {
+	// System describes the simulated machine (defaults to a 32-node
+	// scaled Frontier-like system, seed 1).
+	System telemetry.SystemConfig
+	// Schedule supplies job context; when nil a schedule is simulated
+	// over [ScheduleFrom, ScheduleTo).
+	Schedule     *jobsched.Schedule
+	ScheduleFrom time.Time
+	ScheduleTo   time.Time
+	WorkloadSeed int64
+	// Workload overrides the simulated job mix (WorkloadSeed is ignored
+	// when set). Only used when Schedule is nil.
+	Workload *jobsched.WorkloadConfig
+	// DataDir persists OCEAN objects when non-empty.
+	DataDir string
+	// SilverWindow is the Bronze→Silver aggregation interval (default 15s).
+	SilverWindow time.Duration
+	// TopicPartitions sets broker partitioning (default 4).
+	TopicPartitions int
+	// StreamRetentionBytes bounds the broker footprint per partition
+	// (default 64 MiB).
+	StreamRetentionBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.System.Name == "" {
+		o.System = telemetry.FrontierLike(1).Scaled(32)
+	}
+	if o.SilverWindow <= 0 {
+		o.SilverWindow = 15 * time.Second
+	}
+	if o.TopicPartitions <= 0 {
+		o.TopicPartitions = 4
+	}
+	if o.StreamRetentionBytes <= 0 {
+		o.StreamRetentionBytes = 64 << 20
+	}
+	if o.ScheduleFrom.IsZero() {
+		o.ScheduleFrom = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC).Add(-2 * time.Hour)
+	}
+	if o.ScheduleTo.IsZero() || !o.ScheduleTo.After(o.ScheduleFrom) {
+		o.ScheduleTo = o.ScheduleFrom.Add(8 * time.Hour)
+	}
+	return o
+}
+
+// Facility is the one-stop shop of Fig 5: every data service plus the
+// telemetry-producing system, wired and ready.
+type Facility struct {
+	Opts  Options
+	Gen   *telemetry.Generator
+	Sched *jobsched.Schedule
+
+	Broker  *stream.Broker     // STREAM tier
+	Lake    *tsdb.DB           // LAKE: time-series store
+	Logs    *logsearch.Index   // LAKE: log search
+	Ocean   *objstore.Store    // OCEAN tier
+	Glacier *archive.Archive   // GLACIER tier
+	Apps    *platform.Platform // Slate-like app platform
+
+	Datasets *medallion.Registry
+	Dict     *catalog.Dictionary
+	Matrix   *catalog.Matrix
+	DataRUC  *governance.Workflow
+	ML       *mlops.Pipeline
+	Rats     *report.RATS
+}
+
+// NewFacility builds and wires a facility.
+func NewFacility(opts Options) (*Facility, error) {
+	opts = opts.withDefaults()
+	sched := opts.Schedule
+	if sched == nil {
+		wl := jobsched.WorkloadConfig{Seed: opts.WorkloadSeed}
+		if opts.Workload != nil {
+			wl = *opts.Workload
+		}
+		sim := jobsched.New(jobsched.Config{
+			Nodes: opts.System.Nodes, System: opts.System.Name, Workload: wl,
+		})
+		sched = sim.Run(opts.ScheduleFrom, opts.ScheduleTo)
+	}
+	ocean, err := objstore.New(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []string{BucketBronze, BucketSilver, BucketGold} {
+		if err := ocean.EnsureBucket(b); err != nil {
+			return nil, err
+		}
+	}
+	ml, err := mlops.New(ocean)
+	if err != nil {
+		return nil, err
+	}
+	f := &Facility{
+		Opts:     opts,
+		Gen:      telemetry.NewGenerator(opts.System, sched),
+		Sched:    sched,
+		Broker:   stream.NewBroker(),
+		Lake:     tsdb.New(tsdb.Options{RollupInterval: opts.SilverWindow}),
+		Logs:     logsearch.New(),
+		Ocean:    ocean,
+		Glacier:  archive.New(),
+		Apps:     platform.New(platform.Resources{CPUCores: 512, MemoryGB: 4096, StorageGB: 65536}),
+		Datasets: medallion.NewRegistry(),
+		Dict:     catalog.NewDictionary(),
+		DataRUC:  governance.NewWorkflow(),
+		ML:       ml,
+		Rats:     report.New(),
+	}
+	for _, src := range telemetry.MetricSources {
+		if err := f.Broker.EnsureTopic(BronzeTopic(src), stream.TopicConfig{
+			Partitions: opts.TopicPartitions, RetentionBytes: opts.StreamRetentionBytes,
+		}); err != nil {
+			return nil, err
+		}
+		f.Datasets.Register(string(src)+"_bronze", medallion.Bronze, schema.ObservationSchema)
+	}
+	if err := f.Broker.EnsureTopic(BronzeTopic(telemetry.SourceSyslog), stream.TopicConfig{
+		Partitions: opts.TopicPartitions, RetentionBytes: opts.StreamRetentionBytes,
+	}); err != nil {
+		return nil, err
+	}
+	f.Datasets.Register("syslog_bronze", medallion.Bronze, schema.EventSchema)
+	f.Rats.Ingest(report.FromSchedule(sched))
+	return f, nil
+}
+
+// Close shuts down facility services.
+func (f *Facility) Close() { f.Broker.Close() }
+
+// SourceIngest summarizes one source's ingest volume.
+type SourceIngest struct {
+	Source  telemetry.Source
+	Records int64
+	Bytes   int64
+}
+
+// IngestStats summarizes an IngestWindow call: the Fig 4-a numbers.
+type IngestStats struct {
+	From, To  time.Time
+	Sources   []SourceIngest
+	Events    int64
+	TotalRecs int64
+	TotalByte int64
+}
+
+// IngestWindow generates telemetry for [from, to) and lands it: numeric
+// observations go to the per-source bronze topics AND the LAKE rollup
+// store (the real-time path); syslog events go to the log index and the
+// syslog topic. It returns per-source volumes.
+func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source) (IngestStats, error) {
+	if len(sources) == 0 {
+		sources = telemetry.MetricSources
+	}
+	stats := IngestStats{From: from, To: to}
+	for _, src := range sources {
+		si := SourceIngest{Source: src}
+		topic := BronzeTopic(src)
+		err := f.Gen.EmitSource(src, from, to, func(o schema.Observation) error {
+			payload := schema.EncodeRow(o.Row())
+			if _, _, err := f.Broker.Publish(topic, []byte(o.Component), payload); err != nil {
+				return err
+			}
+			f.Lake.Insert(o)
+			si.Records++
+			si.Bytes += int64(len(payload))
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("core: ingest %s: %w", src, err)
+		}
+		_ = f.Datasets.Record(string(src)+"_bronze", si.Records, si.Bytes, to)
+		stats.Sources = append(stats.Sources, si)
+		stats.TotalRecs += si.Records
+		stats.TotalByte += si.Bytes
+	}
+	// Syslog events.
+	err := f.Gen.EmitEvents(from, to, func(e schema.Event) error {
+		f.Logs.Add(e)
+		payload := schema.EncodeRow(e.Row())
+		if _, _, err := f.Broker.Publish(BronzeTopic(telemetry.SourceSyslog), []byte(e.Host), payload); err != nil {
+			return err
+		}
+		stats.Events++
+		stats.TotalByte += int64(len(payload))
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("core: ingest events: %w", err)
+	}
+	// Scheduler events land in the log index too (Fig 6 joins them).
+	for _, e := range f.Sched.Events() {
+		if !e.Ts.Before(from) && e.Ts.Before(to) {
+			f.Logs.Add(e)
+			stats.Events++
+		}
+	}
+	_ = f.Datasets.Record("syslog_bronze", stats.Events, 0, to)
+	stats.TotalRecs += stats.Events
+	return stats, nil
+}
+
+// ExtrapolateDaily scales measured ingest bytes to the full-size system's
+// bytes/day — how laptop-scale measurements reproduce the paper's
+// 4.2-4.5 TB/day headline (Fig 4-a).
+func (f *Facility) ExtrapolateDaily(stats IngestStats, fullScale telemetry.SystemConfig) map[telemetry.Source]float64 {
+	out := make(map[telemetry.Source]float64, len(stats.Sources))
+	window := stats.To.Sub(stats.From)
+	if window <= 0 {
+		return out
+	}
+	for _, si := range stats.Sources {
+		if si.Records == 0 {
+			continue
+		}
+		bytesPerRecord := float64(si.Bytes) / float64(si.Records)
+		spec, ok := fullScale.Spec(si.Source)
+		if !ok {
+			continue
+		}
+		out[si.Source] = spec.RecordsPerDay() * bytesPerRecord
+	}
+	return out
+}
+
+// RetentionStats reports one retention sweep across the hot tiers.
+type RetentionStats struct {
+	LakeRowsOffloaded   int
+	LakeSegmentsDropped int
+	LogSegmentsDropped  int
+	OceanExpired        int
+	GlacierFrozen       int
+}
+
+// ApplyRetention enforces the Fig 5 retention ladder at `now`: aged LAKE
+// rollups are offloaded to OCEAN (the lake_rollups/ history objects),
+// then LAKE and log segments older than lakeAge are dropped; OCEAN bronze
+// objects past their lifecycle freeze into GLACIER.
+func (f *Facility) ApplyRetention(now time.Time, lakeAge time.Duration) (RetentionStats, error) {
+	var st RetentionStats
+	cutoff := now.Add(-lakeAge)
+	// Offload before dropping: history stays queryable from OCEAN.
+	if rollups, err := f.Lake.Export(cutoff); err == nil && rollups.Len() > 0 {
+		data, err := columnar.Encode(rollups, columnar.WriterOptions{})
+		if err != nil {
+			return st, err
+		}
+		key := "lake_rollups/" + cutoff.UTC().Format("2006-01-02T15") + ".ocf"
+		if _, err := f.Ocean.Append(BucketSilver, key, data); err != nil {
+			return st, err
+		}
+		st.LakeRowsOffloaded = rollups.Len()
+	}
+	st.LakeSegmentsDropped = f.Lake.Retain(cutoff)
+	st.LogSegmentsDropped = f.Logs.Retain(cutoff)
+	expired, err := f.Ocean.ApplyLifecycle(func(info objstore.ObjectInfo, data []byte) error {
+		f.Glacier.Freeze(info.Bucket+"/"+info.Key, data)
+		st.GlacierFrozen++
+		return nil
+	})
+	st.OceanExpired = expired
+	return st, err
+}

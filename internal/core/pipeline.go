@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odakit/internal/columnar"
+	"odakit/internal/medallion"
+	"odakit/internal/schema"
+	"odakit/internal/sproc"
+	"odakit/internal/telemetry"
+)
+
+// The Bronze→Silver→Gold pipelines of Fig 4-b, in both the streaming form
+// (a sproc job with windowed aggregation, pivot, and contextualization)
+// and the batch/backfill form (§VI-B).
+
+// SilverObjectKey is the OCEAN key Silver data for a source appends to.
+func SilverObjectKey(src telemetry.Source) string { return string(src) + "/silver.ocf" }
+
+// SilverPipelineConfig tunes a streaming Silver pipeline.
+type SilverPipelineConfig struct {
+	Source telemetry.Source
+	// Group names the consumer group (defaults to "silver-<source>").
+	Group string
+	// CheckpointDir enables crash recovery.
+	CheckpointDir string
+}
+
+// NewSilverJob builds (without running) the streaming Bronze→Silver job
+// for a source: 15 s windowed averages, pivoted wide, contextualized with
+// job allocations, appended to the source's OCEAN Silver object.
+func (f *Facility) NewSilverJob(cfg SilverPipelineConfig) (*sproc.Job, error) {
+	if cfg.Group == "" {
+		cfg.Group = "silver-" + string(cfg.Source)
+	}
+	job, err := sproc.NewJob(f.Broker, sproc.JobConfig{
+		Name: "silver-" + string(cfg.Source), Topic: BronzeTopic(cfg.Source),
+		Group: cfg.Group, InputSchema: schema.ObservationSchema,
+		CheckpointDir: cfg.CheckpointDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec, pivot := medallion.SilverizeConfig{Window: f.Opts.SilverWindow}.WindowStages()
+	dataset := string(cfg.Source) + "_silver"
+	f.Datasets.Register(dataset, medallion.Silver, nil)
+	job.Window(spec).
+		MapBatch(pivot).
+		MapBatch(func(fr *schema.Frame) (*schema.Frame, error) {
+			return medallion.Contextualize(fr, f.Sched)
+		}).
+		To(func(fr *schema.Frame) error {
+			data, err := columnar.Encode(fr, columnar.WriterOptions{})
+			if err != nil {
+				return err
+			}
+			if _, err := f.Ocean.Append(BucketSilver, SilverObjectKey(cfg.Source), data); err != nil {
+				return err
+			}
+			return f.Datasets.Record(dataset, int64(fr.Len()), int64(len(data)), time.Now())
+		})
+	return job, nil
+}
+
+// DrainSilver runs the streaming Silver pipeline until the bronze topic
+// is fully consumed, flushing every window (the test/backfill mode).
+func (f *Facility) DrainSilver(ctx context.Context, cfg SilverPipelineConfig) (sproc.Metrics, error) {
+	job, err := f.NewSilverJob(cfg)
+	if err != nil {
+		return sproc.Metrics{}, err
+	}
+	if err := job.Drain(ctx); err != nil {
+		return job.Metrics(), err
+	}
+	return job.Metrics(), nil
+}
+
+// ReadSilver loads a source's Silver frame back from OCEAN, optionally
+// restricted to a time range via columnar predicate pushdown.
+func (f *Facility) ReadSilver(src telemetry.Source, from, to time.Time) (*schema.Frame, error) {
+	data, _, err := f.Ocean.Get(BucketSilver, SilverObjectKey(src))
+	if err != nil {
+		return nil, err
+	}
+	fr, err := columnar.NewFileReader(data)
+	if err != nil {
+		return nil, err
+	}
+	if from.IsZero() && to.IsZero() {
+		return columnar.ReadAll(data)
+	}
+	pred := columnar.Predicate{Col: "window"}
+	if !from.IsZero() {
+		pred.Min = schema.Time(from)
+	}
+	if !to.IsZero() {
+		pred.Max = schema.Time(to)
+	}
+	res, err := fr.Scan(pred)
+	if err != nil {
+		return nil, err
+	}
+	return res.Frame, nil
+}
+
+// ReadSilverColumns is ReadSilver with projection pushdown: only the
+// named columns (plus the window predicate column) are decoded — the
+// access path interactive views use on wide Silver objects.
+func (f *Facility) ReadSilverColumns(src telemetry.Source, columns []string, from, to time.Time) (*schema.Frame, error) {
+	data, _, err := f.Ocean.Get(BucketSilver, SilverObjectKey(src))
+	if err != nil {
+		return nil, err
+	}
+	fr, err := columnar.NewFileReader(data)
+	if err != nil {
+		return nil, err
+	}
+	var preds []columnar.Predicate
+	if !from.IsZero() || !to.IsZero() {
+		pred := columnar.Predicate{Col: "window"}
+		if !from.IsZero() {
+			pred.Min = schema.Time(from)
+		}
+		if !to.IsZero() {
+			pred.Max = schema.Time(to)
+		}
+		preds = append(preds, pred)
+	}
+	res, err := fr.ScanColumns(columns, preds...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Frame, nil
+}
+
+// BatchSilverize is the backfill path (§VI-B): regenerate a window of
+// Bronze from the deterministic telemetry source and refine it in one
+// batch, without the broker. Returns the contextualized Silver frame.
+func (f *Facility) BatchSilverize(src telemetry.Source, from, to time.Time, metrics []string) (*schema.Frame, error) {
+	bronze := schema.NewFrame(schema.ObservationSchema)
+	err := f.Gen.EmitSource(src, from, to, func(o schema.Observation) error {
+		return bronze.AppendRow(o.Row())
+	})
+	if err != nil {
+		return nil, err
+	}
+	silver, err := medallion.SilverizeBatch(bronze, medallion.SilverizeConfig{
+		Window: f.Opts.SilverWindow, Metrics: metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return medallion.Contextualize(silver, f.Sched)
+}
+
+// GoldArtifacts are the analysis-ready outputs of one Gold build.
+type GoldArtifacts struct {
+	Profiles     []medallion.JobProfile
+	SystemSeries *schema.Frame
+	// ProfilesKey / SeriesKey are the OCEAN gold objects written.
+	ProfilesKey string
+	SeriesKey   string
+}
+
+// BuildGold distills Gold artifacts from a source's Silver data: job
+// power profiles (the Fig 10 features) and the system power series (the
+// Fig 8 left panel), both persisted to the gold bucket.
+func (f *Facility) BuildGold(src telemetry.Source, powerCol string, dim int) (*GoldArtifacts, error) {
+	silver, err := f.ReadSilver(src, time.Time{}, time.Time{})
+	if err != nil {
+		return nil, fmt.Errorf("core: gold build needs silver data: %w", err)
+	}
+	profiles, err := medallion.ExtractJobProfiles(silver, powerCol, f.Sched, dim)
+	if err != nil {
+		return nil, err
+	}
+	series, err := medallion.SystemSeries(silver, powerCol, sproc.AggSum)
+	if err != nil {
+		return nil, err
+	}
+	ga := &GoldArtifacts{
+		Profiles: profiles, SystemSeries: series,
+		ProfilesKey: string(src) + "/job_profiles.rows",
+		SeriesKey:   string(src) + "/system_power.ocf",
+	}
+	// Persist: profiles as encoded rows, series as OCF.
+	var buf []byte
+	for _, p := range profiles {
+		row := schema.Row{
+			schema.Str(p.JobID), schema.Str(p.Program),
+			schema.Float(p.MeanPowerW), schema.Float(p.PeakPowerW), schema.Float(p.EnergyKWh),
+		}
+		buf = schema.AppendRow(buf, row)
+	}
+	if _, err := f.Ocean.Put(BucketGold, ga.ProfilesKey, buf); err != nil {
+		return nil, err
+	}
+	seriesData, err := columnar.Encode(series, columnar.WriterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Ocean.Put(BucketGold, ga.SeriesKey, seriesData); err != nil {
+		return nil, err
+	}
+	f.Datasets.Register(string(src)+"_gold", medallion.Gold, nil)
+	_ = f.Datasets.Record(string(src)+"_gold", int64(len(profiles)+series.Len()), int64(len(buf)+len(seriesData)), time.Now())
+	return ga, nil
+}

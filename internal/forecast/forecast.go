@@ -1,0 +1,156 @@
+// Package forecast provides time-series forecasting for operational KPIs:
+// the paper's §VIII frames ML models as "proxies for the actual system,
+// enabling predictive or prescriptive analytics through forecasting and
+// optimization", citing LSTM-based power-KPI forecasters. This package
+// substitutes a transparent classical model — Holt-Winters triple
+// exponential smoothing — which handles the level, trend, and strong
+// daily seasonality of facility power with no training infrastructure.
+package forecast
+
+import (
+	"errors"
+	"math"
+)
+
+// HoltWinters is an additive triple-exponential-smoothing model.
+type HoltWinters struct {
+	// Alpha, Beta, Gamma are the level/trend/seasonal smoothing factors
+	// in (0, 1).
+	Alpha, Beta, Gamma float64
+	// SeasonLength is the number of samples per seasonal cycle
+	// (e.g. 24 for hourly data with daily seasonality).
+	SeasonLength int
+
+	level    float64
+	trend    float64
+	seasonal []float64
+	fitted   bool
+}
+
+// Errors returned by the model.
+var (
+	ErrNotFitted = errors.New("forecast: model not fitted")
+	ErrBadConfig = errors.New("forecast: bad configuration")
+	ErrShortData = errors.New("forecast: need at least two full seasons")
+)
+
+// NewHoltWinters returns a model with the given smoothing factors.
+func NewHoltWinters(alpha, beta, gamma float64, seasonLength int) (*HoltWinters, error) {
+	if alpha <= 0 || alpha >= 1 || beta <= 0 || beta >= 1 || gamma <= 0 || gamma >= 1 {
+		return nil, errors.Join(ErrBadConfig, errors.New("smoothing factors must be in (0,1)"))
+	}
+	if seasonLength < 2 {
+		return nil, errors.Join(ErrBadConfig, errors.New("season length must be >= 2"))
+	}
+	return &HoltWinters{Alpha: alpha, Beta: beta, Gamma: gamma, SeasonLength: seasonLength}, nil
+}
+
+// Fit estimates level, trend, and seasonal components from history,
+// which must cover at least two full seasons.
+func (h *HoltWinters) Fit(series []float64) error {
+	m := h.SeasonLength
+	if len(series) < 2*m {
+		return ErrShortData
+	}
+	// Initial level: mean of the first season. Initial trend: mean
+	// per-step change between the first two seasons.
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += series[i]
+		s2 += series[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	h.level = s1
+	h.trend = (s2 - s1) / float64(m)
+	// Initial seasonal components: first-season deviations from its mean.
+	h.seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		h.seasonal[i] = series[i] - s1
+	}
+	h.fitted = true
+	// Run the smoothing recursions over the rest of the history.
+	for i := m; i < len(series); i++ {
+		h.Update(series[i], i)
+	}
+	return nil
+}
+
+// Update folds one new observation into the model state. idx is the
+// observation's position in the series (it selects the seasonal slot).
+func (h *HoltWinters) Update(value float64, idx int) {
+	if !h.fitted {
+		return
+	}
+	m := h.SeasonLength
+	si := idx % m
+	prevLevel := h.level
+	h.level = h.Alpha*(value-h.seasonal[si]) + (1-h.Alpha)*(h.level+h.trend)
+	h.trend = h.Beta*(h.level-prevLevel) + (1-h.Beta)*h.trend
+	h.seasonal[si] = h.Gamma*(value-h.level) + (1-h.Gamma)*h.seasonal[si]
+}
+
+// Forecast predicts the next `steps` values after the last observation at
+// position lastIdx.
+func (h *HoltWinters) Forecast(lastIdx, steps int) ([]float64, error) {
+	if !h.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, steps)
+	m := h.SeasonLength
+	for k := 1; k <= steps; k++ {
+		out[k-1] = h.level + float64(k)*h.trend + h.seasonal[(lastIdx+k)%m]
+	}
+	return out, nil
+}
+
+// Backtest fits on the first len-holdout points and forecasts the rest,
+// returning MAPE and RMSE against the held-out tail — the validation a
+// KPI forecaster reports before anyone trusts it.
+func Backtest(series []float64, holdout int, alpha, beta, gamma float64, seasonLength int) (mape, rmse float64, err error) {
+	if holdout <= 0 || holdout >= len(series) {
+		return 0, 0, errors.Join(ErrBadConfig, errors.New("holdout must be within the series"))
+	}
+	train := series[:len(series)-holdout]
+	test := series[len(series)-holdout:]
+	h, err := NewHoltWinters(alpha, beta, gamma, seasonLength)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := h.Fit(train); err != nil {
+		return 0, 0, err
+	}
+	pred, err := h.Forecast(len(train)-1, holdout)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sumAPE, sumSq float64
+	n := 0
+	for i, want := range test {
+		d := pred[i] - want
+		sumSq += d * d
+		if want != 0 {
+			sumAPE += math.Abs(d) / math.Abs(want)
+			n++
+		}
+	}
+	if n > 0 {
+		mape = sumAPE / float64(n)
+	}
+	rmse = math.Sqrt(sumSq / float64(len(test)))
+	return mape, rmse, nil
+}
+
+// NaiveSeasonal is the baseline forecaster: repeat the last season. Any
+// model that cannot beat it is not worth operating.
+func NaiveSeasonal(series []float64, seasonLength, steps int) ([]float64, error) {
+	if len(series) < seasonLength {
+		return nil, ErrShortData
+	}
+	last := series[len(series)-seasonLength:]
+	out := make([]float64, steps)
+	for k := 0; k < steps; k++ {
+		out[k] = last[k%seasonLength]
+	}
+	return out, nil
+}

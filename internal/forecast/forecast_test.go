@@ -1,0 +1,168 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthetic daily-seasonal power series: level + slow trend + sine season
+// + noise — the shape of a facility power KPI.
+func syntheticKPI(n, season int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		seasonal := 2000 * math.Sin(2*math.Pi*float64(i%season)/float64(season))
+		out[i] = 20000 + 2*float64(i) + seasonal + rng.NormFloat64()*100
+	}
+	return out
+}
+
+func TestNewHoltWintersValidation(t *testing.T) {
+	bad := [][4]float64{
+		{0, 0.1, 0.1, 24}, {1, 0.1, 0.1, 24}, {0.1, 0, 0.1, 24},
+		{0.1, 0.1, 1.5, 24}, {0.1, 0.1, 0.1, 1},
+	}
+	for _, c := range bad {
+		if _, err := NewHoltWinters(c[0], c[1], c[2], int(c[3])); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("config %v accepted", c)
+		}
+	}
+	if _, err := NewHoltWinters(0.3, 0.05, 0.2, 24); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitRequiresTwoSeasons(t *testing.T) {
+	h, _ := NewHoltWinters(0.3, 0.05, 0.2, 24)
+	if err := h.Fit(make([]float64, 40)); !errors.Is(err, ErrShortData) {
+		t.Fatalf("short fit: %v", err)
+	}
+	if _, err := h.Forecast(0, 5); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("forecast before fit: %v", err)
+	}
+}
+
+func TestForecastTracksSeasonAndTrend(t *testing.T) {
+	season := 24
+	series := syntheticKPI(24*14, season, 3) // two weeks of hourly data
+	h, _ := NewHoltWinters(0.3, 0.05, 0.2, season)
+	if err := h.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 24
+	pred, err := h.Forecast(len(series)-1, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := syntheticKPI(24*14+horizon, season, 3)[len(series):]
+	var sumAPE float64
+	for i := range pred {
+		sumAPE += math.Abs(pred[i]-truth[i]) / truth[i]
+	}
+	mape := sumAPE / float64(horizon)
+	if mape > 0.03 {
+		t.Fatalf("24h-ahead MAPE = %.4f, want under 3%%", mape)
+	}
+}
+
+func TestBacktestBeatsNaiveBaseline(t *testing.T) {
+	season := 24
+	series := syntheticKPI(24*14, season, 7)
+	holdout := 48
+	mape, rmse, err := Backtest(series, holdout, 0.3, 0.05, 0.2, season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape <= 0 || rmse <= 0 {
+		t.Fatalf("degenerate backtest: mape=%v rmse=%v", mape, rmse)
+	}
+	// Naive baseline on the same split: with a real trend, repeating the
+	// last season must lose to Holt-Winters.
+	train := series[:len(series)-holdout]
+	test := series[len(series)-holdout:]
+	naive, err := NaiveSeasonal(train, season, holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveSq float64
+	for i := range test {
+		d := naive[i] - test[i]
+		naiveSq += d * d
+	}
+	naiveRMSE := math.Sqrt(naiveSq / float64(holdout))
+	if rmse >= naiveRMSE {
+		t.Fatalf("HW RMSE %.1f did not beat naive %.1f", rmse, naiveRMSE)
+	}
+}
+
+func TestBacktestValidation(t *testing.T) {
+	series := syntheticKPI(100, 24, 1)
+	if _, _, err := Backtest(series, 0, 0.3, 0.05, 0.2, 24); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero holdout accepted")
+	}
+	if _, _, err := Backtest(series, 200, 0.3, 0.05, 0.2, 24); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("oversized holdout accepted")
+	}
+	if _, _, err := Backtest(series, 80, 0.3, 0.05, 0.2, 24); !errors.Is(err, ErrShortData) {
+		t.Fatal("insufficient training data accepted")
+	}
+}
+
+func TestNaiveSeasonal(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6}
+	out, err := NaiveSeasonal(series, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 5, 6, 4, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("naive[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := NaiveSeasonal([]float64{1}, 3, 2); !errors.Is(err, ErrShortData) {
+		t.Fatal("short naive accepted")
+	}
+}
+
+func TestOnlineUpdateMatchesRefit(t *testing.T) {
+	season := 12
+	series := syntheticKPI(season*6, season, 11)
+	// Fit on everything at once.
+	full, _ := NewHoltWinters(0.3, 0.05, 0.2, season)
+	if err := full.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	// Fit on a prefix, then stream the rest via Update.
+	cut := season * 3
+	inc, _ := NewHoltWinters(0.3, 0.05, 0.2, season)
+	if err := inc.Fit(series[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < len(series); i++ {
+		inc.Update(series[i], i)
+	}
+	pf, _ := full.Forecast(len(series)-1, 6)
+	pi, _ := inc.Forecast(len(series)-1, 6)
+	for i := range pf {
+		if math.Abs(pf[i]-pi[i]) > 1e-6 {
+			t.Fatalf("online and batch forecasts diverge: %v vs %v", pf[i], pi[i])
+		}
+	}
+}
+
+func BenchmarkFitAndForecast(b *testing.B) {
+	series := syntheticKPI(24*30, 24, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, _ := NewHoltWinters(0.3, 0.05, 0.2, 24)
+		if err := h.Fit(series); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Forecast(len(series)-1, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

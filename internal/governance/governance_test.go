@@ -1,0 +1,342 @@
+package governance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+var now = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func clockWorkflow() (*Workflow, *time.Time) {
+	w := NewWorkflow()
+	clock := now
+	w.SetClock(func() time.Time { return clock })
+	return w, &clock
+}
+
+func TestStagesTableII(t *testing.T) {
+	stages := Stages()
+	if len(stages) != 5 {
+		t.Fatalf("advisory chain has %d stages, want 5", len(stages))
+	}
+	want := []string{"data_owner", "cyber_security", "legal", "irb", "management"}
+	for i, s := range stages {
+		if s.String() != want[i] {
+			t.Fatalf("stage %d = %s, want %s", i, s, want[i])
+		}
+		if s.Consideration() == "unknown" || s.Consideration() == "" {
+			t.Fatalf("stage %s lacks a consideration", s)
+		}
+	}
+	if Stage(99).String() != "stage(99)" || Stage(99).Consideration() != "unknown" {
+		t.Fatal("unknown stage fallback wrong")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	w, _ := clockWorkflow()
+	if _, err := w.Submit("", "proj", "p", []string{"d"}, InternalUse); err == nil {
+		t.Fatal("missing requester accepted")
+	}
+	if _, err := w.Submit("alice", "proj", "p", nil, InternalUse); err == nil {
+		t.Fatal("missing datasets accepted")
+	}
+	id, err := w.Submit("alice", "energy", "study power", []string{"power_silver"}, InternalUse)
+	if err != nil || !strings.HasPrefix(id, "RUC-") {
+		t.Fatalf("submit = %q, %v", id, err)
+	}
+}
+
+func approveThrough(t *testing.T, w *Workflow, id string, stages []Stage) {
+	t.Helper()
+	for _, s := range stages {
+		if _, err := w.Decide(id, s, "rev-"+s.String(), true, "ok"); err != nil {
+			t.Fatalf("stage %s: %v", s, err)
+		}
+	}
+}
+
+func TestInternalUseSkipsIRBAndManagement(t *testing.T) {
+	w, _ := clockWorkflow()
+	id, _ := w.Submit("alice", "energy", "internal analysis", []string{"power_silver"}, InternalUse)
+	approveThrough(t, w, id, []Stage{StageDataOwner, StageCyberSecurity, StageLegal})
+	r, _ := w.Get(id)
+	if r.Status != StatusApproved {
+		t.Fatalf("status = %v after legal approval, want approved", r.Status)
+	}
+	if len(r.Decisions) != 3 {
+		t.Fatalf("decisions = %d", len(r.Decisions))
+	}
+	// Internal requests cannot be publicly released.
+	if _, err := w.Release(id); err == nil {
+		t.Fatal("internal release accepted")
+	}
+}
+
+func TestPublicationFullChainAndRelease(t *testing.T) {
+	w, clock := clockWorkflow()
+	id, _ := w.Submit("bob", "io-study", "release darshan data", []string{"darshan_2024"}, Publication)
+	approveThrough(t, w, id, Stages())
+	r, _ := w.Get(id)
+	if r.Status != StatusApproved {
+		t.Fatalf("status = %v", r.Status)
+	}
+	*clock = clock.Add(time.Hour)
+	rel, err := w.Release(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rel.ReleaseID, "DOI-") || rel.RequestID != id {
+		t.Fatalf("release = %+v", rel)
+	}
+	r, _ = w.Get(id)
+	if r.Status != StatusReleased || r.ReleaseID != rel.ReleaseID {
+		t.Fatalf("request after release = %+v", r)
+	}
+	rels := w.Releases()
+	if len(rels) != 1 || !rels[0].At.Equal(now.Add(time.Hour)) {
+		t.Fatalf("releases = %+v", rels)
+	}
+	// Double release fails.
+	if _, err := w.Release(id); !errors.Is(err, ErrNotApproved) {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestOutOfOrderDecisionRejected(t *testing.T) {
+	w, _ := clockWorkflow()
+	id, _ := w.Submit("carol", "proj", "p", []string{"d"}, Publication)
+	if _, err := w.Decide(id, StageLegal, "rev", true, ""); !errors.Is(err, ErrWrongStage) {
+		t.Fatalf("out of order decision: %v", err)
+	}
+	if _, err := w.Decide("RUC-9999", StageDataOwner, "rev", true, ""); !errors.Is(err, ErrNoRequest) {
+		t.Fatalf("ghost request: %v", err)
+	}
+}
+
+func TestRejectionTerminates(t *testing.T) {
+	w, _ := clockWorkflow()
+	id, _ := w.Submit("dave", "proj", "p", []string{"d"}, ExternalCollab)
+	if _, err := w.Decide(id, StageDataOwner, "owner", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Decide(id, StageCyberSecurity, "cyber", false, "PII risk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusRejected {
+		t.Fatalf("status = %v", r.Status)
+	}
+	// No further decisions or release.
+	if _, err := w.Decide(id, StageLegal, "legal", true, ""); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("decide after rejection: %v", err)
+	}
+	if _, err := w.Release(id); !errors.Is(err, ErrNotApproved) {
+		t.Fatalf("release after rejection: %v", err)
+	}
+}
+
+func TestListAndAudit(t *testing.T) {
+	w, _ := clockWorkflow()
+	id1, _ := w.Submit("a", "p1", "x", []string{"d"}, InternalUse)
+	id2, _ := w.Submit("b", "p2", "y", []string{"d"}, Publication)
+	list := w.List()
+	if len(list) != 2 || list[0].ID != id1 || list[1].ID != id2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if _, err := w.Get("nope"); !errors.Is(err, ErrNoRequest) {
+		t.Fatal("ghost get resolved")
+	}
+	// Decisions carry reviewer, time, and note: the audit trail.
+	_, _ = w.Decide(id1, StageDataOwner, "owner1", true, "fine")
+	r, _ := w.Get(id1)
+	d := r.Decisions[0]
+	if d.Reviewer != "owner1" || d.Note != "fine" || !d.At.Equal(now) {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestPseudonymize(t *testing.T) {
+	a1 := Pseudonymize("salt1", "user07")
+	a2 := Pseudonymize("salt1", "user07")
+	b := Pseudonymize("salt1", "user08")
+	c := Pseudonymize("salt2", "user07")
+	if a1 != a2 {
+		t.Fatal("pseudonyms must be stable")
+	}
+	if a1 == b {
+		t.Fatal("different identities must differ")
+	}
+	if a1 == c {
+		t.Fatal("different salts must not be joinable")
+	}
+	if !strings.HasPrefix(a1, "anon-") {
+		t.Fatalf("pseudonym = %q", a1)
+	}
+}
+
+func TestScrubText(t *testing.T) {
+	in := "session for user07 (uid=5012) from 10.12.0.42, contact bob@ornl.gov"
+	out := ScrubText(in)
+	if strings.Contains(out, "user07") || strings.Contains(out, "10.12.0.42") || strings.Contains(out, "@") {
+		t.Fatalf("scrub left PII: %q", out)
+	}
+	if !ContainsPII(in) {
+		t.Fatal("ContainsPII missed obvious PII")
+	}
+	if ContainsPII(out) {
+		t.Fatalf("scrubbed text still flagged: %q", out)
+	}
+	if ContainsPII("link flap on port 3") {
+		t.Fatal("clean text flagged")
+	}
+}
+
+func sanitizeTestFrame(t *testing.T) *schema.Frame {
+	t.Helper()
+	s := schema.New(
+		schema.Field{Name: "ts", Kind: schema.KindTime},
+		schema.Field{Name: "user", Kind: schema.KindString},
+		schema.Field{Name: "project", Kind: schema.KindString},
+		schema.Field{Name: "message", Kind: schema.KindString},
+		schema.Field{Name: "power", Kind: schema.KindFloat},
+	)
+	f := schema.NewFrame(s)
+	_ = f.AppendRow(schema.Row{
+		schema.Time(now), schema.Str("user07"), schema.Str("PRJ001"),
+		schema.Str("job by user07 from 10.0.0.8"), schema.Float(2713),
+	})
+	_ = f.AppendRow(schema.Row{
+		schema.Time(now), schema.Null, schema.Str("PRJ002"),
+		schema.Str("idle"), schema.Float(700),
+	})
+	return f
+}
+
+func TestSanitizeFrame(t *testing.T) {
+	f := sanitizeTestFrame(t)
+	out, err := SanitizeFrame(f, SanitizePolicy{
+		Salt:                "rel1",
+		DropColumns:         []string{"project"},
+		PseudonymizeColumns: []string{"user"},
+		ScrubTextColumns:    []string{"message"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Has("project") {
+		t.Fatal("dropped column survived")
+	}
+	ui := out.Schema().MustIndex("user")
+	if got := out.Row(0)[ui].StrVal(); !strings.HasPrefix(got, "anon-") {
+		t.Fatalf("user not pseudonymized: %q", got)
+	}
+	if !out.Row(1)[ui].IsNull() {
+		t.Fatal("null identity should stay null")
+	}
+	if issues := VerifySanitized(out); len(issues) != 0 {
+		t.Fatalf("residual PII: %v", issues)
+	}
+	// Power data must be untouched.
+	pi := out.Schema().MustIndex("power")
+	if out.Row(0)[pi].FloatVal() != 2713 {
+		t.Fatal("numeric data altered")
+	}
+}
+
+func TestSanitizeFrameErrors(t *testing.T) {
+	f := sanitizeTestFrame(t)
+	if _, err := SanitizeFrame(f, SanitizePolicy{PseudonymizeColumns: []string{"ghost"}}); err == nil {
+		t.Fatal("ghost pseudonymize column accepted")
+	}
+	if _, err := SanitizeFrame(f, SanitizePolicy{PseudonymizeColumns: []string{"power"}}); err == nil {
+		t.Fatal("non-string pseudonymize column accepted")
+	}
+	if _, err := SanitizeFrame(f, SanitizePolicy{ScrubTextColumns: []string{"ghost"}}); err == nil {
+		t.Fatal("ghost scrub column accepted")
+	}
+	if _, err := SanitizeFrame(f, SanitizePolicy{DropColumns: []string{"ts", "user", "project", "message", "power"}}); err == nil {
+		t.Fatal("dropping every column accepted")
+	}
+}
+
+func TestVerifySanitizedFindsLeaks(t *testing.T) {
+	f := sanitizeTestFrame(t)
+	issues := VerifySanitized(f)
+	if len(issues) == 0 {
+		t.Fatal("unsanitized frame passed verification")
+	}
+}
+
+func TestSanitizeEvents(t *testing.T) {
+	events := []schema.Event{
+		{Ts: now, Host: "login01", Severity: "info", Message: "session opened for user07 uid=5012"},
+		{Ts: now, Host: "node00001", Severity: "error", Message: "gpu xid error code=31"},
+	}
+	out := SanitizeEvents(events, "rel2")
+	if strings.Contains(out[0].Message, "user07") {
+		t.Fatalf("message not scrubbed: %q", out[0].Message)
+	}
+	if !strings.HasPrefix(out[0].Host, "anon-") {
+		t.Fatalf("login host not pseudonymized: %q", out[0].Host)
+	}
+	if out[1].Host != "node00001" {
+		t.Fatal("compute host should be preserved")
+	}
+	if out[1].Message != events[1].Message {
+		t.Fatal("clean message altered")
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	s := schema.New(
+		schema.Field{Name: "program", Kind: schema.KindString},
+		schema.Field{Name: "nodes", Kind: schema.KindInt},
+		schema.Field{Name: "power", Kind: schema.KindFloat},
+	)
+	f := schema.NewFrame(s)
+	add := func(prog string, nodes int64) {
+		_ = f.AppendRow(schema.Row{schema.Str(prog), schema.Int(nodes), schema.Float(1)})
+	}
+	// (INCITE,8) appears 3 times; (ALCC,512) only once -> identifiable.
+	add("INCITE", 8)
+	add("INCITE", 8)
+	add("INCITE", 8)
+	add("ALCC", 512)
+
+	violations, err := KAnonymity(f, []string{"program", "nodes"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || violations[0].Count != 1 {
+		t.Fatalf("violations = %+v", violations)
+	}
+	if violations[0].Values[0] != "ALCC" || violations[0].Values[1] != "512" {
+		t.Fatalf("violation values = %v", violations[0].Values)
+	}
+	// k=4 also flags the INCITE group.
+	violations, _ = KAnonymity(f, []string{"program", "nodes"}, 4)
+	if len(violations) != 2 {
+		t.Fatalf("k=4 violations = %+v", violations)
+	}
+	// Coarser quasi-identifiers can fix it: program alone at k=3 flags
+	// only the singleton.
+	violations, _ = KAnonymity(f, []string{"program"}, 3)
+	if len(violations) != 1 || violations[0].Values[0] != "ALCC" {
+		t.Fatalf("program-only violations = %+v", violations)
+	}
+	// Validation.
+	if _, err := KAnonymity(f, []string{"program"}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KAnonymity(f, nil, 2); err == nil {
+		t.Fatal("no quasi columns accepted")
+	}
+	if _, err := KAnonymity(f, []string{"ghost"}, 2); err == nil {
+		t.Fatal("ghost column accepted")
+	}
+}

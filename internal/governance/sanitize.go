@@ -1,0 +1,199 @@
+package governance
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"odakit/internal/schema"
+)
+
+// Sanitization: before a dataset reaches external users, internal staff
+// "carry out data sanitization or anonymization tasks with the guidance
+// of the curation and cybersecurity staff" (§IX-B). SanitizeFrame applies
+// a policy to a frame: drop columns, pseudonymize identity columns, and
+// scrub PII patterns from free-text columns.
+
+// SanitizePolicy declares what must happen to each sensitive column.
+type SanitizePolicy struct {
+	// Salt keys the pseudonym mapping for this release.
+	Salt string
+	// DropColumns are removed entirely.
+	DropColumns []string
+	// PseudonymizeColumns have string values replaced with stable
+	// pseudonyms.
+	PseudonymizeColumns []string
+	// ScrubTextColumns have PII-looking substrings masked.
+	ScrubTextColumns []string
+}
+
+var (
+	// Conservative PII patterns for log text: user names as uidNN /
+	// userNN tokens, email addresses, IPv4 addresses.
+	emailRe = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+	ipv4Re  = regexp.MustCompile(`\b(\d{1,3}\.){3}\d{1,3}\b`)
+	userRe  = regexp.MustCompile(`\buser\d+\b|\buid=\d+\b`)
+)
+
+// ScrubText masks PII patterns in free text.
+func ScrubText(s string) string {
+	s = emailRe.ReplaceAllString(s, "<email>")
+	s = ipv4Re.ReplaceAllString(s, "<ip>")
+	s = userRe.ReplaceAllString(s, "<user>")
+	return s
+}
+
+// ContainsPII reports whether text still matches a PII pattern — the
+// cyber-security stage's final check before release.
+func ContainsPII(s string) bool {
+	return emailRe.MatchString(s) || ipv4Re.MatchString(s) || userRe.MatchString(s)
+}
+
+// SanitizeFrame applies the policy and returns a new frame.
+func SanitizeFrame(f *schema.Frame, policy SanitizePolicy) (*schema.Frame, error) {
+	sch := f.Schema()
+	drop := map[string]bool{}
+	for _, c := range policy.DropColumns {
+		drop[c] = true
+	}
+	pseud := map[string]bool{}
+	for _, c := range policy.PseudonymizeColumns {
+		if !sch.Has(c) {
+			return nil, fmt.Errorf("governance: pseudonymize column %q not in frame", c)
+		}
+		if i, _ := sch.Index(c); sch.Field(i).Kind != schema.KindString {
+			return nil, fmt.Errorf("governance: pseudonymize column %q is not a string", c)
+		}
+		pseud[c] = true
+	}
+	scrub := map[string]bool{}
+	for _, c := range policy.ScrubTextColumns {
+		if !sch.Has(c) {
+			return nil, fmt.Errorf("governance: scrub column %q not in frame", c)
+		}
+		scrub[c] = true
+	}
+
+	var keepNames []string
+	for i := 0; i < sch.Len(); i++ {
+		if !drop[sch.Field(i).Name] {
+			keepNames = append(keepNames, sch.Field(i).Name)
+		}
+	}
+	if len(keepNames) == 0 {
+		return nil, fmt.Errorf("governance: policy drops every column")
+	}
+	outSchema, err := sch.Project(keepNames...)
+	if err != nil {
+		return nil, err
+	}
+	out := schema.NewFrame(outSchema)
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		nrow := make(schema.Row, 0, len(keepNames))
+		for _, name := range keepNames {
+			i := sch.MustIndex(name)
+			v := row[i]
+			switch {
+			case pseud[name] && !v.IsNull():
+				v = schema.Str(Pseudonymize(policy.Salt, v.StrVal()))
+			case scrub[name] && !v.IsNull() && v.Kind() == schema.KindString:
+				v = schema.Str(ScrubText(v.StrVal()))
+			}
+			nrow = append(nrow, v)
+		}
+		if err := out.AppendRow(nrow); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// VerifySanitized scans every string cell of a frame for residual PII and
+// returns the offending cells (column, row) — empty means clean.
+func VerifySanitized(f *schema.Frame) []string {
+	var issues []string
+	sch := f.Schema()
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		for c, v := range row {
+			if v.Kind() != schema.KindString {
+				continue
+			}
+			if ContainsPII(v.StrVal()) {
+				issues = append(issues, fmt.Sprintf("%s[%d]", sch.Field(c).Name, r))
+			}
+		}
+	}
+	return issues
+}
+
+// SanitizeEvents is the event-stream convenience wrapper: hosts are kept,
+// messages scrubbed.
+func SanitizeEvents(events []schema.Event, salt string) []schema.Event {
+	out := make([]schema.Event, len(events))
+	for i, e := range events {
+		e.Message = ScrubText(e.Message)
+		if strings.HasPrefix(e.Host, "login") {
+			// Login hosts can identify users through session correlation.
+			e.Host = Pseudonymize(salt, e.Host)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// KAnonymityViolation is one quasi-identifier combination appearing fewer
+// than k times — a re-identification risk.
+type KAnonymityViolation struct {
+	Values []string
+	Count  int
+}
+
+// KAnonymity checks whether every combination of the quasi-identifier
+// columns occurs at least k times — the standard re-identification check
+// the cyber-security stage applies to "information that can identify
+// certain projects or users" (Table II) before release. It returns the
+// violating combinations (empty = the frame is k-anonymous).
+func KAnonymity(f *schema.Frame, quasiCols []string, k int) ([]KAnonymityViolation, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("governance: k must be >= 2, got %d", k)
+	}
+	if len(quasiCols) == 0 {
+		return nil, fmt.Errorf("governance: k-anonymity needs quasi-identifier columns")
+	}
+	sch := f.Schema()
+	idx := make([]int, len(quasiCols))
+	for i, c := range quasiCols {
+		j, ok := sch.Index(c)
+		if !ok {
+			return nil, fmt.Errorf("governance: no column %q", c)
+		}
+		idx[i] = j
+	}
+	counts := map[string]int{}
+	values := map[string][]string{}
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			parts[i] = row[j].String()
+		}
+		key := strings.Join(parts, "\x00")
+		counts[key]++
+		if _, ok := values[key]; !ok {
+			values[key] = parts
+		}
+	}
+	var out []KAnonymityViolation
+	for key, n := range counts {
+		if n < k {
+			out = append(out, KAnonymityViolation{Values: values[key], Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Values, "\x00") < strings.Join(out[j].Values, "\x00")
+	})
+	return out, nil
+}

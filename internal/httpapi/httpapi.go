@@ -1,0 +1,284 @@
+// Package httpapi exposes a facility's data services over HTTP — the
+// "web server data portals" that projects run on the Slate platform
+// (§V-C). Endpoints are read-only JSON views over the LAKE, logs, RATS,
+// datasets, and governance state, plus a liveness probe; the dashboards
+// of §VII consume exactly these queries.
+//
+//	GET /healthz
+//	GET /api/v1/lake/query?metric=&component=&from=&to=&agg=&granularity=
+//	GET /api/v1/lake/topn?metric=&n=&from=&to=
+//	GET /api/v1/logs/search?q=&severity=&host=&limit=
+//	GET /api/v1/rats/programs?from=&to=
+//	GET /api/v1/datasets
+//	GET /api/v1/governance/requests
+//	GET /api/v1/jobs/{id}
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"odakit/internal/core"
+	"odakit/internal/logsearch"
+	"odakit/internal/tsdb"
+)
+
+// Server wraps a facility with HTTP handlers.
+type Server struct {
+	f   *core.Facility
+	mux *http.ServeMux
+}
+
+// New returns a server for the facility.
+func New(f *core.Facility) *Server {
+	s := &Server{f: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /api/v1/lake/query", s.lakeQuery)
+	s.mux.HandleFunc("GET /api/v1/lake/topn", s.lakeTopN)
+	s.mux.HandleFunc("GET /api/v1/logs/search", s.logsSearch)
+	s.mux.HandleFunc("GET /api/v1/rats/programs", s.ratsPrograms)
+	s.mux.HandleFunc("GET /api/v1/datasets", s.datasets)
+	s.mux.HandleFunc("GET /api/v1/governance/requests", s.governanceRequests)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.job)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, apiError{Error: msg})
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	lake := s.f.Lake.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"lake_segments": lake.Segments,
+		"lake_rows":     lake.RawIngested,
+		"log_docs":      s.f.Logs.Stats().Docs,
+		"topics":        s.f.Broker.Topics(),
+	})
+}
+
+// parseWindow reads from/to query params (RFC3339); a missing pair
+// defaults to the facility's schedule window.
+func (s *Server) parseWindow(r *http.Request) (time.Time, time.Time, error) {
+	from, to := s.f.Opts.ScheduleFrom, s.f.Opts.ScheduleTo
+	if v := r.URL.Query().Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return from, to, err
+		}
+		from = t
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return from, to, err
+		}
+		to = t
+	}
+	return from, to, nil
+}
+
+var aggNames = map[string]tsdb.AggKind{
+	"avg": tsdb.AggAvg, "sum": tsdb.AggSum, "min": tsdb.AggMin,
+	"max": tsdb.AggMax, "count": tsdb.AggCount, "last": tsdb.AggLast,
+}
+
+// seriesPoint is one output row of a lake query.
+type seriesPoint struct {
+	Ts    time.Time         `json:"ts"`
+	Dims  map[string]string `json:"dims,omitempty"`
+	Value float64           `json:"value"`
+}
+
+func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, to, err := s.parseWindow(r)
+	if err != nil {
+		badRequest(w, "bad from/to: "+err.Error())
+		return
+	}
+	query := tsdb.Query{From: from, To: to, Filters: map[string][]string{}}
+	if m := q.Get("metric"); m != "" {
+		query.Filters[tsdb.DimMetric] = strings.Split(m, ",")
+	}
+	if c := q.Get("component"); c != "" {
+		query.Filters[tsdb.DimComponent] = strings.Split(c, ",")
+	}
+	if g := q.Get("granularity"); g != "" {
+		d, err := time.ParseDuration(g)
+		if err != nil {
+			badRequest(w, "bad granularity: "+err.Error())
+			return
+		}
+		query.Granularity = d
+	}
+	if a := q.Get("agg"); a != "" {
+		kind, ok := aggNames[a]
+		if !ok {
+			badRequest(w, "unknown agg "+a)
+			return
+		}
+		query.Agg = kind
+	}
+	if g := q.Get("groupby"); g != "" {
+		query.GroupBy = strings.Split(g, ",")
+	}
+	frame, err := s.f.Lake.Run(query)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	out := make([]seriesPoint, 0, frame.Len())
+	sch := frame.Schema()
+	vi := sch.MustIndex("value")
+	for i := 0; i < frame.Len(); i++ {
+		row := frame.Row(i)
+		p := seriesPoint{Ts: row[0].TimeVal(), Value: row[vi].FloatVal()}
+		if len(query.GroupBy) > 0 {
+			p.Dims = map[string]string{}
+			for _, d := range query.GroupBy {
+				p.Dims[d] = row[sch.MustIndex(d)].StrVal()
+			}
+		}
+		out = append(out, p)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, to, err := s.parseWindow(r)
+	if err != nil {
+		badRequest(w, "bad from/to: "+err.Error())
+		return
+	}
+	metric := q.Get("metric")
+	if metric == "" {
+		badRequest(w, "metric is required")
+		return
+	}
+	n := 10
+	if v := q.Get("n"); v != "" {
+		if n, err = strconv.Atoi(v); err != nil || n <= 0 {
+			badRequest(w, "bad n")
+			return
+		}
+	}
+	top, err := s.f.Lake.TopN(tsdb.Query{
+		From: from, To: to,
+		Filters: map[string][]string{tsdb.DimMetric: {metric}},
+		Agg:     tsdb.AggAvg,
+	}, tsdb.DimComponent, n)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, top)
+}
+
+type logHit struct {
+	Ts       time.Time `json:"ts"`
+	Host     string    `json:"host"`
+	Severity string    `json:"severity"`
+	Message  string    `json:"message"`
+}
+
+func (s *Server) logsSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, to, err := s.parseWindow(r)
+	if err != nil {
+		badRequest(w, "bad from/to: "+err.Error())
+		return
+	}
+	lq := logsearch.Query{Severity: q.Get("severity"), Host: q.Get("host"), From: from, To: to}
+	if terms := q.Get("q"); terms != "" {
+		lq.Terms = strings.Fields(terms)
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			badRequest(w, "bad limit")
+			return
+		}
+		lq.Limit = n
+	}
+	hits := s.f.Logs.Search(lq)
+	out := make([]logHit, 0, len(hits))
+	for _, e := range hits {
+		out = append(out, logHit{Ts: e.Ts, Host: e.Host, Severity: e.Severity, Message: e.Message})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) ratsPrograms(w http.ResponseWriter, r *http.Request) {
+	from, to, err := s.parseWindow(r)
+	if err != nil {
+		badRequest(w, "bad from/to: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.f.Rats.ByProgram(from, to))
+}
+
+func (s *Server) datasets(w http.ResponseWriter, r *http.Request) {
+	type ds struct {
+		Name  string `json:"name"`
+		Stage string `json:"stage"`
+		Rows  int64  `json:"rows"`
+		Bytes int64  `json:"bytes"`
+	}
+	var out []ds
+	for _, d := range s.f.Datasets.List() {
+		out = append(out, ds{Name: d.Name, Stage: d.Stage.String(), Rows: d.Rows, Bytes: d.Bytes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) governanceRequests(w http.ResponseWriter, r *http.Request) {
+	type req struct {
+		ID        string `json:"id"`
+		Requester string `json:"requester"`
+		Kind      string `json:"kind"`
+		Status    string `json:"status"`
+		ReleaseID string `json:"release_id,omitempty"`
+	}
+	var out []req
+	for _, g := range s.f.DataRUC.List() {
+		out = append(out, req{
+			ID: g.ID, Requester: g.Requester, Kind: g.Kind.String(),
+			Status: g.Status.String(), ReleaseID: g.ReleaseID,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.f.Sched.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": j.ID, "user": j.User, "project": j.Project, "program": j.Program,
+		"nodes": j.Nodes, "state": j.State.String(),
+		"submit": j.Submit, "start": j.Start, "end": j.End,
+		"node_list": j.NodeList,
+	})
+}

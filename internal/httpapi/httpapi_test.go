@@ -1,0 +1,245 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"odakit/internal/core"
+	"odakit/internal/governance"
+	"odakit/internal/telemetry"
+)
+
+var t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testServer(t *testing.T) (*httptest.Server, *core.Facility) {
+	t.Helper()
+	sys := telemetry.FrontierLike(17).Scaled(8)
+	sys.LossRate = 0
+	f, err := core.NewFacility(core.Options{
+		System: sys, WorkloadSeed: 17,
+		ScheduleFrom: t0.Add(-time.Hour), ScheduleTo: t0.Add(2 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.IngestWindow(t0, t0.Add(time.Minute), telemetry.SourcePowerTemp); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(f))
+	t.Cleanup(func() { srv.Close(); f.Close() })
+	return srv, f
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	var h map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if h["status"] != "ok" || h["lake_rows"].(float64) == 0 {
+		t.Fatalf("health = %v", h)
+	}
+}
+
+func TestLakeQuery(t *testing.T) {
+	srv, _ := testServer(t)
+	url := fmt.Sprintf("%s/api/v1/lake/query?metric=node_power_w&agg=avg&granularity=15s&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	var pts []struct {
+		Ts    time.Time `json:"ts"`
+		Value float64   `json:"value"`
+	}
+	if code := getJSON(t, url, &pts); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(pts) != 4 { // 1 min / 15 s
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value <= 0 {
+			t.Fatalf("value = %v", p.Value)
+		}
+	}
+	// Group-by variant carries dims.
+	url = fmt.Sprintf("%s/api/v1/lake/query?metric=node_power_w&agg=avg&groupby=component&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	var grouped []struct {
+		Dims map[string]string `json:"dims"`
+	}
+	if code := getJSON(t, url, &grouped); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(grouped) != 8 || grouped[0].Dims["component"] == "" {
+		t.Fatalf("grouped = %+v", grouped)
+	}
+}
+
+func TestLakeQueryValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []string{
+		"/api/v1/lake/query?from=notatime",
+		"/api/v1/lake/query?granularity=bogus",
+		"/api/v1/lake/query?agg=median",
+		"/api/v1/lake/query?groupby=bogusdim",
+	}
+	for _, c := range cases {
+		var e map[string]any
+		if code := getJSON(t, srv.URL+c, &e); code != 400 {
+			t.Fatalf("%s: status = %d, want 400", c, code)
+		}
+		if e["error"] == "" {
+			t.Fatalf("%s: no error message", c)
+		}
+	}
+}
+
+func TestLakeTopN(t *testing.T) {
+	srv, _ := testServer(t)
+	url := fmt.Sprintf("%s/api/v1/lake/topn?metric=node_power_w&n=3&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	var top []struct {
+		Dim   string  `json:"Dim"`
+		Value float64 `json:"Value"`
+	}
+	if code := getJSON(t, url, &top); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(top) != 3 || top[0].Value < top[1].Value {
+		t.Fatalf("top = %+v", top)
+	}
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/lake/topn", &e); code != 400 {
+		t.Fatalf("missing metric: status = %d", code)
+	}
+}
+
+func TestLogsSearch(t *testing.T) {
+	srv, _ := testServer(t)
+	var hits []struct {
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	url := srv.URL + "/api/v1/logs/search?limit=5"
+	if code := getJSON(t, url, &hits); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(hits) == 0 || len(hits) > 5 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	// Severity filter.
+	var errs []struct {
+		Severity string `json:"severity"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/logs/search?severity=info", &errs); code != 200 {
+		t.Fatal("severity filter failed")
+	}
+	for _, h := range errs {
+		if h.Severity != "info" {
+			t.Fatalf("severity = %q", h.Severity)
+		}
+	}
+}
+
+func TestRatsAndDatasets(t *testing.T) {
+	srv, _ := testServer(t)
+	var rows []struct {
+		Program string  `json:"Program"`
+		Share   float64 `json:"Share"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/rats/programs", &rows); code != 200 {
+		t.Fatal("rats failed")
+	}
+	if len(rows) == 0 {
+		t.Fatal("no program rows")
+	}
+	var ds []struct {
+		Name  string `json:"name"`
+		Stage string `json:"stage"`
+		Rows  int64  `json:"rows"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/datasets", &ds); code != 200 {
+		t.Fatal("datasets failed")
+	}
+	found := false
+	for _, d := range ds {
+		if d.Name == "power_temp_bronze" && d.Rows > 0 && d.Stage == "bronze" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("datasets = %+v", ds)
+	}
+}
+
+func TestGovernanceEndpoint(t *testing.T) {
+	srv, f := testServer(t)
+	id, err := f.DataRUC.Submit("pi", "proj", "test", []string{"d"}, governance.InternalUse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Kind   string `json:"kind"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/governance/requests", &reqs); code != 200 {
+		t.Fatal("governance failed")
+	}
+	if len(reqs) != 1 || reqs[0].ID != id || reqs[0].Status != "pending" || reqs[0].Kind != "internal_use" {
+		t.Fatalf("requests = %+v", reqs)
+	}
+}
+
+func TestJobEndpoint(t *testing.T) {
+	srv, f := testServer(t)
+	var target string
+	for _, j := range f.Sched.Jobs {
+		if !j.Start.IsZero() {
+			target = j.ID
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no started job")
+	}
+	var job map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+target, &job); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if job["id"] != target || job["nodes"].(float64) <= 0 {
+		t.Fatalf("job = %v", job)
+	}
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/ghost", &e); code != 404 {
+		t.Fatalf("ghost job status = %d", code)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Post(srv.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,140 @@
+// Package jobsched simulates the facility resource manager: synthetic job
+// arrivals, FIFO + backfill scheduling onto a fixed node pool, and the job
+// allocation logs that the paper's Silver-stage pipelines join against
+// sensor data for contextualization (§V-A). It also feeds the RATS usage
+// report (Fig 7) and gives the telemetry generator a per-node workload so
+// node power profiles reflect real job phases (Fig 10).
+package jobsched
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	StatePending JobState = iota
+	StateRunning
+	StateCompleted
+	StateFailed
+	StateCancelled
+)
+
+// String returns the lower-case state name.
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ProfileKind classifies a job's power-consumption shape. These are the
+// ground-truth classes behind the Fig 10 clustering experiment: the
+// telemetry generator synthesizes node power from the job's kind, and the
+// profiles package must rediscover the grouping from data alone.
+type ProfileKind int
+
+// The synthetic power-profile classes.
+const (
+	ProfileSteady   ProfileKind = iota // flat plateau after a short ramp
+	ProfileRamp                        // slow monotonic climb
+	ProfilePeriodic                    // oscillation (iteration-dominated)
+	ProfileSpiky                       // bursty checkpoint/IO-bound spikes
+	ProfileStepped                     // multi-phase plateaus
+	ProfileDecay                       // front-loaded, tapering
+	ProfileIdleish                     // barely above idle (debug/interactive)
+	ProfileSawtooth                    // repeated ramp-and-drop epochs
+	profileKindCount
+)
+
+// NumProfileKinds is the number of distinct synthetic profile classes.
+const NumProfileKinds = int(profileKindCount)
+
+// String returns the profile-class name.
+func (p ProfileKind) String() string {
+	switch p {
+	case ProfileSteady:
+		return "steady"
+	case ProfileRamp:
+		return "ramp"
+	case ProfilePeriodic:
+		return "periodic"
+	case ProfileSpiky:
+		return "spiky"
+	case ProfileStepped:
+		return "stepped"
+	case ProfileDecay:
+		return "decay"
+	case ProfileIdleish:
+		return "idleish"
+	case ProfileSawtooth:
+		return "sawtooth"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// Job is one batch job as recorded by the resource manager.
+type Job struct {
+	ID      string
+	User    string
+	Project string
+	Program string // allocation program, e.g. "INCITE", "ALCC", "DD"
+	Nodes   int    // requested/allocated node count
+	GPUJob  bool   // whether the job uses GPUs (CPU vs GPU split in Fig 7)
+
+	Submit   time.Time
+	Start    time.Time // zero until scheduled
+	End      time.Time // zero until finished
+	WallReq  time.Duration
+	State    JobState
+	Profile  ProfileKind
+	NodeList []int // allocated node ids, set when started
+
+	// Intensity scales the job's power amplitude in [0.3, 1.0].
+	Intensity float64
+	// Period parametrizes periodic/sawtooth shapes.
+	Period time.Duration
+
+	// finalState is decided when the job starts (the simulator knows the
+	// outcome ahead of time) and applied when the finish event fires.
+	finalState JobState
+	// cancelAfter, when positive, cancels the job if it is still queued
+	// this long after submission (user impatience).
+	cancelAfter time.Duration
+}
+
+// Runtime returns the executed wall time (End-Start), or 0 if not finished.
+func (j *Job) Runtime() time.Duration {
+	if j.Start.IsZero() || j.End.IsZero() {
+		return 0
+	}
+	return j.End.Sub(j.Start)
+}
+
+// NodeHours returns node-hours consumed (nodes × runtime).
+func (j *Job) NodeHours() float64 {
+	return float64(j.Nodes) * j.Runtime().Hours()
+}
+
+// Allocation is one (job, node, interval) record — the join key that
+// contextualizes Silver-stage sensor data with job information.
+type Allocation struct {
+	JobID string
+	Node  int
+	Start time.Time
+	End   time.Time
+}

@@ -1,0 +1,430 @@
+package jobsched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// Config configures a scheduler simulation.
+type Config struct {
+	// Nodes is the cluster size (e.g. 9408 for the Frontier-like system).
+	Nodes int
+	// System names the simulated machine in emitted records.
+	System string
+	// Workload parametrizes the synthetic job mix.
+	Workload WorkloadConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 512
+	}
+	if c.System == "" {
+		c.System = "compass"
+	}
+	return c
+}
+
+// Simulator runs a discrete-event FIFO+EASY-backfill scheduler over a
+// synthetic workload, producing the job and allocation logs every other
+// subsystem joins against.
+type Simulator struct {
+	cfg Config
+}
+
+// New returns a simulator for the given configuration.
+func New(cfg Config) *Simulator { return &Simulator{cfg: cfg.withDefaults()} }
+
+// event kinds for the discrete-event loop.
+type evKind int
+
+const (
+	evSubmit evKind = iota
+	evFinish
+	evCancel
+)
+
+type event struct {
+	at   time.Time
+	kind evKind
+	job  *Job
+	seq  int // tiebreaker for deterministic ordering
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Schedule is the completed output of a simulation run.
+type Schedule struct {
+	System string
+	Nodes  int
+	From   time.Time
+	To     time.Time
+	Jobs   []*Job // in submission order; includes jobs still running at To
+
+	perNode [][]Allocation // per node, sorted by start
+	events  []schema.Event
+	byID    map[string]*Job
+}
+
+// Run simulates the window [from, to). Jobs still running at `to` are left
+// in StateRunning with End == to (censored), matching how a live snapshot
+// of the resource manager looks.
+func (s *Simulator) Run(from, to time.Time) *Schedule {
+	cfg := s.cfg
+	gen := newWorkloadGen(cfg.Workload, cfg.Nodes)
+
+	sched := &Schedule{
+		System:  cfg.System,
+		Nodes:   cfg.Nodes,
+		From:    from,
+		To:      to,
+		perNode: make([][]Allocation, cfg.Nodes),
+		byID:    make(map[string]*Job),
+	}
+
+	// Pre-generate submissions across the window.
+	var q eventQueue
+	seq := 0
+	t := from.Add(gen.nextInterarrival() / 4) // first arrival soon after open
+	for t.Before(to) {
+		j := gen.next(t)
+		heap.Push(&q, event{at: t, kind: evSubmit, job: j, seq: seq})
+		seq++
+		t = t.Add(gen.nextInterarrival())
+	}
+
+	free := make([]int, cfg.Nodes) // sorted free node ids
+	for i := range free {
+		free[i] = i
+	}
+	var pending []*Job
+	running := map[string]*Job{}
+
+	takeNodes := func(n int) []int {
+		nodes := append([]int(nil), free[:n]...)
+		free = free[n:]
+		return nodes
+	}
+	releaseNodes := func(nodes []int) {
+		free = append(free, nodes...)
+		sort.Ints(free)
+	}
+
+	start := func(j *Job, now time.Time) {
+		j.Start = now
+		j.State = StateRunning
+		j.NodeList = takeNodes(j.Nodes)
+		runtime, endState := gen.sampleRuntime(j)
+		end := now.Add(runtime)
+		// Record the eventual end state on the finish event; the job stays
+		// Running until then.
+		heap.Push(&q, event{at: end, kind: evFinish, job: j, seq: seq})
+		seq++
+		running[j.ID] = j
+		// Stash final state in a closure-free way: encode on the job.
+		j.finalState = endState
+		sched.logEvent(now, cfg.System, "job_start", j)
+	}
+
+	// tryStart starts pending jobs: FIFO head first, then EASY backfill
+	// against the head's shadow reservation.
+	tryStart := func(now time.Time) {
+		for len(pending) > 0 && pending[0].Nodes <= len(free) {
+			j := pending[0]
+			pending = pending[1:]
+			start(j, now)
+		}
+		if len(pending) == 0 {
+			return
+		}
+		head := pending[0]
+		// Shadow time: when will the head have enough nodes, assuming
+		// running jobs end at start+WallReq?
+		type rel struct {
+			at time.Time
+			n  int
+		}
+		var rels []rel
+		for _, rj := range running {
+			rels = append(rels, rel{rj.Start.Add(rj.WallReq), rj.Nodes})
+		}
+		sort.Slice(rels, func(i, j int) bool { return rels[i].at.Before(rels[j].at) })
+		avail := len(free)
+		shadow := to.Add(time.Hour) // far future fallback
+		for _, r := range rels {
+			avail += r.n
+			if avail >= head.Nodes {
+				shadow = r.at
+				break
+			}
+		}
+		extra := avail - head.Nodes // nodes unused even at shadow time
+		if extra < 0 {
+			extra = 0
+		}
+		if f := len(free); extra > f {
+			extra = f
+		}
+		// Backfill pass over the rest of the queue.
+		for i := 1; i < len(pending); i++ {
+			j := pending[i]
+			if j.Nodes > len(free) {
+				continue
+			}
+			fitsBefore := !now.Add(j.WallReq).After(shadow)
+			fitsBeside := j.Nodes <= extra
+			if fitsBefore || fitsBeside {
+				pending = append(pending[:i], pending[i+1:]...)
+				i--
+				if fitsBeside && !fitsBefore {
+					extra -= j.Nodes
+				}
+				start(j, now)
+			}
+		}
+	}
+
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if e.at.After(to) || e.at.Equal(to) {
+			break
+		}
+		switch e.kind {
+		case evSubmit:
+			j := e.job
+			sched.Jobs = append(sched.Jobs, j)
+			sched.byID[j.ID] = j
+			pending = append(pending, j)
+			sched.logEvent(e.at, cfg.System, "job_submit", j)
+			if j.cancelAfter > 0 {
+				heap.Push(&q, event{at: e.at.Add(j.cancelAfter), kind: evCancel, job: j, seq: seq})
+				seq++
+			}
+		case evCancel:
+			j := e.job
+			if j.State != StatePending {
+				break // started (or finished) before the user gave up
+			}
+			for i, pj := range pending {
+				if pj == j {
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+			j.State = StateCancelled
+			sched.logEvent(e.at, cfg.System, "job_cancel", j)
+		case evFinish:
+			j := e.job
+			j.End = e.at
+			j.State = j.finalState
+			for _, n := range j.NodeList {
+				sched.perNode[n] = append(sched.perNode[n], Allocation{JobID: j.ID, Node: n, Start: j.Start, End: j.End})
+			}
+			releaseNodes(j.NodeList)
+			delete(running, j.ID)
+			sched.logEvent(e.at, cfg.System, "job_end", j)
+		}
+		tryStart(e.at)
+	}
+
+	// Censor jobs still running at the horizon.
+	for _, j := range running {
+		j.End = to
+		for _, n := range j.NodeList {
+			sched.perNode[n] = append(sched.perNode[n], Allocation{JobID: j.ID, Node: n, Start: j.Start, End: to})
+		}
+	}
+	for i := range sched.perNode {
+		sort.Slice(sched.perNode[i], func(a, b int) bool {
+			return sched.perNode[i][a].Start.Before(sched.perNode[i][b].Start)
+		})
+	}
+	return sched
+}
+
+// finalState rides along on Job privately (set when the job starts).
+// It is declared here to keep Job's public surface clean.
+
+func (s *Schedule) logEvent(at time.Time, system, what string, j *Job) {
+	s.events = append(s.events, schema.Event{
+		Ts: at, System: system, Source: "resource_manager", Host: "sched01",
+		Severity: "info",
+		Message:  fmt.Sprintf("%s id=%s user=%s project=%s program=%s nodes=%d state=%s", what, j.ID, j.User, j.Project, j.Program, j.Nodes, j.State),
+	})
+}
+
+// Events returns the scheduler event log in time order.
+func (s *Schedule) Events() []schema.Event { return s.events }
+
+// Job returns a job by id.
+func (s *Schedule) Job(id string) (*Job, bool) {
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// JobAt returns the job allocated on the node at time t, or nil if idle.
+func (s *Schedule) JobAt(node int, t time.Time) *Job {
+	if node < 0 || node >= len(s.perNode) {
+		return nil
+	}
+	allocs := s.perNode[node]
+	// Binary search on start time, then check containment.
+	i := sort.Search(len(allocs), func(i int) bool { return allocs[i].Start.After(t) })
+	if i == 0 {
+		return nil
+	}
+	a := allocs[i-1]
+	if !t.Before(a.Start) && t.Before(a.End) {
+		return s.byID[a.JobID]
+	}
+	return nil
+}
+
+// Allocations returns the allocation intervals for a node.
+func (s *Schedule) Allocations(node int) []Allocation {
+	if node < 0 || node >= len(s.perNode) {
+		return nil
+	}
+	return s.perNode[node]
+}
+
+// Running returns jobs running at time t.
+func (s *Schedule) Running(t time.Time) []*Job {
+	var out []*Job
+	for _, j := range s.Jobs {
+		if !j.Start.IsZero() && !j.Start.After(t) && (j.End.IsZero() || j.End.After(t)) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Utilization returns the fraction of nodes busy at time t.
+func (s *Schedule) Utilization(t time.Time) float64 {
+	busy := 0
+	for _, j := range s.Running(t) {
+		busy += j.Nodes
+	}
+	return float64(busy) / float64(s.Nodes)
+}
+
+// ProgramUsage accumulates node-hours per allocation program, split by
+// CPU/GPU — the rows of the RATS report (Fig 7).
+type ProgramUsage struct {
+	Program       string
+	Jobs          int
+	CPUNodeHours  float64
+	GPUNodeHours  float64
+	FailedJobs    int
+	MedianRuntime time.Duration
+}
+
+// UsageByProgram aggregates finished-job usage per program.
+func (s *Schedule) UsageByProgram() []ProgramUsage {
+	type acc struct {
+		ProgramUsage
+		runtimes []time.Duration
+	}
+	m := map[string]*acc{}
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() {
+			continue
+		}
+		a, ok := m[j.Program]
+		if !ok {
+			a = &acc{ProgramUsage: ProgramUsage{Program: j.Program}}
+			m[j.Program] = a
+		}
+		a.Jobs++
+		if j.State == StateFailed {
+			a.FailedJobs++
+		}
+		nh := j.NodeHours()
+		if j.GPUJob {
+			a.GPUNodeHours += nh
+		} else {
+			a.CPUNodeHours += nh
+		}
+		if rt := j.Runtime(); rt > 0 {
+			a.runtimes = append(a.runtimes, rt)
+		}
+	}
+	var out []ProgramUsage
+	for _, a := range m {
+		if len(a.runtimes) > 0 {
+			sort.Slice(a.runtimes, func(i, j int) bool { return a.runtimes[i] < a.runtimes[j] })
+			a.MedianRuntime = a.runtimes[len(a.runtimes)/2]
+		}
+		out = append(out, a.ProgramUsage)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Program < out[j].Program })
+	return out
+}
+
+// QueueStats reports queue-wait behaviour by job-size class — the
+// scheduling-health view program management and procurement read when
+// judging whether the machine's size matches its workload.
+type QueueStats struct {
+	SizeClass  string // "1-4", "5-32", "33-256", "257+"
+	Jobs       int
+	MedianWait time.Duration
+	P90Wait    time.Duration
+	MaxWait    time.Duration
+}
+
+func sizeClass(nodes int) string {
+	switch {
+	case nodes <= 4:
+		return "1-4"
+	case nodes <= 32:
+		return "5-32"
+	case nodes <= 256:
+		return "33-256"
+	default:
+		return "257+"
+	}
+}
+
+// QueueWaits aggregates submit→start waits per size class for started jobs.
+func (s *Schedule) QueueWaits() []QueueStats {
+	byClass := map[string][]time.Duration{}
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() {
+			continue
+		}
+		c := sizeClass(j.Nodes)
+		byClass[c] = append(byClass[c], j.Start.Sub(j.Submit))
+	}
+	order := []string{"1-4", "5-32", "33-256", "257+"}
+	var out []QueueStats
+	for _, c := range order {
+		waits := byClass[c]
+		if len(waits) == 0 {
+			continue
+		}
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		out = append(out, QueueStats{
+			SizeClass:  c,
+			Jobs:       len(waits),
+			MedianWait: waits[len(waits)/2],
+			P90Wait:    waits[len(waits)*9/10],
+			MaxWait:    waits[len(waits)-1],
+		})
+	}
+	return out
+}

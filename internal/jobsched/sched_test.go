@@ -1,0 +1,358 @@
+package jobsched
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	simFrom = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	simTo   = simFrom.Add(6 * time.Hour)
+)
+
+func runSim(t *testing.T, nodes int, seed int64) *Schedule {
+	t.Helper()
+	sim := New(Config{Nodes: nodes, System: "compass", Workload: WorkloadConfig{Seed: seed}})
+	return sim.Run(simFrom, simTo)
+}
+
+func TestSimulationProducesJobs(t *testing.T) {
+	s := runSim(t, 256, 1)
+	if len(s.Jobs) < 50 {
+		t.Fatalf("only %d jobs over 6h, expected a busy machine", len(s.Jobs))
+	}
+	started := 0
+	for _, j := range s.Jobs {
+		if !j.Start.IsZero() {
+			started++
+		}
+	}
+	if started == 0 {
+		t.Fatal("no job ever started")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := runSim(t, 128, 42), runSim(t, 128, 42)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.ID != jb.ID || !ja.Submit.Equal(jb.Submit) || !ja.Start.Equal(jb.Start) ||
+			ja.Nodes != jb.Nodes || ja.Profile != jb.Profile || ja.State != jb.State {
+			t.Fatalf("job %d differs between identical runs:\n%+v\n%+v", i, ja, jb)
+		}
+	}
+	c := runSim(t, 128, 43)
+	if len(a.Jobs) == len(c.Jobs) && len(a.Jobs) > 0 && a.Jobs[0].Submit.Equal(c.Jobs[0].Submit) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestNoNodeDoubleAllocation(t *testing.T) {
+	s := runSim(t, 64, 7)
+	for node := 0; node < s.Nodes; node++ {
+		allocs := s.Allocations(node)
+		for i := 1; i < len(allocs); i++ {
+			if allocs[i].Start.Before(allocs[i-1].End) {
+				t.Fatalf("node %d has overlapping allocations: %+v and %+v",
+					node, allocs[i-1], allocs[i])
+			}
+		}
+	}
+}
+
+func TestAllocationsMatchNodeCounts(t *testing.T) {
+	s := runSim(t, 64, 7)
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() {
+			continue
+		}
+		if len(j.NodeList) != j.Nodes {
+			t.Fatalf("job %s allocated %d nodes, requested %d", j.ID, len(j.NodeList), j.Nodes)
+		}
+		seen := map[int]bool{}
+		for _, n := range j.NodeList {
+			if seen[n] {
+				t.Fatalf("job %s allocated node %d twice", j.ID, n)
+			}
+			seen[n] = true
+			if n < 0 || n >= s.Nodes {
+				t.Fatalf("job %s allocated out-of-range node %d", j.ID, n)
+			}
+		}
+	}
+}
+
+func TestJobAtConsistency(t *testing.T) {
+	s := runSim(t, 64, 11)
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() || j.Runtime() < 2*time.Second {
+			continue
+		}
+		mid := j.Start.Add(j.End.Sub(j.Start) / 2)
+		for _, n := range j.NodeList {
+			got := s.JobAt(n, mid)
+			if got == nil || got.ID != j.ID {
+				t.Fatalf("JobAt(%d, mid of %s) = %v", n, j.ID, got)
+			}
+		}
+	}
+	if s.JobAt(-1, simFrom) != nil || s.JobAt(99999, simFrom) != nil {
+		t.Fatal("JobAt out of range should be nil")
+	}
+	if s.JobAt(0, simFrom.Add(-time.Hour)) != nil {
+		t.Fatal("JobAt before window should be nil")
+	}
+}
+
+func TestStartNotBeforeSubmit(t *testing.T) {
+	s := runSim(t, 64, 13)
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() {
+			continue
+		}
+		if j.Start.Before(j.Submit) {
+			t.Fatalf("job %s started %v before submit %v", j.ID, j.Start, j.Submit)
+		}
+		if !j.End.IsZero() && j.End.Before(j.Start) {
+			t.Fatalf("job %s ended before start", j.ID)
+		}
+	}
+}
+
+func TestCensoredJobs(t *testing.T) {
+	s := runSim(t, 64, 17)
+	for _, j := range s.Jobs {
+		if j.State == StateRunning {
+			if !j.End.Equal(s.To) {
+				t.Fatalf("running job %s should be censored at horizon, End=%v", j.ID, j.End)
+			}
+		}
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	s := runSim(t, 64, 19)
+	for ts := s.From; ts.Before(s.To); ts = ts.Add(17 * time.Minute) {
+		u := s.Utilization(ts)
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %v at %v out of [0,1]", u, ts)
+		}
+	}
+	// A 64-node machine with this workload should be busy mid-window.
+	mid := s.From.Add(3 * time.Hour)
+	if s.Utilization(mid) == 0 {
+		t.Fatal("expected nonzero utilization mid-window")
+	}
+}
+
+func TestEventsOrderedAndComplete(t *testing.T) {
+	s := runSim(t, 64, 23)
+	evs := s.Events()
+	if len(evs) == 0 {
+		t.Fatal("no scheduler events")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Ts.Before(evs[i-1].Ts) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	submits, starts, ends := 0, 0, 0
+	for _, e := range evs {
+		if e.Source != "resource_manager" {
+			t.Fatalf("event source = %q", e.Source)
+		}
+		switch {
+		case hasPrefix(e.Message, "job_submit"):
+			submits++
+		case hasPrefix(e.Message, "job_start"):
+			starts++
+		case hasPrefix(e.Message, "job_end"):
+			ends++
+		}
+	}
+	if submits != len(s.Jobs) {
+		t.Fatalf("submit events = %d, jobs = %d", submits, len(s.Jobs))
+	}
+	if starts < ends {
+		t.Fatalf("more ends (%d) than starts (%d)", ends, starts)
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func TestUsageByProgram(t *testing.T) {
+	s := runSim(t, 128, 29)
+	usage := s.UsageByProgram()
+	if len(usage) == 0 {
+		t.Fatal("no program usage rows")
+	}
+	totalJobs := 0
+	for _, u := range usage {
+		totalJobs += u.Jobs
+		if u.CPUNodeHours < 0 || u.GPUNodeHours < 0 {
+			t.Fatalf("negative node hours: %+v", u)
+		}
+		if u.Jobs > 0 && u.CPUNodeHours+u.GPUNodeHours == 0 {
+			t.Fatalf("program %s has jobs but zero node-hours", u.Program)
+		}
+	}
+	started := 0
+	for _, j := range s.Jobs {
+		if !j.Start.IsZero() {
+			started++
+		}
+	}
+	if totalJobs != started {
+		t.Fatalf("usage job total %d != started jobs %d", totalJobs, started)
+	}
+	// Sorted by program name.
+	for i := 1; i < len(usage); i++ {
+		if usage[i].Program < usage[i-1].Program {
+			t.Fatal("usage rows not sorted by program")
+		}
+	}
+}
+
+func TestLookupByID(t *testing.T) {
+	s := runSim(t, 64, 31)
+	j := s.Jobs[0]
+	got, ok := s.Job(j.ID)
+	if !ok || got != j {
+		t.Fatal("Job lookup by id failed")
+	}
+	if _, ok := s.Job("ghost"); ok {
+		t.Fatal("ghost job should not resolve")
+	}
+}
+
+func TestProfileKindStrings(t *testing.T) {
+	for k := ProfileKind(0); k < ProfileKind(NumProfileKinds); k++ {
+		if s := k.String(); s == "" || hasPrefix(s, "profile(") {
+			t.Fatalf("ProfileKind %d has no name", k)
+		}
+	}
+	if ProfileKind(99).String() != "profile(99)" {
+		t.Fatal("unknown kind should fall back")
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		StatePending: "pending", StateRunning: "running",
+		StateCompleted: "completed", StateFailed: "failed", StateCancelled: "cancelled",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Fatalf("state %d string = %q want %q", k, k.String(), w)
+		}
+	}
+}
+
+func TestBackfillImprovesUtilization(t *testing.T) {
+	// With a heavy-tailed mix, some large job should queue while small
+	// jobs backfill. We check the invariant indirectly: jobs do not start
+	// strictly in submit order (backfill reorders), yet nothing overlaps.
+	s := runSim(t, 32, 37)
+	reordered := false
+	var lastStart time.Time
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() {
+			continue
+		}
+		if j.Start.Before(lastStart) {
+			reordered = true
+			break
+		}
+		lastStart = j.Start
+	}
+	if !reordered {
+		t.Log("no backfill reordering observed at this seed (acceptable but unusual)")
+	}
+}
+
+func TestQueueWaits(t *testing.T) {
+	s := runSim(t, 64, 41)
+	stats := s.QueueWaits()
+	if len(stats) == 0 {
+		t.Fatal("no queue stats")
+	}
+	total := 0
+	for _, q := range stats {
+		total += q.Jobs
+		if q.MedianWait < 0 || q.P90Wait < q.MedianWait || q.MaxWait < q.P90Wait {
+			t.Fatalf("wait ordering wrong: %+v", q)
+		}
+	}
+	started := 0
+	for _, j := range s.Jobs {
+		if !j.Start.IsZero() {
+			started++
+		}
+	}
+	if total != started {
+		t.Fatalf("queue stats cover %d jobs, %d started", total, started)
+	}
+	// Size classes appear in canonical order.
+	order := map[string]int{"1-4": 0, "5-32": 1, "33-256": 2, "257+": 3}
+	for i := 1; i < len(stats); i++ {
+		if order[stats[i].SizeClass] <= order[stats[i-1].SizeClass] {
+			t.Fatalf("classes out of order: %+v", stats)
+		}
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]string{1: "1-4", 4: "1-4", 5: "5-32", 32: "5-32", 33: "33-256", 256: "33-256", 257: "257+", 9408: "257+"}
+	for n, want := range cases {
+		if got := sizeClass(n); got != want {
+			t.Fatalf("sizeClass(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestCancelledJobs(t *testing.T) {
+	// A tiny machine with an aggressive cancel rate: queued jobs give up.
+	sim := New(Config{Nodes: 4, System: "compass", Workload: WorkloadConfig{
+		Seed: 51, MeanInterarrival: 10 * time.Second, CancelRate: 0.5,
+		MeanRuntime: 30 * time.Minute,
+	}})
+	s := sim.Run(simFrom, simFrom.Add(4*time.Hour))
+	cancelled := 0
+	for _, j := range s.Jobs {
+		if j.State == StateCancelled {
+			cancelled++
+			if !j.Start.IsZero() {
+				t.Fatalf("cancelled job %s has a start time", j.ID)
+			}
+			if len(j.NodeList) != 0 {
+				t.Fatalf("cancelled job %s holds nodes", j.ID)
+			}
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job was cancelled despite 50% cancel rate on an oversubscribed machine")
+	}
+	// Cancel events appear in the log.
+	cancelEvents := 0
+	for _, e := range s.Events() {
+		if hasPrefix(e.Message, "job_cancel") {
+			cancelEvents++
+		}
+	}
+	if cancelEvents != cancelled {
+		t.Fatalf("cancel events = %d, cancelled jobs = %d", cancelEvents, cancelled)
+	}
+}
+
+func TestCancelRateZeroDisables(t *testing.T) {
+	sim := New(Config{Nodes: 4, Workload: WorkloadConfig{Seed: 51, CancelRate: -1}})
+	s := sim.Run(simFrom, simFrom.Add(2*time.Hour))
+	for _, j := range s.Jobs {
+		if j.State == StateCancelled {
+			t.Fatal("cancellation fired with CancelRate < 0 (disabled)")
+		}
+	}
+}

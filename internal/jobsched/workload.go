@@ -1,0 +1,191 @@
+package jobsched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// WorkloadConfig parametrizes the synthetic job mix. Defaults approximate
+// a leadership-class facility: a heavy tail of node counts (many small
+// debug jobs, occasional near-full-system runs), lognormal runtimes, and
+// a program mix dominated by INCITE.
+type WorkloadConfig struct {
+	// Seed makes the workload deterministic.
+	Seed int64
+	// MeanInterarrival is the mean time between job submissions.
+	MeanInterarrival time.Duration
+	// MaxNodes caps a single job's node count (defaults to cluster size).
+	MaxNodes int
+	// MeanRuntime is the median of the lognormal runtime distribution.
+	MeanRuntime time.Duration
+	// Users and Projects bound the synthetic population.
+	Users    int
+	Projects int
+	// GPUFraction is the probability a job is GPU-accelerated.
+	GPUFraction float64
+	// FailureRate is the probability a job ends in StateFailed.
+	FailureRate float64
+	// CancelRate is the probability a submitted job is cancelled by its
+	// user while still queued (impatience model: cancellation fires after
+	// 2-6x the job's requested walltime of waiting).
+	CancelRate float64
+}
+
+func (c WorkloadConfig) withDefaults(clusterNodes int) WorkloadConfig {
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 90 * time.Second
+	}
+	if c.MaxNodes <= 0 || c.MaxNodes > clusterNodes {
+		c.MaxNodes = clusterNodes
+	}
+	if c.MeanRuntime <= 0 {
+		c.MeanRuntime = 45 * time.Minute
+	}
+	if c.Users <= 0 {
+		c.Users = 40
+	}
+	if c.Projects <= 0 {
+		c.Projects = 12
+	}
+	if c.GPUFraction <= 0 {
+		c.GPUFraction = 0.8
+	}
+	if c.FailureRate < 0 {
+		c.FailureRate = 0
+	} else if c.FailureRate == 0 {
+		c.FailureRate = 0.06
+	}
+	if c.CancelRate < 0 {
+		c.CancelRate = 0
+	} else if c.CancelRate == 0 {
+		c.CancelRate = 0.03
+	}
+	return c
+}
+
+// programs and their sampling weights (INCITE dominates node-hours at a
+// leadership facility; DD is many small jobs).
+var programs = []struct {
+	name   string
+	weight float64
+}{
+	{"INCITE", 0.45},
+	{"ALCC", 0.25},
+	{"DD", 0.20},
+	{"STAFF", 0.10},
+}
+
+// workloadGen draws synthetic jobs.
+type workloadGen struct {
+	cfg WorkloadConfig
+	rng *rand.Rand
+	seq int
+}
+
+func newWorkloadGen(cfg WorkloadConfig, clusterNodes int) *workloadGen {
+	cfg = cfg.withDefaults(clusterNodes)
+	return &workloadGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// nextInterarrival draws an exponential interarrival gap.
+func (g *workloadGen) nextInterarrival() time.Duration {
+	gap := g.rng.ExpFloat64() * float64(g.cfg.MeanInterarrival)
+	if gap < float64(time.Second) {
+		gap = float64(time.Second)
+	}
+	return time.Duration(gap)
+}
+
+// nextNodes draws a heavy-tailed node count: mostly 1-8 nodes, rare
+// large allocations up to MaxNodes.
+func (g *workloadGen) nextNodes() int {
+	u := g.rng.Float64()
+	switch {
+	case u < 0.50:
+		return 1 + g.rng.Intn(4) // 1-4 nodes
+	case u < 0.80:
+		return 5 + g.rng.Intn(28) // 5-32
+	case u < 0.95:
+		return 33 + g.rng.Intn(224) // 33-256
+	default:
+		// Power-law tail toward full system.
+		frac := math.Pow(g.rng.Float64(), 3)
+		n := int(frac * float64(g.cfg.MaxNodes))
+		if n < 257 {
+			n = 257
+		}
+		if n > g.cfg.MaxNodes {
+			n = g.cfg.MaxNodes
+		}
+		return n
+	}
+}
+
+// nextRuntime draws a lognormal runtime around MeanRuntime.
+func (g *workloadGen) nextRuntime() time.Duration {
+	d := time.Duration(float64(g.cfg.MeanRuntime) * math.Exp(g.rng.NormFloat64()*0.9))
+	if d < time.Minute {
+		d = time.Minute
+	}
+	if d > 24*time.Hour {
+		d = 24 * time.Hour
+	}
+	return d
+}
+
+func (g *workloadGen) nextProgram() string {
+	u := g.rng.Float64()
+	acc := 0.0
+	for _, p := range programs {
+		acc += p.weight
+		if u < acc {
+			return p.name
+		}
+	}
+	return programs[len(programs)-1].name
+}
+
+// next draws the next job, submitted at the given time.
+func (g *workloadGen) next(submit time.Time) *Job {
+	g.seq++
+	runtime := g.nextRuntime()
+	profile := ProfileKind(g.rng.Intn(NumProfileKinds))
+	period := time.Duration(30+g.rng.Intn(300)) * time.Second
+	var cancelAfter time.Duration
+	if g.rng.Float64() < g.cfg.CancelRate {
+		cancelAfter = time.Duration((2 + 4*g.rng.Float64()) * float64(runtime))
+	}
+	return &Job{
+		ID:          fmt.Sprintf("job%06d", g.seq),
+		User:        fmt.Sprintf("user%02d", g.rng.Intn(g.cfg.Users)),
+		Project:     fmt.Sprintf("PRJ%03d", g.rng.Intn(g.cfg.Projects)),
+		Program:     g.nextProgram(),
+		Nodes:       g.nextNodes(),
+		GPUJob:      g.rng.Float64() < g.cfg.GPUFraction,
+		Submit:      submit,
+		WallReq:     runtime + runtime/4,
+		State:       StatePending,
+		Profile:     profile,
+		Intensity:   0.3 + 0.7*g.rng.Float64(),
+		Period:      period,
+		cancelAfter: cancelAfter,
+	}
+	// Runtime itself is decided at start time by the scheduler using
+	// WallReq and the failure model; see Simulator.run.
+}
+
+// sampleRuntime returns the actual runtime for a started job: usually
+// close to the drawn runtime (WallReq*4/5), failed jobs die early.
+func (g *workloadGen) sampleRuntime(j *Job) (time.Duration, JobState) {
+	nominal := j.WallReq * 4 / 5
+	if g.rng.Float64() < g.cfg.FailureRate {
+		// Failures strike uniformly within the nominal runtime.
+		frac := 0.05 + 0.9*g.rng.Float64()
+		return time.Duration(float64(nominal) * frac), StateFailed
+	}
+	// ±10% jitter around nominal.
+	jit := 0.9 + 0.2*g.rng.Float64()
+	return time.Duration(float64(nominal) * jit), StateCompleted
+}

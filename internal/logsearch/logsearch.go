@@ -1,0 +1,265 @@
+// Package logsearch implements the LAKE tier's unstructured-log store:
+// the role ElasticSearch plays in the paper — real-time diagnostics and
+// debugging over syslog and event streams. Events are tokenized into an
+// inverted index held in hourly segments; queries combine full-text terms
+// (AND semantics), field filters, and a time range, returning the newest
+// matches first. Hourly segments give the same bounded retention story as
+// the rest of the hot tier.
+package logsearch
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+
+	"odakit/internal/schema"
+)
+
+// Tokenize splits text into lower-cased alphanumeric terms. Exported so
+// dashboards can highlight matched terms the same way the index sees them.
+func Tokenize(text string) []string {
+	var terms []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			terms = append(terms, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return terms
+}
+
+type docRef struct {
+	seg *segmentIdx
+	id  int
+}
+
+type segmentIdx struct {
+	start time.Time
+	docs  []schema.Event
+	terms map[string][]int // term -> sorted doc ids within segment
+}
+
+// Index is the searchable log store. Safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	segments map[int64]*segmentIdx
+	segDur   time.Duration
+	total    int64
+}
+
+// New returns an empty index with hourly segments.
+func New() *Index {
+	return &Index{segments: make(map[int64]*segmentIdx), segDur: time.Hour}
+}
+
+// Add indexes one event.
+func (ix *Index) Add(e schema.Event) {
+	chunk := e.Ts.Truncate(ix.segDur).UnixNano()
+	ix.mu.Lock()
+	seg, ok := ix.segments[chunk]
+	if !ok {
+		seg = &segmentIdx{start: e.Ts.Truncate(ix.segDur), terms: make(map[string][]int)}
+		ix.segments[chunk] = seg
+	}
+	id := len(seg.docs)
+	seg.docs = append(seg.docs, e)
+	seen := map[string]bool{}
+	for _, term := range Tokenize(e.Message + " " + e.Host + " " + e.Severity + " " + e.Source) {
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		seg.terms[term] = append(seg.terms[term], id)
+	}
+	ix.total++
+	ix.mu.Unlock()
+}
+
+// AddAll indexes a batch of events.
+func (ix *Index) AddAll(events []schema.Event) {
+	for _, e := range events {
+		ix.Add(e)
+	}
+}
+
+// Query describes a log search.
+type Query struct {
+	// Terms must all appear in the event (message or fields), after
+	// tokenization. Empty means match-all.
+	Terms []string
+	// Severity restricts matches when non-empty.
+	Severity string
+	// Host restricts matches when non-empty.
+	Host string
+	// From and To bound the time range; zero values are unbounded.
+	From, To time.Time
+	// Limit caps returned events (default 100).
+	Limit int
+}
+
+// Search returns matching events, newest first.
+func (ix *Index) Search(q Query) []schema.Event {
+	if q.Limit <= 0 {
+		q.Limit = 100
+	}
+	want := make([]string, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		want = append(want, Tokenize(t)...)
+	}
+
+	ix.mu.RLock()
+	// Visit segments newest-first so the limit can stop the scan early.
+	keys := make([]int64, 0, len(ix.segments))
+	for k := range ix.segments {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
+
+	var out []schema.Event
+	for _, k := range keys {
+		seg := ix.segments[k]
+		segEnd := seg.start.Add(ix.segDur)
+		if !q.From.IsZero() && !segEnd.After(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && !seg.start.Before(q.To) {
+			continue
+		}
+		ids := seg.match(want)
+		// Collect matches in this segment, filter, then sort newest first.
+		var hits []schema.Event
+		for _, id := range ids {
+			e := seg.docs[id]
+			if !q.From.IsZero() && e.Ts.Before(q.From) {
+				continue
+			}
+			if !q.To.IsZero() && !e.Ts.Before(q.To) {
+				continue
+			}
+			if q.Severity != "" && e.Severity != q.Severity {
+				continue
+			}
+			if q.Host != "" && e.Host != q.Host {
+				continue
+			}
+			hits = append(hits, e)
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].Ts.After(hits[j].Ts) })
+		out = append(out, hits...)
+		if len(out) >= q.Limit {
+			out = out[:q.Limit]
+			break
+		}
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
+// match returns doc ids containing every term (intersection of postings).
+func (s *segmentIdx) match(terms []string) []int {
+	if len(terms) == 0 {
+		ids := make([]int, len(s.docs))
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	postings := make([][]int, 0, len(terms))
+	for _, t := range terms {
+		p, ok := s.terms[t]
+		if !ok {
+			return nil
+		}
+		postings = append(postings, p)
+	}
+	// Intersect starting from the rarest posting list.
+	sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
+	cur := postings[0]
+	for _, p := range postings[1:] {
+		cur = intersect(cur, p)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Count returns how many events match without materializing them.
+func (ix *Index) Count(q Query) int {
+	q.Limit = 1 << 30
+	return len(ix.Search(q))
+}
+
+// Retain drops segments older than cutoff, returning the dropped count.
+func (ix *Index) Retain(cutoff time.Time) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	dropped := 0
+	for k, seg := range ix.segments {
+		if seg.start.Add(ix.segDur).Before(cutoff) {
+			ix.total -= int64(len(seg.docs))
+			delete(ix.segments, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Stats summarizes index contents.
+type Stats struct {
+	Docs     int64
+	Segments int
+	Terms    int
+}
+
+// Stats returns current counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{Docs: ix.total, Segments: len(ix.segments)}
+	for _, s := range ix.segments {
+		st.Terms += len(s.terms)
+	}
+	return st
+}
+
+// Histogram counts matching events per severity — the Kibana-style
+// overview panel of the diagnostics UI.
+func (ix *Index) Histogram(q Query) map[string]int {
+	q.Limit = 1 << 30
+	q.Severity = ""
+	out := map[string]int{}
+	for _, e := range ix.Search(q) {
+		out[e.Severity]++
+	}
+	return out
+}

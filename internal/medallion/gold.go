@@ -1,0 +1,197 @@
+package medallion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"odakit/internal/jobsched"
+	"odakit/internal/schema"
+	"odakit/internal/sproc"
+)
+
+// Gold-stage transforms: analysis-ready artifacts distilled from Silver.
+
+// JobProfile is the Gold-stage power profile of one job — the featurized
+// artifact behind the Fig 10 clustering pipeline and the LVA job views.
+type JobProfile struct {
+	JobID   string
+	User    string
+	Project string
+	Program string
+	// Truth is the generator's profile class when the job is known to the
+	// schedule; used only to score clustering, never to compute it.
+	Truth jobsched.ProfileKind
+	Nodes int
+	Start time.Time
+	End   time.Time
+
+	MeanPowerW float64
+	PeakPowerW float64
+	EnergyKWh  float64
+	// Vector is the job's node-mean power series resampled to a fixed
+	// length and scaled to [0, 1] — shape, not magnitude.
+	Vector []float64
+}
+
+// ExtractJobProfiles builds Gold job profiles from contextualized Silver
+// rows. powerCol names the per-node power column; dim is the feature
+// vector length. Jobs with fewer than two Silver windows are skipped
+// (no shape to speak of). sched, when non-nil, supplies ground truth and
+// node counts for scoring.
+func ExtractJobProfiles(silver *schema.Frame, powerCol string, sched *jobsched.Schedule, dim int) ([]JobProfile, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("medallion: profile dim %d too small", dim)
+	}
+	sch := silver.Schema()
+	need := []string{"window", "job_id", "user", "project", "program", powerCol}
+	idx := make(map[string]int, len(need))
+	for _, n := range need {
+		i, ok := sch.Index(n)
+		if !ok {
+			return nil, fmt.Errorf("medallion: silver frame missing column %q", n)
+		}
+		idx[n] = i
+	}
+
+	type sample struct {
+		ts  int64
+		sum float64
+		n   int
+	}
+	type acc struct {
+		user, project, program string
+		byWindow               map[int64]*sample
+	}
+	jobs := make(map[string]*acc)
+	for r := 0; r < silver.Len(); r++ {
+		row := silver.Row(r)
+		jid := row[idx["job_id"]]
+		pv := row[idx[powerCol]]
+		if jid.IsNull() || pv.IsNull() {
+			continue
+		}
+		a, ok := jobs[jid.StrVal()]
+		if !ok {
+			a = &acc{
+				user: row[idx["user"]].StrVal(), project: row[idx["project"]].StrVal(),
+				program: row[idx["program"]].StrVal(), byWindow: make(map[int64]*sample),
+			}
+			jobs[jid.StrVal()] = a
+		}
+		w := row[idx["window"]].UnixNanos()
+		s, ok := a.byWindow[w]
+		if !ok {
+			s = &sample{ts: w}
+			a.byWindow[w] = s
+		}
+		s.sum += pv.FloatVal()
+		s.n++
+	}
+
+	ids := make([]string, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var out []JobProfile
+	for _, id := range ids {
+		a := jobs[id]
+		series := make([]sample, 0, len(a.byWindow))
+		for _, s := range a.byWindow {
+			series = append(series, *s)
+		}
+		if len(series) < 2 {
+			continue
+		}
+		sort.Slice(series, func(i, j int) bool { return series[i].ts < series[j].ts })
+
+		// Node-mean power per window.
+		ts := make([]float64, len(series))
+		vals := make([]float64, len(series))
+		for i, s := range series {
+			ts[i] = float64(s.ts)
+			vals[i] = s.sum / float64(s.n)
+		}
+		p := JobProfile{
+			JobID: id, User: a.user, Project: a.project, Program: a.program,
+			Truth: jobsched.ProfileKind(-1),
+			Start: time.Unix(0, series[0].ts).UTC(),
+			End:   time.Unix(0, series[len(series)-1].ts).UTC(),
+		}
+		peak, sum := 0.0, 0.0
+		for _, v := range vals {
+			sum += v
+			if v > peak {
+				peak = v
+			}
+		}
+		p.MeanPowerW = sum / float64(len(vals))
+		p.PeakPowerW = peak
+		if sched != nil {
+			if j, ok := sched.Job(id); ok {
+				p.Truth = j.Profile
+				p.Nodes = j.Nodes
+				p.EnergyKWh = p.MeanPowerW * float64(j.Nodes) * p.End.Sub(p.Start).Hours() / 1000
+			}
+		}
+		p.Vector = resample(ts, vals, dim, peak)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// resample linearly interpolates (ts, vals) onto dim evenly spaced points
+// and scales by peak into [0, 1].
+func resample(ts, vals []float64, dim int, peak float64) []float64 {
+	out := make([]float64, dim)
+	t0, tN := ts[0], ts[len(ts)-1]
+	span := tN - t0
+	scale := 1.0
+	if peak > 0 {
+		scale = 1 / peak
+	}
+	for j := 0; j < dim; j++ {
+		pos := t0
+		if dim > 1 {
+			pos = t0 + span*float64(j)/float64(dim-1)
+		}
+		// Find bracketing samples.
+		i := sort.SearchFloat64s(ts, pos)
+		switch {
+		case i == 0:
+			out[j] = vals[0] * scale
+		case i >= len(ts):
+			out[j] = vals[len(vals)-1] * scale
+		default:
+			frac := 0.0
+			if ts[i] != ts[i-1] {
+				frac = (pos - ts[i-1]) / (ts[i] - ts[i-1])
+			}
+			out[j] = (vals[i-1] + frac*(vals[i]-vals[i-1])) * scale
+		}
+	}
+	return out
+}
+
+// SystemSeries aggregates a Silver metric across all components per
+// window (the LVA system view): output rows are (window, value).
+func SystemSeries(silver *schema.Frame, metricCol string, agg sproc.AggKind) (*schema.Frame, error) {
+	if !silver.Schema().Has(metricCol) {
+		return nil, fmt.Errorf("medallion: no column %q", metricCol)
+	}
+	return sproc.GroupBy(silver, []string{"window"}, []sproc.Agg{{Col: metricCol, Kind: agg, As: "value"}})
+}
+
+// ProgramReport aggregates Silver rows per allocation program (a Gold
+// reporting artifact): rows are (program, sum of metric, row count).
+func ProgramReport(silver *schema.Frame, metricCol string) (*schema.Frame, error) {
+	if !silver.Schema().Has(metricCol) {
+		return nil, fmt.Errorf("medallion: no column %q", metricCol)
+	}
+	return sproc.GroupBy(silver, []string{"program"}, []sproc.Agg{
+		{Col: metricCol, Kind: sproc.AggSum, As: "total"},
+		{Col: metricCol, Kind: sproc.AggCount, As: "rows"},
+	})
+}

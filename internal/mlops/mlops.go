@@ -1,0 +1,430 @@
+// Package mlops implements the paper's ML engineering pipeline (Fig 9):
+// "importing Silver class refined batches of datasets on OCEAN, managing
+// featurized data through version-controlled project feature stores
+// (DVC), employing CI/CD workflow support ... for training orchestration,
+// and tracking experiments and distributing models via an ML tracking
+// service (MLflow)". Here that is three coordinated registries on top of
+// the object store:
+//
+//   - FeatureStore: content-addressed, versioned feature datasets (the
+//     DVC role) — identical bytes hash to the identical version, so
+//     reproducibility is checkable.
+//   - Tracker: experiment runs with parameters, metrics, and artifact
+//     references (the MLflow role).
+//   - ModelRegistry: named, versioned model binaries with stage
+//     promotion (staging → production) for downstream inference.
+package mlops
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"odakit/internal/objstore"
+)
+
+// Bucket names used in the backing store.
+const (
+	bucketFeatures = "mlops-features"
+	bucketModels   = "mlops-models"
+	bucketRuns     = "mlops-runs"
+)
+
+// Errors returned by the pipeline services.
+var (
+	ErrNoFeature = errors.New("mlops: no such feature set")
+	ErrNoRun     = errors.New("mlops: no such run")
+	ErrNoModel   = errors.New("mlops: no such model")
+	ErrRunOpen   = errors.New("mlops: run still open")
+)
+
+// Pipeline bundles the three services over one object store.
+type Pipeline struct {
+	store *objstore.Store
+	mu    sync.Mutex
+	now   func() time.Time
+	seq   int
+}
+
+// New attaches the ML pipeline services to a store.
+func New(store *objstore.Store) (*Pipeline, error) {
+	for _, b := range []string{bucketFeatures, bucketModels, bucketRuns} {
+		if err := store.EnsureBucket(b); err != nil {
+			return nil, err
+		}
+	}
+	return &Pipeline{store: store, now: time.Now}, nil
+}
+
+// SetClock replaces the clock for deterministic tests.
+func (p *Pipeline) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+}
+
+// ---------------------------------------------------------------- features
+
+// FeatureVersion identifies one immutable feature dataset version.
+type FeatureVersion struct {
+	Name    string
+	Hash    string // content hash: the version id
+	Size    int64
+	Created time.Time
+	// Parents are the upstream feature/dataset hashes this was derived
+	// from (lineage).
+	Parents []string
+}
+
+// PutFeatures stores a feature dataset under name. The version id is the
+// SHA-256 of the content: storing identical bytes yields the identical
+// version, which is how reproducibility is verified end to end.
+func (p *Pipeline) PutFeatures(name string, data []byte, parents ...string) (FeatureVersion, error) {
+	if name == "" {
+		return FeatureVersion{}, errors.New("mlops: feature set needs a name")
+	}
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:8])
+	fv := FeatureVersion{Name: name, Hash: hash, Size: int64(len(data)), Created: p.nowFn()(), Parents: parents}
+	meta, err := json.Marshal(fv)
+	if err != nil {
+		return FeatureVersion{}, err
+	}
+	if _, err := p.store.Put(bucketFeatures, name+"/"+hash+"/data", data); err != nil {
+		return FeatureVersion{}, err
+	}
+	if _, err := p.store.Put(bucketFeatures, name+"/"+hash+"/meta", meta); err != nil {
+		return FeatureVersion{}, err
+	}
+	// Track the latest pointer.
+	if _, err := p.store.Put(bucketFeatures, name+"/latest", []byte(hash)); err != nil {
+		return FeatureVersion{}, err
+	}
+	return fv, nil
+}
+
+func (p *Pipeline) nowFn() func() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.now
+}
+
+// GetFeatures loads a feature dataset version ("" = latest).
+func (p *Pipeline) GetFeatures(name, hash string) ([]byte, FeatureVersion, error) {
+	if hash == "" {
+		b, _, err := p.store.Get(bucketFeatures, name+"/latest")
+		if err != nil {
+			return nil, FeatureVersion{}, fmt.Errorf("%w: %s", ErrNoFeature, name)
+		}
+		hash = string(b)
+	}
+	data, _, err := p.store.Get(bucketFeatures, name+"/"+hash+"/data")
+	if err != nil {
+		return nil, FeatureVersion{}, fmt.Errorf("%w: %s@%s", ErrNoFeature, name, hash)
+	}
+	metaB, _, err := p.store.Get(bucketFeatures, name+"/"+hash+"/meta")
+	if err != nil {
+		return nil, FeatureVersion{}, err
+	}
+	var fv FeatureVersion
+	if err := json.Unmarshal(metaB, &fv); err != nil {
+		return nil, FeatureVersion{}, err
+	}
+	return data, fv, nil
+}
+
+// FeatureVersions lists the stored versions of a feature set.
+func (p *Pipeline) FeatureVersions(name string) ([]FeatureVersion, error) {
+	infos, err := p.store.List(bucketFeatures, name+"/")
+	if err != nil {
+		return nil, err
+	}
+	var out []FeatureVersion
+	for _, info := range infos {
+		if !strings.HasSuffix(info.Key, "/meta") {
+			continue
+		}
+		metaB, _, err := p.store.Get(bucketFeatures, info.Key)
+		if err != nil {
+			return nil, err
+		}
+		var fv FeatureVersion
+		if err := json.Unmarshal(metaB, &fv); err != nil {
+			return nil, err
+		}
+		out = append(out, fv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Created.Before(out[j].Created) })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoFeature, name)
+	}
+	return out, nil
+}
+
+// -------------------------------------------------------------------- runs
+
+// Run is one tracked experiment execution.
+type Run struct {
+	ID         string
+	Experiment string
+	Params     map[string]string
+	Metrics    map[string][]float64
+	Features   []string // feature versions consumed (name@hash)
+	Artifacts  []string // model registry refs produced
+	Started    time.Time
+	Ended      time.Time
+	Open       bool
+}
+
+// StartRun opens a tracked run in an experiment.
+func (p *Pipeline) StartRun(experiment string) (*Run, error) {
+	if experiment == "" {
+		return nil, errors.New("mlops: run needs an experiment name")
+	}
+	p.mu.Lock()
+	p.seq++
+	id := fmt.Sprintf("run-%04d", p.seq)
+	now := p.now()
+	p.mu.Unlock()
+	return &Run{
+		ID: id, Experiment: experiment,
+		Params: map[string]string{}, Metrics: map[string][]float64{},
+		Started: now, Open: true,
+	}, nil
+}
+
+// LogParam records a hyperparameter.
+func (r *Run) LogParam(key, value string) { r.Params[key] = value }
+
+// LogMetric appends a metric observation (e.g. loss per epoch).
+func (r *Run) LogMetric(key string, value float64) {
+	r.Metrics[key] = append(r.Metrics[key], value)
+}
+
+// UseFeatures records feature lineage on the run.
+func (r *Run) UseFeatures(fv FeatureVersion) {
+	r.Features = append(r.Features, fv.Name+"@"+fv.Hash)
+}
+
+// EndRun closes and persists the run.
+func (p *Pipeline) EndRun(r *Run) error {
+	if !r.Open {
+		return fmt.Errorf("mlops: run %s already ended", r.ID)
+	}
+	r.Open = false
+	r.Ended = p.nowFn()()
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = p.store.Put(bucketRuns, r.Experiment+"/"+r.ID, data)
+	return err
+}
+
+// GetRun loads a persisted run.
+func (p *Pipeline) GetRun(experiment, id string) (Run, error) {
+	data, _, err := p.store.Get(bucketRuns, experiment+"/"+id)
+	if err != nil {
+		return Run{}, fmt.Errorf("%w: %s/%s", ErrNoRun, experiment, id)
+	}
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Run{}, err
+	}
+	return r, nil
+}
+
+// Runs lists an experiment's persisted runs in id order.
+func (p *Pipeline) Runs(experiment string) ([]Run, error) {
+	infos, err := p.store.List(bucketRuns, experiment+"/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Run, 0, len(infos))
+	for _, info := range infos {
+		data, _, err := p.store.Get(bucketRuns, info.Key)
+		if err != nil {
+			return nil, err
+		}
+		var r Run
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BestRun returns the experiment run with the lowest final value of the
+// metric (e.g. final training loss).
+func (p *Pipeline) BestRun(experiment, metric string) (Run, error) {
+	runs, err := p.Runs(experiment)
+	if err != nil {
+		return Run{}, err
+	}
+	best := -1
+	bestV := 0.0
+	for i, r := range runs {
+		series := r.Metrics[metric]
+		if len(series) == 0 {
+			continue
+		}
+		v := series[len(series)-1]
+		if best < 0 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	if best < 0 {
+		return Run{}, fmt.Errorf("%w: no run in %s has metric %q", ErrNoRun, experiment, metric)
+	}
+	return runs[best], nil
+}
+
+// ------------------------------------------------------------------ models
+
+// ModelStage is a registry promotion stage.
+type ModelStage string
+
+// Registry stages.
+const (
+	StageNone       ModelStage = "none"
+	StageStaging    ModelStage = "staging"
+	StageProduction ModelStage = "production"
+)
+
+// ModelVersion describes one registered model version.
+type ModelVersion struct {
+	Name    string
+	Version int
+	Hash    string
+	RunID   string
+	Stage   ModelStage
+	Created time.Time
+}
+
+// RegisterModel stores model bytes as the next version of name, linked to
+// the producing run. The run must be ended (a closed experiment record).
+func (p *Pipeline) RegisterModel(name string, data []byte, run *Run) (ModelVersion, error) {
+	if name == "" {
+		return ModelVersion{}, errors.New("mlops: model needs a name")
+	}
+	if run != nil && run.Open {
+		return ModelVersion{}, ErrRunOpen
+	}
+	versions, _ := p.ModelVersions(name)
+	next := len(versions) + 1
+	sum := sha256.Sum256(data)
+	mv := ModelVersion{
+		Name: name, Version: next, Hash: hex.EncodeToString(sum[:8]),
+		Stage: StageNone, Created: p.nowFn()(),
+	}
+	if run != nil {
+		mv.RunID = run.ID
+	}
+	meta, err := json.Marshal(mv)
+	if err != nil {
+		return ModelVersion{}, err
+	}
+	key := fmt.Sprintf("%s/v%04d", name, next)
+	if _, err := p.store.Put(bucketModels, key+"/data", data); err != nil {
+		return ModelVersion{}, err
+	}
+	if _, err := p.store.Put(bucketModels, key+"/meta", meta); err != nil {
+		return ModelVersion{}, err
+	}
+	return mv, nil
+}
+
+// ModelVersions lists a model's versions in order.
+func (p *Pipeline) ModelVersions(name string) ([]ModelVersion, error) {
+	infos, err := p.store.List(bucketModels, name+"/")
+	if err != nil {
+		return nil, err
+	}
+	var out []ModelVersion
+	for _, info := range infos {
+		if !strings.HasSuffix(info.Key, "/meta") {
+			continue
+		}
+		data, _, err := p.store.Get(bucketModels, info.Key)
+		if err != nil {
+			return nil, err
+		}
+		var mv ModelVersion
+		if err := json.Unmarshal(data, &mv); err != nil {
+			return nil, err
+		}
+		out = append(out, mv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out, nil
+}
+
+// Promote moves a model version to a stage; promoting to production
+// demotes any prior production version of the same model.
+func (p *Pipeline) Promote(name string, version int, stage ModelStage) error {
+	versions, err := p.ModelVersions(name)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, mv := range versions {
+		update := false
+		switch {
+		case mv.Version == version:
+			mv.Stage = stage
+			update = true
+			found = true
+		case stage == StageProduction && mv.Stage == StageProduction:
+			mv.Stage = StageNone
+			update = true
+		}
+		if update {
+			meta, err := json.Marshal(mv)
+			if err != nil {
+				return err
+			}
+			key := fmt.Sprintf("%s/v%04d/meta", name, mv.Version)
+			if _, err := p.store.Put(bucketModels, key, meta); err != nil {
+				return err
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: %s v%d", ErrNoModel, name, version)
+	}
+	return nil
+}
+
+// LoadModel returns the bytes and metadata of a model version; version 0
+// loads the current production version.
+func (p *Pipeline) LoadModel(name string, version int) ([]byte, ModelVersion, error) {
+	versions, err := p.ModelVersions(name)
+	if err != nil {
+		return nil, ModelVersion{}, err
+	}
+	var want *ModelVersion
+	for i := range versions {
+		if version == 0 && versions[i].Stage == StageProduction {
+			want = &versions[i]
+		}
+		if version != 0 && versions[i].Version == version {
+			want = &versions[i]
+		}
+	}
+	if want == nil {
+		return nil, ModelVersion{}, fmt.Errorf("%w: %s v%d", ErrNoModel, name, version)
+	}
+	key := fmt.Sprintf("%s/v%04d/data", name, want.Version)
+	data, _, err := p.store.Get(bucketModels, key)
+	if err != nil {
+		return nil, ModelVersion{}, err
+	}
+	return data, *want, nil
+}

@@ -1,0 +1,254 @@
+package mlops
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"odakit/internal/objstore"
+)
+
+var now = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testPipeline(t *testing.T) (*Pipeline, *time.Time) {
+	t.Helper()
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := now
+	p.SetClock(func() time.Time { return clock })
+	return p, &clock
+}
+
+func TestFeatureStoreContentAddressing(t *testing.T) {
+	p, _ := testPipeline(t)
+	data := []byte("feature,vector\n1,0.5\n")
+	v1, err := p.PutFeatures("job-power", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical bytes hash identically: the reproducibility invariant.
+	v2, err := p.PutFeatures("job-power", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Hash != v2.Hash {
+		t.Fatalf("identical content hashed differently: %s vs %s", v1.Hash, v2.Hash)
+	}
+	v3, err := p.PutFeatures("job-power", []byte("different"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Hash == v1.Hash {
+		t.Fatal("different content hashed identically")
+	}
+	// Latest pointer follows the most recent put.
+	got, fv, err := p.GetFeatures("job-power", "")
+	if err != nil || !bytes.Equal(got, []byte("different")) || fv.Hash != v3.Hash {
+		t.Fatalf("latest = %q, %+v, %v", got, fv, err)
+	}
+	// Old version remains addressable.
+	got, _, err = p.GetFeatures("job-power", v1.Hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("old version = %q, %v", got, err)
+	}
+	if _, _, err := p.GetFeatures("job-power", "deadbeef"); !errors.Is(err, ErrNoFeature) {
+		t.Fatalf("ghost hash: %v", err)
+	}
+	if _, _, err := p.GetFeatures("ghost", ""); !errors.Is(err, ErrNoFeature) {
+		t.Fatalf("ghost name: %v", err)
+	}
+	if _, err := p.PutFeatures("", data); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestFeatureLineage(t *testing.T) {
+	p, _ := testPipeline(t)
+	raw, _ := p.PutFeatures("silver-batch", []byte("raw"))
+	feat, err := p.PutFeatures("job-power", []byte("featurized"), raw.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat.Parents) != 1 || feat.Parents[0] != raw.Hash {
+		t.Fatalf("lineage = %+v", feat.Parents)
+	}
+	versions, err := p.FeatureVersions("job-power")
+	if err != nil || len(versions) != 1 {
+		t.Fatalf("versions = %+v, %v", versions, err)
+	}
+	if _, err := p.FeatureVersions("ghost"); !errors.Is(err, ErrNoFeature) {
+		t.Fatal("ghost versions resolved")
+	}
+}
+
+func TestRunTracking(t *testing.T) {
+	p, clock := testPipeline(t)
+	r, err := p.StartRun("power-clustering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.StartRun(""); err == nil {
+		t.Fatal("empty experiment accepted")
+	}
+	r.LogParam("epochs", "60")
+	r.LogParam("grid", "4x4")
+	r.LogMetric("loss", 0.9)
+	r.LogMetric("loss", 0.5)
+	r.LogMetric("loss", 0.2)
+	fv, _ := p.PutFeatures("job-power", []byte("x"))
+	r.UseFeatures(fv)
+	*clock = clock.Add(time.Minute)
+	if err := p.EndRun(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EndRun(r); err == nil {
+		t.Fatal("double end accepted")
+	}
+
+	got, err := p.GetRun("power-clustering", r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params["epochs"] != "60" || len(got.Metrics["loss"]) != 3 {
+		t.Fatalf("persisted run = %+v", got)
+	}
+	if !got.Ended.Equal(now.Add(time.Minute)) || got.Open {
+		t.Fatalf("run timing = %+v", got)
+	}
+	if len(got.Features) != 1 {
+		t.Fatalf("features = %v", got.Features)
+	}
+	if _, err := p.GetRun("power-clustering", "run-9999"); !errors.Is(err, ErrNoRun) {
+		t.Fatal("ghost run resolved")
+	}
+}
+
+func TestBestRun(t *testing.T) {
+	p, _ := testPipeline(t)
+	for i, final := range []float64{0.5, 0.1, 0.3} {
+		r, _ := p.StartRun("exp")
+		r.LogParam("trial", string(rune('a'+i)))
+		r.LogMetric("loss", 1.0)
+		r.LogMetric("loss", final)
+		if err := p.EndRun(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, err := p.BestRun("exp", "loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Params["trial"] != "b" {
+		t.Fatalf("best = %+v", best)
+	}
+	if _, err := p.BestRun("exp", "ghost-metric"); !errors.Is(err, ErrNoRun) {
+		t.Fatal("ghost metric resolved")
+	}
+	runs, _ := p.Runs("exp")
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+}
+
+func TestModelRegistryLifecycle(t *testing.T) {
+	p, _ := testPipeline(t)
+	r, _ := p.StartRun("exp")
+	// Registering against an open run fails.
+	if _, err := p.RegisterModel("classifier", []byte("m1"), r); !errors.Is(err, ErrRunOpen) {
+		t.Fatalf("open run accepted: %v", err)
+	}
+	_ = p.EndRun(r)
+	v1, err := p.RegisterModel("classifier", []byte("m1"), r)
+	if err != nil || v1.Version != 1 || v1.RunID != r.ID {
+		t.Fatalf("v1 = %+v, %v", v1, err)
+	}
+	v2, err := p.RegisterModel("classifier", []byte("m2"), nil)
+	if err != nil || v2.Version != 2 {
+		t.Fatalf("v2 = %+v, %v", v2, err)
+	}
+	if _, err := p.RegisterModel("", nil, nil); err == nil {
+		t.Fatal("empty model name accepted")
+	}
+
+	// No production model yet.
+	if _, _, err := p.LoadModel("classifier", 0); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("production before promote: %v", err)
+	}
+	if err := p.Promote("classifier", 1, StageProduction); err != nil {
+		t.Fatal(err)
+	}
+	data, mv, err := p.LoadModel("classifier", 0)
+	if err != nil || string(data) != "m1" || mv.Version != 1 {
+		t.Fatalf("production = %q, %+v, %v", data, mv, err)
+	}
+	// Promoting v2 demotes v1.
+	if err := p.Promote("classifier", 2, StageProduction); err != nil {
+		t.Fatal(err)
+	}
+	data, mv, _ = p.LoadModel("classifier", 0)
+	if string(data) != "m2" || mv.Version != 2 {
+		t.Fatalf("new production = %q, %+v", data, mv)
+	}
+	versions, _ := p.ModelVersions("classifier")
+	if versions[0].Stage != StageNone || versions[1].Stage != StageProduction {
+		t.Fatalf("stages = %+v", versions)
+	}
+	// Explicit version load.
+	data, _, err = p.LoadModel("classifier", 1)
+	if err != nil || string(data) != "m1" {
+		t.Fatalf("v1 load = %q, %v", data, err)
+	}
+	if err := p.Promote("classifier", 99, StageStaging); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("ghost promote: %v", err)
+	}
+	if _, _, err := p.LoadModel("classifier", 99); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("ghost load: %v", err)
+	}
+}
+
+func TestPipelinePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := objstore.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, _ := p.PutFeatures("feat", []byte("payload"))
+	r, _ := p.StartRun("exp")
+	r.LogMetric("loss", 0.1)
+	_ = p.EndRun(r)
+	if _, err := p.RegisterModel("m", []byte("weights"), r); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := objstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, got, err := p2.GetFeatures("feat", fv.Hash)
+	if err != nil || string(data) != "payload" || got.Hash != fv.Hash {
+		t.Fatalf("reopened features = %q, %v", data, err)
+	}
+	runs, err := p2.Runs("exp")
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("reopened runs = %+v, %v", runs, err)
+	}
+	md, mv, err := p2.LoadModel("m", 1)
+	if err != nil || string(md) != "weights" || mv.Version != 1 {
+		t.Fatalf("reopened model = %q, %v", md, err)
+	}
+}

@@ -1,0 +1,173 @@
+package mlops
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Pipeline runner: the training-orchestration role GitLab CI plays in
+// Fig 9. A PipelineSpec is an ordered list of steps; each step's cache
+// key is the hash of its name, declared version, and every input hash, so
+// re-running a pipeline whose inputs and code are unchanged touches
+// nothing — and changing one upstream feature version invalidates exactly
+// the downstream steps. Artifacts are stored content-addressed in the
+// same object store as the rest of the ML services.
+
+const bucketPipeline = "mlops-pipeline"
+
+// StepContext is what a step's Run function sees.
+type StepContext struct {
+	p *Pipeline
+	// inputs maps each declared input to its resolved content hash.
+	inputs map[string]string
+	// artifacts maps prior step names to their output bytes.
+	artifacts map[string][]byte
+}
+
+// Feature loads a feature-store input declared as "name@hash".
+func (c *StepContext) Feature(ref string) ([]byte, error) {
+	name, hash, ok := splitRef(ref)
+	if !ok {
+		return nil, fmt.Errorf("mlops: bad feature ref %q", ref)
+	}
+	data, _, err := c.p.GetFeatures(name, hash)
+	return data, err
+}
+
+// Artifact returns a prior step's output.
+func (c *StepContext) Artifact(step string) ([]byte, error) {
+	a, ok := c.artifacts[step]
+	if !ok {
+		return nil, fmt.Errorf("mlops: no artifact from step %q (not a declared input?)", step)
+	}
+	return a, nil
+}
+
+// Step is one pipeline stage.
+type Step struct {
+	// Name identifies the step within the pipeline.
+	Name string
+	// Version is the step's code revision: bump it to invalidate caches
+	// when the logic changes (function identity cannot be hashed).
+	Version string
+	// Inputs are either feature refs ("name@hash") or prior step names.
+	Inputs []string
+	// Run produces the step's artifact.
+	Run func(ctx *StepContext) ([]byte, error)
+}
+
+// PipelineSpec is an ordered pipeline.
+type PipelineSpec struct {
+	Name  string
+	Steps []Step
+}
+
+// StepResult reports one executed (or cache-hit) step.
+type StepResult struct {
+	Name         string
+	CacheHit     bool
+	ArtifactHash string
+	Duration     time.Duration
+}
+
+// PipelineResult reports a whole run.
+type PipelineResult struct {
+	Pipeline  string
+	Steps     []StepResult
+	CacheHits int
+}
+
+// ErrBadPipeline reports an invalid spec.
+var ErrBadPipeline = errors.New("mlops: bad pipeline spec")
+
+func splitRef(ref string) (name, hash string, ok bool) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '@' {
+			return ref[:i], ref[i+1:], i > 0 && i < len(ref)-1
+		}
+	}
+	return "", "", false
+}
+
+// RunPipeline executes the spec, reusing cached artifacts when a step's
+// key (name, version, input hashes) is unchanged.
+func (p *Pipeline) RunPipeline(spec PipelineSpec) (*PipelineResult, error) {
+	if spec.Name == "" || len(spec.Steps) == 0 {
+		return nil, fmt.Errorf("%w: needs a name and steps", ErrBadPipeline)
+	}
+	if err := p.store.EnsureBucket(bucketPipeline); err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{Pipeline: spec.Name}
+	stepHash := map[string]string{} // step name -> artifact hash
+	stepData := map[string][]byte{} // step name -> artifact bytes
+	seen := map[string]bool{}
+
+	for _, st := range spec.Steps {
+		if st.Name == "" || st.Run == nil {
+			return nil, fmt.Errorf("%w: step needs a name and Run", ErrBadPipeline)
+		}
+		if seen[st.Name] {
+			return nil, fmt.Errorf("%w: duplicate step %q", ErrBadPipeline, st.Name)
+		}
+		seen[st.Name] = true
+
+		// Resolve inputs to content hashes.
+		inputHashes := make(map[string]string, len(st.Inputs))
+		arts := map[string][]byte{}
+		for _, in := range st.Inputs {
+			if h, ok := stepHash[in]; ok {
+				inputHashes[in] = h
+				arts[in] = stepData[in]
+				continue
+			}
+			name, hash, ok := splitRef(in)
+			if !ok {
+				return nil, fmt.Errorf("%w: step %q input %q is neither a prior step nor a feature ref", ErrBadPipeline, st.Name, in)
+			}
+			if _, fv, err := p.GetFeatures(name, hash); err != nil {
+				return nil, fmt.Errorf("mlops: step %q: %w", st.Name, err)
+			} else {
+				inputHashes[in] = fv.Hash
+			}
+		}
+
+		// Cache key.
+		h := sha256.New()
+		h.Write([]byte(spec.Name + "\x00" + st.Name + "\x00" + st.Version))
+		for _, in := range st.Inputs {
+			h.Write([]byte("\x00" + in + "=" + inputHashes[in]))
+		}
+		key := spec.Name + "/" + st.Name + "/" + hex.EncodeToString(h.Sum(nil)[:8])
+
+		start := time.Now()
+		if data, _, err := p.store.Get(bucketPipeline, key); err == nil {
+			sum := sha256.Sum256(data)
+			stepHash[st.Name] = hex.EncodeToString(sum[:8])
+			stepData[st.Name] = data
+			res.Steps = append(res.Steps, StepResult{
+				Name: st.Name, CacheHit: true,
+				ArtifactHash: stepHash[st.Name], Duration: time.Since(start),
+			})
+			res.CacheHits++
+			continue
+		}
+		out, err := st.Run(&StepContext{p: p, inputs: inputHashes, artifacts: arts})
+		if err != nil {
+			return nil, fmt.Errorf("mlops: step %q: %w", st.Name, err)
+		}
+		if _, err := p.store.Put(bucketPipeline, key, out); err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(out)
+		stepHash[st.Name] = hex.EncodeToString(sum[:8])
+		stepData[st.Name] = out
+		res.Steps = append(res.Steps, StepResult{
+			Name: st.Name, ArtifactHash: stepHash[st.Name], Duration: time.Since(start),
+		})
+	}
+	return res, nil
+}

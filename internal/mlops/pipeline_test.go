@@ -1,0 +1,182 @@
+package mlops
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"odakit/internal/objstore"
+)
+
+func pipelineFixture(t *testing.T) (*Pipeline, FeatureVersion) {
+	t.Helper()
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := p.PutFeatures("raw", []byte("a,b,c\n1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fv
+}
+
+func trainingSpec(fv FeatureVersion, runs *int, version string) PipelineSpec {
+	return PipelineSpec{
+		Name: "power-clustering",
+		Steps: []Step{
+			{
+				Name: "featurize", Version: version, Inputs: []string{"raw@" + fv.Hash},
+				Run: func(ctx *StepContext) ([]byte, error) {
+					*runs++
+					data, err := ctx.Feature("raw@" + fv.Hash)
+					if err != nil {
+						return nil, err
+					}
+					return append([]byte("featurized:"), data...), nil
+				},
+			},
+			{
+				Name: "train", Version: version, Inputs: []string{"featurize"},
+				Run: func(ctx *StepContext) ([]byte, error) {
+					*runs++
+					feat, err := ctx.Artifact("featurize")
+					if err != nil {
+						return nil, err
+					}
+					return append([]byte("model-of:"), feat...), nil
+				},
+			},
+		},
+	}
+}
+
+func TestPipelineRunsAndCaches(t *testing.T) {
+	p, fv := pipelineFixture(t)
+	runs := 0
+	spec := trainingSpec(fv, &runs, "v1")
+
+	res1, err := p.RunPipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || res1.CacheHits != 0 {
+		t.Fatalf("first run: runs=%d hits=%d", runs, res1.CacheHits)
+	}
+	if len(res1.Steps) != 2 || res1.Steps[0].ArtifactHash == "" {
+		t.Fatalf("results = %+v", res1.Steps)
+	}
+
+	// Second run: everything cached, nothing executes.
+	res2, err := p.RunPipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || res2.CacheHits != 2 {
+		t.Fatalf("second run: runs=%d hits=%d", runs, res2.CacheHits)
+	}
+	if res2.Steps[1].ArtifactHash != res1.Steps[1].ArtifactHash {
+		t.Fatal("cached artifact hash changed")
+	}
+}
+
+func TestPipelineInvalidatesOnNewFeatures(t *testing.T) {
+	p, fv := pipelineFixture(t)
+	runs := 0
+	if _, err := p.RunPipeline(trainingSpec(fv, &runs, "v1")); err != nil {
+		t.Fatal(err)
+	}
+	// New feature version: the whole chain re-executes.
+	fv2, err := p.PutFeatures("raw", []byte("a,b,c\n9,9,9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunPipeline(trainingSpec(fv2, &runs, "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 || res.CacheHits != 0 {
+		t.Fatalf("after new features: runs=%d hits=%d", runs, res.CacheHits)
+	}
+}
+
+func TestPipelineInvalidatesOnVersionBump(t *testing.T) {
+	p, fv := pipelineFixture(t)
+	runs := 0
+	if _, err := p.RunPipeline(trainingSpec(fv, &runs, "v1")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunPipeline(trainingSpec(fv, &runs, "v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4 || res.CacheHits != 0 {
+		t.Fatalf("after version bump: runs=%d hits=%d", runs, res.CacheHits)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	p, fv := pipelineFixture(t)
+	if _, err := p.RunPipeline(PipelineSpec{}); !errors.Is(err, ErrBadPipeline) {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := p.RunPipeline(PipelineSpec{Name: "x", Steps: []Step{{Name: "a"}}}); !errors.Is(err, ErrBadPipeline) {
+		t.Fatal("step without Run accepted")
+	}
+	dup := PipelineSpec{Name: "x", Steps: []Step{
+		{Name: "a", Run: func(*StepContext) ([]byte, error) { return nil, nil }},
+		{Name: "a", Run: func(*StepContext) ([]byte, error) { return nil, nil }},
+	}}
+	if _, err := p.RunPipeline(dup); !errors.Is(err, ErrBadPipeline) {
+		t.Fatal("duplicate step accepted")
+	}
+	badInput := PipelineSpec{Name: "x", Steps: []Step{
+		{Name: "a", Inputs: []string{"not-a-ref"}, Run: func(*StepContext) ([]byte, error) { return nil, nil }},
+	}}
+	if _, err := p.RunPipeline(badInput); !errors.Is(err, ErrBadPipeline) {
+		t.Fatal("bad input ref accepted")
+	}
+	ghostFeature := PipelineSpec{Name: "x", Steps: []Step{
+		{Name: "a", Inputs: []string{"ghost@deadbeef"}, Run: func(*StepContext) ([]byte, error) { return nil, nil }},
+	}}
+	if _, err := p.RunPipeline(ghostFeature); err == nil {
+		t.Fatal("ghost feature accepted")
+	}
+	_ = fv
+}
+
+func TestPipelineStepFailurePropagates(t *testing.T) {
+	p, _ := pipelineFixture(t)
+	boom := errors.New("training diverged")
+	spec := PipelineSpec{Name: "x", Steps: []Step{
+		{Name: "a", Run: func(*StepContext) ([]byte, error) { return nil, boom }},
+	}}
+	if _, err := p.RunPipeline(spec); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepContextErrors(t *testing.T) {
+	p, fv := pipelineFixture(t)
+	spec := PipelineSpec{Name: "x", Steps: []Step{
+		{
+			Name: "a", Inputs: []string{"raw@" + fv.Hash},
+			Run: func(ctx *StepContext) ([]byte, error) {
+				if _, err := ctx.Artifact("nope"); err == nil {
+					return nil, fmt.Errorf("undeclared artifact resolved")
+				}
+				if _, err := ctx.Feature("bad ref"); err == nil {
+					return nil, fmt.Errorf("bad feature ref resolved")
+				}
+				return []byte("ok"), nil
+			},
+		},
+	}}
+	if _, err := p.RunPipeline(spec); err != nil {
+		t.Fatal(err)
+	}
+}

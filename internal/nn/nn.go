@@ -1,0 +1,415 @@
+// Package nn is a small from-scratch neural network library: dense
+// layers, ReLU/tanh/sigmoid activations, SGD with momentum, MSE and
+// softmax-cross-entropy losses, and binary serialization for the model
+// registry. It exists to implement the paper's neural-network job power
+// classifier (Fig 10, [45]) without external dependencies; it is not a
+// general deep-learning framework.
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ActIdentity Activation = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case ActTanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative given the activated output y (all supported activations
+// admit a derivative in terms of their output).
+func (a Activation) deriv(y float64) float64 {
+	switch a {
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActSigmoid:
+		return y * (1 - y)
+	case ActTanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+type layer struct {
+	in, out int
+	w       []float64 // out×in, row-major
+	b       []float64
+	act     Activation
+	// momentum buffers
+	vw []float64
+	vb []float64
+}
+
+// Network is a feed-forward dense network.
+type Network struct {
+	layers []*layer
+}
+
+// New builds a network with the given layer sizes and activations;
+// len(acts) must equal len(sizes)-1. Weights use scaled (He-style)
+// initialization from the seeded generator, so identical seeds build
+// identical networks — the reproducibility the ML pipeline (Fig 9)
+// checks end to end.
+func New(seed int64, sizes []int, acts []Activation) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("nn: need at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		return nil, fmt.Errorf("nn: %d activations for %d layers", len(acts), len(sizes)-1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		if in <= 0 || out <= 0 {
+			return nil, fmt.Errorf("nn: invalid layer size %d -> %d", in, out)
+		}
+		ly := &layer{
+			in: in, out: out, act: acts[l],
+			w: make([]float64, in*out), b: make([]float64, out),
+			vw: make([]float64, in*out), vb: make([]float64, out),
+		}
+		scale := math.Sqrt(2 / float64(in))
+		for i := range ly.w {
+			ly.w[i] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, ly)
+	}
+	return n, nil
+}
+
+// Sizes returns the layer widths including input.
+func (n *Network) Sizes() []int {
+	out := []int{n.layers[0].in}
+	for _, l := range n.layers {
+		out = append(out, l.out)
+	}
+	return out
+}
+
+// Forward runs the network on one input.
+func (n *Network) Forward(x []float64) []float64 {
+	acts := n.forwardAll(x)
+	return acts[len(acts)-1]
+}
+
+// ForwardTo runs the first `layers` layers only — how an autoencoder's
+// encoder half produces embeddings.
+func (n *Network) ForwardTo(x []float64, layers int) []float64 {
+	if layers > len(n.layers) {
+		layers = len(n.layers)
+	}
+	cur := x
+	for l := 0; l < layers; l++ {
+		cur = n.layers[l].forward(cur)
+	}
+	return cur
+}
+
+func (l *layer) forward(x []float64) []float64 {
+	out := make([]float64, l.out)
+	for o := 0; o < l.out; o++ {
+		sum := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		out[o] = l.act.apply(sum)
+	}
+	return out
+}
+
+// forwardAll returns activations per layer, input first.
+func (n *Network) forwardAll(x []float64) [][]float64 {
+	acts := make([][]float64, 0, len(n.layers)+1)
+	acts = append(acts, x)
+	cur := x
+	for _, l := range n.layers {
+		cur = l.forward(cur)
+		acts = append(acts, cur)
+	}
+	return acts
+}
+
+// TrainConfig tunes SGD.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LearnRate float64
+	Momentum  float64
+	// Seed shuffles minibatches deterministically.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.01
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// TrainMSE fits inputs→targets under mean-squared error (the autoencoder
+// loss: targets == inputs). It returns the mean loss per epoch.
+func (n *Network) TrainMSE(inputs, targets [][]float64, cfg TrainConfig) ([]float64, error) {
+	if len(inputs) == 0 || len(inputs) != len(targets) {
+		return nil, fmt.Errorf("nn: %d inputs vs %d targets", len(inputs), len(targets))
+	}
+	return n.train(inputs, targets, nil, cfg, false)
+}
+
+// TrainCrossEntropy fits a classifier: the final layer must be identity
+// (logits); the loss is softmax cross-entropy against integer labels.
+// It returns the mean loss per epoch.
+func (n *Network) TrainCrossEntropy(inputs [][]float64, labels []int, cfg TrainConfig) ([]float64, error) {
+	if len(inputs) == 0 || len(inputs) != len(labels) {
+		return nil, fmt.Errorf("nn: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	classes := n.layers[len(n.layers)-1].out
+	for _, l := range labels {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("nn: label %d out of %d classes", l, classes)
+		}
+	}
+	return n.train(inputs, nil, labels, cfg, true)
+}
+
+func (n *Network) train(inputs, targets [][]float64, labels []int, cfg TrainConfig, softmaxCE bool) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	dim := n.layers[0].in
+	for i, x := range inputs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("nn: input %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	losses := make([]float64, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			epochLoss += n.sgdStep(inputs, targets, labels, order[start:end], cfg, softmaxCE)
+		}
+		losses = append(losses, epochLoss/float64(len(order)))
+	}
+	return losses, nil
+}
+
+// sgdStep accumulates gradients over a minibatch and applies one update.
+// It returns the summed loss over the batch.
+func (n *Network) sgdStep(inputs, targets [][]float64, labels []int, batch []int, cfg TrainConfig, softmaxCE bool) float64 {
+	gw := make([][]float64, len(n.layers))
+	gb := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gw[li] = make([]float64, len(l.w))
+		gb[li] = make([]float64, len(l.b))
+	}
+	loss := 0.0
+	for _, idx := range batch {
+		acts := n.forwardAll(inputs[idx])
+		out := acts[len(acts)-1]
+		// delta at output layer.
+		delta := make([]float64, len(out))
+		if softmaxCE {
+			p := softmax(out)
+			loss += -math.Log(math.Max(p[labels[idx]], 1e-12))
+			copy(delta, p)
+			delta[labels[idx]] -= 1 // dCE/dlogits with softmax
+		} else {
+			tgt := targets[idx]
+			lastAct := n.layers[len(n.layers)-1].act
+			for o := range out {
+				diff := out[o] - tgt[o]
+				loss += 0.5 * diff * diff
+				delta[o] = diff * lastAct.deriv(out[o])
+			}
+		}
+		// Backpropagate.
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			l := n.layers[li]
+			in := acts[li]
+			for o := 0; o < l.out; o++ {
+				gb[li][o] += delta[o]
+				row := gw[li][o*l.in : (o+1)*l.in]
+				for i := range in {
+					row[i] += delta[o] * in[i]
+				}
+			}
+			if li > 0 {
+				// acts[li] is the previous layer's activated output.
+				prev := make([]float64, l.in)
+				prevAct := n.layers[li-1].act
+				for i := 0; i < l.in; i++ {
+					sum := 0.0
+					for o := 0; o < l.out; o++ {
+						sum += l.w[o*l.in+i] * delta[o]
+					}
+					prev[i] = sum * prevAct.deriv(acts[li][i])
+				}
+				delta = prev
+			}
+		}
+	}
+	// Apply momentum SGD.
+	scale := cfg.LearnRate / float64(len(batch))
+	for li, l := range n.layers {
+		for i := range l.w {
+			l.vw[i] = cfg.Momentum*l.vw[i] - scale*gw[li][i]
+			l.w[i] += l.vw[i]
+		}
+		for i := range l.b {
+			l.vb[i] = cfg.Momentum*l.vb[i] - scale*gb[li][i]
+			l.b[i] += l.vb[i]
+		}
+	}
+	return loss
+}
+
+func softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict returns the argmax class for a classifier network.
+func (n *Network) Predict(x []float64) int { return argmax(n.Forward(x)) }
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Probabilities returns softmax class probabilities for a classifier.
+func (n *Network) Probabilities(x []float64) []float64 { return softmax(n.Forward(x)) }
+
+// MarshalBinary serializes the network (sizes, activations, weights).
+func (n *Network) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, 'N', 'N', '0', '1')
+	buf = binary.AppendUvarint(buf, uint64(len(n.layers)))
+	for _, l := range n.layers {
+		buf = binary.AppendUvarint(buf, uint64(l.in))
+		buf = binary.AppendUvarint(buf, uint64(l.out))
+		buf = append(buf, byte(l.act))
+		for _, w := range l.w {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+		}
+		for _, b := range l.b {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalNetwork deserializes a network written by MarshalBinary.
+func UnmarshalNetwork(data []byte) (*Network, error) {
+	if len(data) < 5 || string(data[:4]) != "NN01" {
+		return nil, errors.New("nn: bad model magic")
+	}
+	off := 4
+	nl, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return nil, errors.New("nn: bad layer count")
+	}
+	off += sz
+	n := &Network{}
+	for li := uint64(0); li < nl; li++ {
+		in, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return nil, errors.New("nn: bad in size")
+		}
+		off += sz
+		out, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return nil, errors.New("nn: bad out size")
+		}
+		off += sz
+		if off >= len(data) {
+			return nil, errors.New("nn: truncated activation")
+		}
+		act := Activation(data[off])
+		off++
+		need := int(in*out+out) * 8
+		if off+need > len(data) {
+			return nil, errors.New("nn: truncated weights")
+		}
+		l := &layer{
+			in: int(in), out: int(out), act: act,
+			w: make([]float64, in*out), b: make([]float64, out),
+			vw: make([]float64, in*out), vb: make([]float64, out),
+		}
+		for i := range l.w {
+			l.w[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		for i := range l.b {
+			l.b[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}

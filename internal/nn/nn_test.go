@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, []int{4}, nil); err == nil {
+		t.Fatal("single size accepted")
+	}
+	if _, err := New(1, []int{4, 2}, []Activation{ActReLU, ActReLU}); err == nil {
+		t.Fatal("wrong activation count accepted")
+	}
+	if _, err := New(1, []int{4, 0}, []Activation{ActReLU}); err == nil {
+		t.Fatal("zero layer size accepted")
+	}
+	n, err := New(1, []int{4, 8, 2}, []Activation{ActReLU, ActIdentity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.Sizes()
+	if len(got) != 3 || got[0] != 4 || got[1] != 8 || got[2] != 2 {
+		t.Fatalf("sizes = %v", got)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New(7, []int{3, 5, 2}, []Activation{ActTanh, ActIdentity})
+	b, _ := New(7, []int{3, 5, 2}, []Activation{ActTanh, ActIdentity})
+	x := []float64{0.1, -0.5, 0.9}
+	ya, yb := a.Forward(x), b.Forward(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+	c, _ := New(8, []int{3, 5, 2}, []Activation{ActTanh, ActIdentity})
+	yc := c.Forward(x)
+	same := true
+	for i := range ya {
+		if ya[i] != yc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical networks")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ActReLU.apply(-1) != 0 || ActReLU.apply(2) != 2 {
+		t.Fatal("relu wrong")
+	}
+	if math.Abs(ActSigmoid.apply(0)-0.5) > 1e-12 {
+		t.Fatal("sigmoid wrong")
+	}
+	if ActTanh.apply(0) != 0 {
+		t.Fatal("tanh wrong")
+	}
+	if ActIdentity.apply(3.5) != 3.5 {
+		t.Fatal("identity wrong")
+	}
+	// Derivatives in terms of outputs.
+	if ActReLU.deriv(0) != 0 || ActReLU.deriv(1) != 1 {
+		t.Fatal("relu deriv wrong")
+	}
+	if math.Abs(ActSigmoid.deriv(0.5)-0.25) > 1e-12 {
+		t.Fatal("sigmoid deriv wrong")
+	}
+	if ActIdentity.deriv(42) != 1 {
+		t.Fatal("identity deriv wrong")
+	}
+}
+
+func TestGradientNumerically(t *testing.T) {
+	// Check backprop against a finite-difference gradient on a tiny net.
+	n, _ := New(3, []int{2, 3, 1}, []Activation{ActTanh, ActIdentity})
+	x := [][]float64{{0.4, -0.2}}
+	y := [][]float64{{0.7}}
+
+	loss := func() float64 {
+		out := n.Forward(x[0])
+		d := out[0] - y[0][0]
+		return 0.5 * d * d
+	}
+
+	// Analytic gradient via one SGD step of lr ε and no momentum: compare
+	// parameter movement direction against finite differences.
+	const eps = 1e-6
+	l0 := n.layers[0]
+	w0 := l0.w[0]
+	l0.w[0] = w0 + eps
+	lp := loss()
+	l0.w[0] = w0 - eps
+	lm := loss()
+	l0.w[0] = w0
+	numGrad := (lp - lm) / (2 * eps)
+
+	before := l0.w[0]
+	_, err := n.TrainMSE(x, y, TrainConfig{Epochs: 1, BatchSize: 1, LearnRate: 1e-3, Momentum: 1e-12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := l0.w[0] - before
+	// SGD moves against the gradient: moved ≈ -lr*grad.
+	analytic := -moved / 1e-3
+	if math.Abs(analytic-numGrad) > 1e-4*(1+math.Abs(numGrad)) {
+		t.Fatalf("gradient mismatch: analytic %v vs numeric %v", analytic, numGrad)
+	}
+}
+
+func TestTrainMSEConverges(t *testing.T) {
+	// Learn y = x1 XOR-ish nonlinear target.
+	rng := rand.New(rand.NewSource(4))
+	var xs, ys [][]float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, []float64{a * b})
+	}
+	n, _ := New(5, []int{2, 16, 1}, []Activation{ActTanh, ActIdentity})
+	losses, err := n.TrainMSE(xs, ys, TrainConfig{Epochs: 200, BatchSize: 16, LearnRate: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] > losses[0]/10 {
+		t.Fatalf("MSE did not converge: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestAutoencoderReconstructs(t *testing.T) {
+	// Compress 8-dim one-hot-ish patterns through a 3-dim bottleneck.
+	var xs [][]float64
+	for i := 0; i < 8; i++ {
+		v := make([]float64, 8)
+		v[i] = 1
+		xs = append(xs, v)
+	}
+	n, _ := New(6, []int{8, 3, 8}, []Activation{ActTanh, ActSigmoid})
+	if _, err := n.TrainMSE(xs, xs, TrainConfig{Epochs: 2000, BatchSize: 8, LearnRate: 0.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range xs {
+		if argmax(n.Forward(x)) == i {
+			correct++
+		}
+	}
+	if correct < 7 {
+		t.Fatalf("autoencoder reconstructed %d/8", correct)
+	}
+	emb := n.ForwardTo(xs[0], 1)
+	if len(emb) != 3 {
+		t.Fatalf("embedding dim = %d, want 3", len(emb))
+	}
+}
+
+func TestClassifierLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 300; i++ {
+		cls := i % 3
+		cx, cy := []float64{0, 3, -3}[cls], []float64{3, -2, -2}[cls]
+		xs = append(xs, []float64{cx + rng.NormFloat64()*0.5, cy + rng.NormFloat64()*0.5})
+		ys = append(ys, cls)
+	}
+	n, _ := New(11, []int{2, 16, 3}, []Activation{ActReLU, ActIdentity})
+	losses, err := n.TrainCrossEntropy(xs, ys, TrainConfig{Epochs: 100, BatchSize: 16, LearnRate: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] > losses[0]/3 {
+		t.Fatalf("CE did not drop: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(xs)) < 0.95 {
+		t.Fatalf("accuracy %d/%d too low", correct, len(xs))
+	}
+	p := n.Probabilities(xs[0])
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n, _ := New(1, []int{2, 2}, []Activation{ActIdentity})
+	if _, err := n.TrainMSE(nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := n.TrainMSE([][]float64{{1, 2}}, [][]float64{{1, 2}, {3, 4}}, TrainConfig{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := n.TrainMSE([][]float64{{1}}, [][]float64{{1, 2}}, TrainConfig{}); err == nil {
+		t.Fatal("wrong input dim accepted")
+	}
+	if _, err := n.TrainCrossEntropy([][]float64{{1, 2}}, []int{5}, TrainConfig{}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	n, _ := New(13, []int{4, 6, 4, 2}, []Activation{ActReLU, ActTanh, ActIdentity})
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	want := n.Forward(x)
+	data, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalNetwork(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.Forward(x)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output %d: %v vs %v", i, out[i], want[i])
+		}
+	}
+	// Corruption is detected.
+	if _, err := UnmarshalNetwork(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+	if _, err := UnmarshalNetwork([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := UnmarshalNetwork(nil); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	mk := func() *Network {
+		n, _ := New(3, []int{2, 8, 1}, []Activation{ActTanh, ActIdentity})
+		xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		ys := [][]float64{{0}, {1}, {1}, {0}}
+		_, _ = n.TrainMSE(xs, ys, TrainConfig{Epochs: 20, BatchSize: 2, LearnRate: 0.1, Seed: 77})
+		return n
+	}
+	a, b := mk(), mk()
+	x := []float64{0.3, 0.7}
+	ya, yb := a.Forward(x), b.Forward(x)
+	if ya[0] != yb[0] {
+		t.Fatal("identical training runs diverged")
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	n, _ := New(1, []int{64, 32, 16, 8}, []Activation{ActReLU, ActReLU, ActIdentity})
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i) / 64
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, 256)
+	for i := range xs {
+		xs[i] = make([]float64, 32)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _ := New(1, []int{32, 16, 32}, []Activation{ActTanh, ActSigmoid})
+		if _, err := n.TrainMSE(xs, xs, TrainConfig{Epochs: 1, BatchSize: 32, LearnRate: 0.05, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package platform implements the Slate-like application platform of
+// §V-C: a multi-tenant, quota-governed environment for the long-running
+// services (databases, dashboards, stream processors) that projects run
+// next to the HPC system. Projects get resource allocations; services are
+// admitted against both the project quota and the physical capacity;
+// failed services restart with a counter; and projects can additionally
+// burn HPC node-hours from a batch allocation for backfill campaigns —
+// the "outsourced" project resources of Fig 5.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Resources is a bundle of platform capacity.
+type Resources struct {
+	CPUCores  float64
+	MemoryGB  float64
+	StorageGB float64
+}
+
+// Add returns r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.CPUCores + o.CPUCores, r.MemoryGB + o.MemoryGB, r.StorageGB + o.StorageGB}
+}
+
+// Sub returns r - o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.CPUCores - o.CPUCores, r.MemoryGB - o.MemoryGB, r.StorageGB - o.StorageGB}
+}
+
+// Fits reports whether r fits within capacity c.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPUCores <= c.CPUCores && r.MemoryGB <= c.MemoryGB && r.StorageGB <= c.StorageGB
+}
+
+// nonNegative reports whether every dimension is >= 0.
+func (r Resources) nonNegative() bool {
+	return r.CPUCores >= 0 && r.MemoryGB >= 0 && r.StorageGB >= 0
+}
+
+// ServiceState is a deployed service's lifecycle state.
+type ServiceState int
+
+// Service states.
+const (
+	ServiceRunning ServiceState = iota
+	ServiceFailed
+	ServiceStopped
+)
+
+// String names the state.
+func (s ServiceState) String() string {
+	switch s {
+	case ServiceRunning:
+		return "running"
+	case ServiceFailed:
+		return "failed"
+	case ServiceStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Service is one long-running workload on the platform.
+type Service struct {
+	Project  string
+	Name     string
+	Req      Resources
+	State    ServiceState
+	Restarts int
+}
+
+// Project is one tenant with a quota and an HPC batch allocation.
+type Project struct {
+	Name string
+	// Quota bounds the project's concurrent platform usage.
+	Quota Resources
+	// NodeHoursGranted / NodeHoursUsed track the HPC batch allocation
+	// used for backfills and analysis campaigns (§V-C).
+	NodeHoursGranted float64
+	NodeHoursUsed    float64
+
+	used     Resources
+	services map[string]*Service
+}
+
+// Errors returned by the platform.
+var (
+	ErrNoProject     = errors.New("platform: no such project")
+	ErrProjectExists = errors.New("platform: project already exists")
+	ErrNoService     = errors.New("platform: no such service")
+	ErrQuota         = errors.New("platform: project quota exceeded")
+	ErrCapacity      = errors.New("platform: platform capacity exceeded")
+	ErrAllocation    = errors.New("platform: node-hour allocation exhausted")
+)
+
+// Platform is the multi-tenant service host. Safe for concurrent use.
+type Platform struct {
+	mu       sync.Mutex
+	capacity Resources
+	used     Resources
+	projects map[string]*Project
+	// Overcommit scales admission against physical capacity: quotas may
+	// oversubscribe (tenants rarely peak together), but actual placement
+	// is bounded by capacity × Overcommit. Default 1.0.
+	Overcommit float64
+}
+
+// New returns a platform with the given physical capacity.
+func New(capacity Resources) *Platform {
+	return &Platform{capacity: capacity, projects: make(map[string]*Project), Overcommit: 1.0}
+}
+
+// CreateProject registers a tenant with a quota and node-hour grant.
+func (p *Platform) CreateProject(name string, quota Resources, nodeHours float64) error {
+	if name == "" || !quota.nonNegative() || nodeHours < 0 {
+		return errors.New("platform: invalid project spec")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.projects[name]; ok {
+		return fmt.Errorf("%w: %s", ErrProjectExists, name)
+	}
+	p.projects[name] = &Project{
+		Name: name, Quota: quota, NodeHoursGranted: nodeHours,
+		services: make(map[string]*Service),
+	}
+	return nil
+}
+
+// Deploy admits a service against the project quota and platform
+// capacity, then starts it.
+func (p *Platform) Deploy(project, service string, req Resources) (*Service, error) {
+	if service == "" || !req.nonNegative() {
+		return nil, errors.New("platform: invalid service spec")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[project]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoProject, project)
+	}
+	if _, ok := proj.services[service]; ok {
+		return nil, fmt.Errorf("platform: service %s/%s already deployed", project, service)
+	}
+	if !proj.used.Add(req).Fits(proj.Quota) {
+		return nil, fmt.Errorf("%w: %s deploying %s", ErrQuota, project, service)
+	}
+	limit := Resources{
+		CPUCores:  p.capacity.CPUCores * p.Overcommit,
+		MemoryGB:  p.capacity.MemoryGB * p.Overcommit,
+		StorageGB: p.capacity.StorageGB * p.Overcommit,
+	}
+	if !p.used.Add(req).Fits(limit) {
+		return nil, fmt.Errorf("%w: deploying %s/%s", ErrCapacity, project, service)
+	}
+	s := &Service{Project: project, Name: service, Req: req, State: ServiceRunning}
+	proj.services[service] = s
+	proj.used = proj.used.Add(req)
+	p.used = p.used.Add(req)
+	cp := *s
+	return &cp, nil
+}
+
+// Stop stops a service and releases its resources.
+func (p *Platform) Stop(project, service string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, s, err := p.lookup(project, service)
+	if err != nil {
+		return err
+	}
+	if s.State == ServiceStopped {
+		return nil
+	}
+	if s.State == ServiceRunning {
+		proj.used = proj.used.Sub(s.Req)
+		p.used = p.used.Sub(s.Req)
+	}
+	s.State = ServiceStopped
+	return nil
+}
+
+// MarkFailed records a service crash; resources stay held pending the
+// restart decision.
+func (p *Platform) MarkFailed(project, service string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, s, err := p.lookup(project, service)
+	if err != nil {
+		return err
+	}
+	if s.State != ServiceRunning {
+		return fmt.Errorf("platform: service %s/%s is %s", project, service, s.State)
+	}
+	s.State = ServiceFailed
+	return nil
+}
+
+// Restart brings a failed service back up, counting the restart — the
+// "continuous uptime" story of the platform's supervision.
+func (p *Platform) Restart(project, service string) (*Service, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, s, err := p.lookup(project, service)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != ServiceFailed {
+		return nil, fmt.Errorf("platform: service %s/%s is %s, not failed", project, service, s.State)
+	}
+	s.State = ServiceRunning
+	s.Restarts++
+	cp := *s
+	return &cp, nil
+}
+
+func (p *Platform) lookup(project, service string) (*Project, *Service, error) {
+	proj, ok := p.projects[project]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoProject, project)
+	}
+	s, ok := proj.services[service]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s/%s", ErrNoService, project, service)
+	}
+	return proj, s, nil
+}
+
+// BurnNodeHours debits a project's HPC batch allocation (a backfill or
+// analysis campaign run on the big machine).
+func (p *Platform) BurnNodeHours(project string, hours float64) error {
+	if hours <= 0 {
+		return errors.New("platform: node hours must be positive")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[project]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoProject, project)
+	}
+	if proj.NodeHoursUsed+hours > proj.NodeHoursGranted {
+		return fmt.Errorf("%w: %s (%.1f of %.1f used)", ErrAllocation, project, proj.NodeHoursUsed, proj.NodeHoursGranted)
+	}
+	proj.NodeHoursUsed += hours
+	return nil
+}
+
+// ProjectUsage is a tenant's current footprint.
+type ProjectUsage struct {
+	Project          string
+	Quota            Resources
+	Used             Resources
+	Services         int
+	Running          int
+	NodeHoursGranted float64
+	NodeHoursUsed    float64
+}
+
+// Usage reports one project's footprint.
+func (p *Platform) Usage(project string) (ProjectUsage, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	proj, ok := p.projects[project]
+	if !ok {
+		return ProjectUsage{}, fmt.Errorf("%w: %s", ErrNoProject, project)
+	}
+	u := ProjectUsage{
+		Project: project, Quota: proj.Quota, Used: proj.used,
+		Services:         len(proj.services),
+		NodeHoursGranted: proj.NodeHoursGranted, NodeHoursUsed: proj.NodeHoursUsed,
+	}
+	for _, s := range proj.services {
+		if s.State == ServiceRunning {
+			u.Running++
+		}
+	}
+	return u, nil
+}
+
+// AllUsage reports every project sorted by name, plus the platform total.
+func (p *Platform) AllUsage() (projects []ProjectUsage, total Resources, capacity Resources) {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.projects))
+	for n := range p.projects {
+		names = append(names, n)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		if u, err := p.Usage(n); err == nil {
+			projects = append(projects, u)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return projects, p.used, p.capacity
+}

@@ -1,0 +1,204 @@
+package platform
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func testPlatform() *Platform {
+	return New(Resources{CPUCores: 100, MemoryGB: 400, StorageGB: 1000})
+}
+
+func TestCreateProjectValidation(t *testing.T) {
+	p := testPlatform()
+	if err := p.CreateProject("", Resources{}, 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := p.CreateProject("x", Resources{CPUCores: -1}, 0); err == nil {
+		t.Fatal("negative quota accepted")
+	}
+	if err := p.CreateProject("x", Resources{}, -1); err == nil {
+		t.Fatal("negative node hours accepted")
+	}
+	if err := p.CreateProject("energy", Resources{CPUCores: 10, MemoryGB: 32, StorageGB: 100}, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateProject("energy", Resources{}, 0); !errors.Is(err, ErrProjectExists) {
+		t.Fatalf("dup create: %v", err)
+	}
+}
+
+func TestDeployAdmissionControl(t *testing.T) {
+	p := testPlatform()
+	_ = p.CreateProject("energy", Resources{CPUCores: 10, MemoryGB: 32, StorageGB: 100}, 0)
+
+	if _, err := p.Deploy("ghost", "db", Resources{}); !errors.Is(err, ErrNoProject) {
+		t.Fatalf("ghost project: %v", err)
+	}
+	s, err := p.Deploy("energy", "lva-db", Resources{CPUCores: 4, MemoryGB: 16, StorageGB: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != ServiceRunning {
+		t.Fatalf("state = %v", s.State)
+	}
+	if _, err := p.Deploy("energy", "lva-db", Resources{}); err == nil {
+		t.Fatal("duplicate service accepted")
+	}
+	// Quota: second service pushing CPU to 12 > 10 is rejected.
+	if _, err := p.Deploy("energy", "big", Resources{CPUCores: 8, MemoryGB: 1, StorageGB: 1}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("quota breach: %v", err)
+	}
+	// Within quota works.
+	if _, err := p.Deploy("energy", "web", Resources{CPUCores: 2, MemoryGB: 4, StorageGB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := p.Usage("energy")
+	if u.Used.CPUCores != 6 || u.Services != 2 || u.Running != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestCapacityBoundsAcrossTenants(t *testing.T) {
+	p := New(Resources{CPUCores: 10, MemoryGB: 100, StorageGB: 100})
+	_ = p.CreateProject("a", Resources{CPUCores: 8, MemoryGB: 50, StorageGB: 50}, 0)
+	_ = p.CreateProject("b", Resources{CPUCores: 8, MemoryGB: 50, StorageGB: 50}, 0)
+	if _, err := p.Deploy("a", "s", Resources{CPUCores: 7, MemoryGB: 10, StorageGB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// b's quota allows 8 cores, but the platform only has 3 left.
+	if _, err := p.Deploy("b", "s", Resources{CPUCores: 7, MemoryGB: 10, StorageGB: 10}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("capacity breach: %v", err)
+	}
+	// Overcommit admits it.
+	p.Overcommit = 1.5
+	if _, err := p.Deploy("b", "s", Resources{CPUCores: 7, MemoryGB: 10, StorageGB: 10}); err != nil {
+		t.Fatalf("overcommitted deploy: %v", err)
+	}
+}
+
+func TestStopReleasesResources(t *testing.T) {
+	p := testPlatform()
+	_ = p.CreateProject("x", Resources{CPUCores: 10, MemoryGB: 32, StorageGB: 100}, 0)
+	_, _ = p.Deploy("x", "s", Resources{CPUCores: 10, MemoryGB: 10, StorageGB: 10})
+	if err := p.Stop("x", "s"); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := p.Usage("x")
+	if u.Used.CPUCores != 0 || u.Running != 0 {
+		t.Fatalf("usage after stop = %+v", u)
+	}
+	// Idempotent stop.
+	if err := p.Stop("x", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop("x", "ghost"); !errors.Is(err, ErrNoService) {
+		t.Fatalf("ghost stop: %v", err)
+	}
+	// Quota is free again.
+	if _, err := p.Deploy("x", "s2", Resources{CPUCores: 10, MemoryGB: 10, StorageGB: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailRestartCycle(t *testing.T) {
+	p := testPlatform()
+	_ = p.CreateProject("x", Resources{CPUCores: 10, MemoryGB: 32, StorageGB: 100}, 0)
+	_, _ = p.Deploy("x", "s", Resources{CPUCores: 2, MemoryGB: 2, StorageGB: 2})
+	if err := p.MarkFailed("x", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkFailed("x", "s"); err == nil {
+		t.Fatal("double fail accepted")
+	}
+	s, err := p.Restart("x", "s")
+	if err != nil || s.State != ServiceRunning || s.Restarts != 1 {
+		t.Fatalf("restart = %+v, %v", s, err)
+	}
+	if _, err := p.Restart("x", "s"); err == nil {
+		t.Fatal("restart of running service accepted")
+	}
+	// Resources held across the fail/restart cycle.
+	u, _ := p.Usage("x")
+	if u.Used.CPUCores != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestNodeHourAllocation(t *testing.T) {
+	p := testPlatform()
+	_ = p.CreateProject("x", Resources{}, 100)
+	if err := p.BurnNodeHours("x", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BurnNodeHours("x", 50); !errors.Is(err, ErrAllocation) {
+		t.Fatalf("over-burn: %v", err)
+	}
+	if err := p.BurnNodeHours("x", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BurnNodeHours("x", 0); err == nil {
+		t.Fatal("zero burn accepted")
+	}
+	if err := p.BurnNodeHours("ghost", 1); !errors.Is(err, ErrNoProject) {
+		t.Fatalf("ghost burn: %v", err)
+	}
+	u, _ := p.Usage("x")
+	if u.NodeHoursUsed != 100 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestAllUsage(t *testing.T) {
+	p := testPlatform()
+	_ = p.CreateProject("b", Resources{CPUCores: 10, MemoryGB: 10, StorageGB: 10}, 0)
+	_ = p.CreateProject("a", Resources{CPUCores: 10, MemoryGB: 10, StorageGB: 10}, 0)
+	_, _ = p.Deploy("a", "s", Resources{CPUCores: 1, MemoryGB: 1, StorageGB: 1})
+	projects, total, capacity := p.AllUsage()
+	if len(projects) != 2 || projects[0].Project != "a" || projects[1].Project != "b" {
+		t.Fatalf("projects = %+v", projects)
+	}
+	if total.CPUCores != 1 || capacity.CPUCores != 100 {
+		t.Fatalf("total = %+v capacity = %+v", total, capacity)
+	}
+}
+
+func TestConcurrentDeploysRespectCapacity(t *testing.T) {
+	p := New(Resources{CPUCores: 50, MemoryGB: 1000, StorageGB: 1000})
+	for _, n := range []string{"a", "b", "c", "d"} {
+		_ = p.CreateProject(n, Resources{CPUCores: 50, MemoryGB: 500, StorageGB: 500}, 0)
+	}
+	var wg sync.WaitGroup
+	admitted := make(chan struct{}, 1000)
+	for _, proj := range []string{"a", "b", "c", "d"} {
+		for i := 0; i < 25; i++ {
+			wg.Add(1)
+			go func(proj string, i int) {
+				defer wg.Done()
+				name := proj + "-svc-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+				if _, err := p.Deploy(proj, name, Resources{CPUCores: 1, MemoryGB: 1, StorageGB: 1}); err == nil {
+					admitted <- struct{}{}
+				}
+			}(proj, i)
+		}
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for range admitted {
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("admitted %d services on a 50-core platform, want exactly 50", n)
+	}
+}
+
+func TestServiceStateStrings(t *testing.T) {
+	if ServiceRunning.String() != "running" || ServiceFailed.String() != "failed" || ServiceStopped.String() != "stopped" {
+		t.Fatal("state names wrong")
+	}
+	if ServiceState(7).String() != "state(7)" {
+		t.Fatal("unknown state fallback wrong")
+	}
+}

@@ -1,0 +1,232 @@
+package profiles
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// KMeans is the baseline clustering the paper's NN approach is compared
+// against: Lloyd's algorithm with k-means++ style seeding on raw vectors.
+// It returns centroids and per-vector assignments.
+func KMeans(vectors [][]float64, k int, iters int, seed int64) ([][]float64, []int, error) {
+	if len(vectors) == 0 {
+		return nil, nil, errors.New("profiles: kmeans needs vectors")
+	}
+	if k <= 0 || k > len(vectors) {
+		return nil, nil, errors.New("profiles: bad k")
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(vectors[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(vectors[rng.Intn(len(vectors))]))
+	for len(centroids) < k {
+		dists := make([]float64, len(vectors))
+		sum := 0.0
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(v, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			sum += d
+		}
+		pick := rng.Float64() * sum
+		acc := 0.0
+		chosen := len(vectors) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= pick {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(vectors[chosen]))
+	}
+
+	assign := make([]int, len(vectors))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(v, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			counts[assign[i]]++
+			for j, x := range v {
+				sums[assign[i]][j] += x
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				// Re-seed empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i, v := range vectors {
+					if d := sqDist(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[ci] = clone(vectors[far])
+				continue
+			}
+			for j := range centroids[ci] {
+				centroids[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centroids, assign, nil
+}
+
+func clone(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// Purity scores a clustering against ground truth: the fraction of
+// samples belonging to their cluster's majority class. 1.0 is perfect.
+func Purity(assign, truth []int) float64 {
+	if len(assign) == 0 || len(assign) != len(truth) {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, a := range assign {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][truth[i]]++
+	}
+	correct := 0
+	for _, byClass := range counts {
+		best := 0
+		for _, n := range byClass {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+// NMI is normalized mutual information between a clustering and ground
+// truth, in [0, 1]; robust to cluster-count mismatch, unlike purity.
+func NMI(assign, truth []int) float64 {
+	n := len(assign)
+	if n == 0 || n != len(truth) {
+		return 0
+	}
+	ca, ct := map[int]int{}, map[int]int{}
+	joint := map[[2]int]int{}
+	for i := range assign {
+		ca[assign[i]]++
+		ct[truth[i]]++
+		joint[[2]int{assign[i], truth[i]}]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	for key, nij := range joint {
+		pij := float64(nij) / fn
+		pa := float64(ca[key[0]]) / fn
+		pt := float64(ct[key[1]]) / fn
+		mi += pij * math.Log(pij/(pa*pt))
+	}
+	entropy := func(c map[int]int) float64 {
+		h := 0.0
+		for _, v := range c {
+			p := float64(v) / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, ht := entropy(ca), entropy(ct)
+	if ha == 0 || ht == 0 {
+		return 0
+	}
+	return mi / math.Sqrt(ha*ht)
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering in
+// [-1, 1]; higher means tighter, better-separated clusters. For large
+// inputs it samples up to maxSamples points (deterministically).
+func Silhouette(vectors [][]float64, assign []int, maxSamples int, seed int64) float64 {
+	n := len(vectors)
+	if n == 0 || n != len(assign) {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if maxSamples > 0 && n > maxSamples {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:maxSamples]
+	}
+	byCluster := map[int][]int{}
+	for i, a := range assign {
+		byCluster[a] = append(byCluster[a], i)
+	}
+	total, counted := 0.0, 0
+	for _, i := range idx {
+		own := byCluster[assign[i]]
+		if len(own) < 2 {
+			continue
+		}
+		a := 0.0
+		for _, j := range own {
+			if j != i {
+				a += math.Sqrt(sqDist(vectors[i], vectors[j]))
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for c, members := range byCluster {
+			if c == assign[i] || len(members) == 0 {
+				continue
+			}
+			d := 0.0
+			for _, j := range members {
+				d += math.Sqrt(sqDist(vectors[i], vectors[j]))
+			}
+			d /= float64(len(members))
+			if d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		m := a
+		if b > m {
+			m = b
+		}
+		if m > 0 {
+			total += (b - a) / m
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

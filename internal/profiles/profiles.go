@@ -1,0 +1,314 @@
+// Package profiles implements the paper's neural-network job power-profile
+// classifier (Fig 10, [45]): job power shapes are compressed by an
+// autoencoder, then mapped onto a 2-D self-organizing grid whose cells
+// hold similar consumption patterns — "cells are profile shapes and the
+// color is the observed population". A k-means baseline and standard
+// cluster-quality metrics (purity, NMI, silhouette) score the result
+// against the telemetry generator's ground-truth classes.
+package profiles
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"odakit/internal/nn"
+)
+
+// Config tunes the classifier.
+type Config struct {
+	// Dim is the input feature-vector length.
+	Dim int
+	// EmbedDim is the autoencoder bottleneck width (default 8).
+	EmbedDim int
+	// GridW and GridH shape the self-organizing grid (default 4×4).
+	GridW, GridH int
+	// Epochs trains both the autoencoder and the grid (default 60).
+	Epochs int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 8
+	}
+	if c.GridW <= 0 {
+		c.GridW = 4
+	}
+	if c.GridH <= 0 {
+		c.GridH = 4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	return c
+}
+
+// Classifier is a trained profile classifier.
+type Classifier struct {
+	cfg Config
+	ae  *nn.Network
+	// codebook holds one EmbedDim vector per grid cell, row-major.
+	codebook [][]float64
+}
+
+// Train fits the classifier on profile vectors (each of length cfg.Dim,
+// values in [0,1]).
+func Train(vectors [][]float64, cfg Config) (*Classifier, error) {
+	cfg = cfg.withDefaults()
+	if len(vectors) == 0 {
+		return nil, errors.New("profiles: no training vectors")
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = len(vectors[0])
+	}
+	for i, v := range vectors {
+		if len(v) != cfg.Dim {
+			return nil, fmt.Errorf("profiles: vector %d has dim %d, want %d", i, len(v), cfg.Dim)
+		}
+	}
+	hidden := cfg.Dim / 2
+	if hidden < cfg.EmbedDim {
+		hidden = cfg.EmbedDim
+	}
+	ae, err := nn.New(cfg.Seed, []int{cfg.Dim, hidden, cfg.EmbedDim, hidden, cfg.Dim},
+		[]nn.Activation{nn.ActTanh, nn.ActTanh, nn.ActTanh, nn.ActSigmoid})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ae.TrainMSE(vectors, vectors, nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 16, LearnRate: 0.05, Seed: cfg.Seed + 1,
+	}); err != nil {
+		return nil, err
+	}
+	c := &Classifier{cfg: cfg, ae: ae}
+	emb := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		emb[i] = c.Embed(v)
+	}
+	c.trainGrid(emb)
+	return c, nil
+}
+
+// Embed returns the autoencoder bottleneck embedding of a vector.
+func (c *Classifier) Embed(v []float64) []float64 { return c.ae.ForwardTo(v, 2) }
+
+// trainGrid fits the SOM-style codebook on embeddings.
+func (c *Classifier) trainGrid(emb [][]float64) {
+	w, h := c.cfg.GridW, c.cfg.GridH
+	cells := w * h
+	rng := rand.New(rand.NewSource(c.cfg.Seed + 2))
+	// Initialize codebook from random samples.
+	c.codebook = make([][]float64, cells)
+	for i := range c.codebook {
+		src := emb[rng.Intn(len(emb))]
+		c.codebook[i] = append([]float64(nil), src...)
+		for j := range c.codebook[i] {
+			c.codebook[i][j] += rng.NormFloat64() * 0.01
+		}
+	}
+	order := make([]int, len(emb))
+	for i := range order {
+		order[i] = i
+	}
+	epochs := c.cfg.Epochs
+	maxRadius := float64(w+h) / 4
+	for e := 0; e < epochs; e++ {
+		frac := float64(e) / float64(epochs)
+		lr := 0.5 * (1 - frac)
+		radius := maxRadius*(1-frac) + 0.5
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x := emb[idx]
+			bmu := c.nearestCell(x)
+			bx, by := bmu%w, bmu/w
+			for cy := 0; cy < h; cy++ {
+				for cx := 0; cx < w; cx++ {
+					d2 := float64((cx-bx)*(cx-bx) + (cy-by)*(cy-by))
+					if d2 > radius*radius*4 {
+						continue
+					}
+					infl := lr * math.Exp(-d2/(2*radius*radius))
+					cell := c.codebook[cy*w+cx]
+					for j := range cell {
+						cell[j] += infl * (x[j] - cell[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *Classifier) nearestCell(emb []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, cb := range c.codebook {
+		d := sqDist(emb, cb)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Assign maps a profile vector to its grid cell index.
+func (c *Classifier) Assign(v []float64) int { return c.nearestCell(c.Embed(v)) }
+
+// Cells returns the grid size (width, height).
+func (c *Classifier) Cells() (w, h int) { return c.cfg.GridW, c.cfg.GridH }
+
+// CellXY converts a cell index to grid coordinates.
+func (c *Classifier) CellXY(cell int) (x, y int) { return cell % c.cfg.GridW, cell / c.cfg.GridW }
+
+// GridCell is one cell of the Fig 10 map: its population and the mean
+// input shape of its members (the profile glyph drawn in the cell).
+type GridCell struct {
+	X, Y       int
+	Population int
+	MeanShape  []float64
+}
+
+// Map assigns every vector and returns the populated grid — the Fig 10
+// right panel. Cells with no members have a nil MeanShape.
+func (c *Classifier) Map(vectors [][]float64) []GridCell {
+	w, h := c.cfg.GridW, c.cfg.GridH
+	cells := make([]GridCell, w*h)
+	for i := range cells {
+		cells[i].X, cells[i].Y = c.CellXY(i)
+	}
+	sums := make([][]float64, w*h)
+	for _, v := range vectors {
+		cell := c.Assign(v)
+		cells[cell].Population++
+		if sums[cell] == nil {
+			sums[cell] = make([]float64, len(v))
+		}
+		for j, x := range v {
+			sums[cell][j] += x
+		}
+	}
+	for i := range cells {
+		if cells[i].Population > 0 {
+			mean := make([]float64, len(sums[i]))
+			for j := range mean {
+				mean[j] = sums[i][j] / float64(cells[i].Population)
+			}
+			cells[i].MeanShape = mean
+		}
+	}
+	return cells
+}
+
+// Assignments returns the cell index for every vector.
+func (c *Classifier) Assignments(vectors [][]float64) []int {
+	out := make([]int, len(vectors))
+	for i, v := range vectors {
+		out[i] = c.Assign(v)
+	}
+	return out
+}
+
+// MarshalBinary serializes the classifier for the model registry.
+func (c *Classifier) MarshalBinary() ([]byte, error) {
+	aeData, err := c.ae.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	buf = append(buf, 'P', 'C', '0', '1')
+	buf = appendUint(buf, uint64(c.cfg.Dim))
+	buf = appendUint(buf, uint64(c.cfg.EmbedDim))
+	buf = appendUint(buf, uint64(c.cfg.GridW))
+	buf = appendUint(buf, uint64(c.cfg.GridH))
+	buf = appendUint(buf, uint64(len(aeData)))
+	buf = append(buf, aeData...)
+	buf = appendUint(buf, uint64(len(c.codebook)))
+	for _, cb := range c.codebook {
+		buf = appendUint(buf, uint64(len(cb)))
+		for _, v := range cb {
+			buf = appendUint(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func readUint(b []byte, off int) (uint64, int, error) {
+	if off+8 > len(b) {
+		return 0, 0, errors.New("profiles: truncated model")
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[off+i]) << (8 * i)
+	}
+	return v, off + 8, nil
+}
+
+// UnmarshalClassifier deserializes a classifier.
+func UnmarshalClassifier(data []byte) (*Classifier, error) {
+	if len(data) < 4 || string(data[:4]) != "PC01" {
+		return nil, errors.New("profiles: bad model magic")
+	}
+	off := 4
+	var vals [5]uint64
+	var err error
+	for i := range vals {
+		vals[i], off, err = readUint(data, off)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{Dim: int(vals[0]), EmbedDim: int(vals[1]), GridW: int(vals[2]), GridH: int(vals[3])}
+	aeLen := int(vals[4])
+	if off+aeLen > len(data) {
+		return nil, errors.New("profiles: truncated autoencoder")
+	}
+	ae, err := nn.UnmarshalNetwork(data[off : off+aeLen])
+	if err != nil {
+		return nil, err
+	}
+	off += aeLen
+	ncells, off, err := readUint(data, off)
+	if err != nil {
+		return nil, err
+	}
+	c := &Classifier{cfg: cfg.withDefaults(), ae: ae}
+	c.cfg.Dim = cfg.Dim
+	for i := uint64(0); i < ncells; i++ {
+		var n uint64
+		n, off, err = readUint(data, off)
+		if err != nil {
+			return nil, err
+		}
+		cb := make([]float64, n)
+		for j := range cb {
+			var bits uint64
+			bits, off, err = readUint(data, off)
+			if err != nil {
+				return nil, err
+			}
+			cb[j] = math.Float64frombits(bits)
+		}
+		c.codebook = append(c.codebook, cb)
+	}
+	if len(c.codebook) != c.cfg.GridW*c.cfg.GridH {
+		return nil, errors.New("profiles: codebook size mismatch")
+	}
+	return c, nil
+}

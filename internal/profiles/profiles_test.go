@@ -1,0 +1,273 @@
+package profiles
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"odakit/internal/jobsched"
+	"odakit/internal/telemetry"
+)
+
+// syntheticVectors builds labeled profile vectors straight from the
+// telemetry shape functions — the same ground truth the full pipeline
+// produces, without the cost of running it.
+func syntheticVectors(n, dim int, seed int64) (vecs [][]float64, truth []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		kind := jobsched.ProfileKind(i % jobsched.NumProfileKinds)
+		period := time.Duration(60+rng.Intn(120)) * time.Second
+		phase := rng.Float64()
+		dur := time.Duration(20+rng.Intn(40)) * time.Minute
+		v := make([]float64, dim)
+		peak := 0.0
+		for j := 0; j < dim; j++ {
+			el := time.Duration(float64(dur) * float64(j) / float64(dim-1))
+			v[j] = telemetry.ProfileShape(kind, el, period, phase)
+			if v[j] > peak {
+				peak = v[j]
+			}
+		}
+		if peak > 0 {
+			for j := range v {
+				v[j] /= peak
+			}
+		}
+		// Small observation noise.
+		for j := range v {
+			v[j] = math.Max(0, math.Min(1, v[j]+rng.NormFloat64()*0.02))
+		}
+		vecs = append(vecs, v)
+		truth = append(truth, int(kind))
+	}
+	return vecs, truth
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, Config{}); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+}
+
+func TestClassifierGroupsSimilarShapes(t *testing.T) {
+	vecs, truth := syntheticVectors(160, 32, 5)
+	c, err := Train(vecs, Config{Seed: 7, Epochs: 40, GridW: 4, GridH: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := c.Assignments(vecs)
+	nmi := NMI(assign, truth)
+	if nmi < 0.35 {
+		t.Fatalf("NMI vs ground truth = %.3f, want >= 0.35 (random ~ 0)", nmi)
+	}
+	pur := Purity(assign, truth)
+	if pur < 0.4 {
+		t.Fatalf("purity = %.3f, too low", pur)
+	}
+	// Same-class vectors should mostly share cells more often than
+	// different-class vectors (sanity on the similarity structure).
+	sameCell, diffCell, samePairs, diffPairs := 0, 0, 0, 0
+	for i := 0; i < len(vecs); i += 3 {
+		for j := i + 1; j < len(vecs); j += 5 {
+			if truth[i] == truth[j] {
+				samePairs++
+				if assign[i] == assign[j] {
+					sameCell++
+				}
+			} else {
+				diffPairs++
+				if assign[i] == assign[j] {
+					diffCell++
+				}
+			}
+		}
+	}
+	sameRate := float64(sameCell) / float64(samePairs)
+	diffRate := float64(diffCell) / float64(diffPairs)
+	if sameRate <= diffRate {
+		t.Fatalf("same-class co-cell rate %.3f <= different-class %.3f", sameRate, diffRate)
+	}
+}
+
+func TestMapPopulationsAndShapes(t *testing.T) {
+	vecs, _ := syntheticVectors(120, 32, 9)
+	c, err := Train(vecs, Config{Seed: 3, Epochs: 30, GridW: 3, GridH: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := c.Map(vecs)
+	if len(grid) != 9 {
+		t.Fatalf("grid cells = %d, want 9", len(grid))
+	}
+	total := 0
+	nonEmpty := 0
+	for _, cell := range grid {
+		total += cell.Population
+		if cell.Population > 0 {
+			nonEmpty++
+			if len(cell.MeanShape) != 32 {
+				t.Fatalf("mean shape dim = %d", len(cell.MeanShape))
+			}
+			for _, v := range cell.MeanShape {
+				if v < 0 || v > 1 {
+					t.Fatalf("mean shape value %v out of range", v)
+				}
+			}
+		} else if cell.MeanShape != nil {
+			t.Fatal("empty cell has a shape")
+		}
+	}
+	if total != 120 {
+		t.Fatalf("populations sum to %d, want 120", total)
+	}
+	if nonEmpty < 3 {
+		t.Fatalf("only %d cells populated; grid collapsed", nonEmpty)
+	}
+	w, h := c.Cells()
+	if w != 3 || h != 3 {
+		t.Fatalf("cells = %dx%d", w, h)
+	}
+	x, y := c.CellXY(7)
+	if x != 1 || y != 2 {
+		t.Fatalf("CellXY(7) = %d,%d", x, y)
+	}
+}
+
+func TestClassifierDeterministic(t *testing.T) {
+	vecs, _ := syntheticVectors(60, 16, 11)
+	a, err := Train(vecs, Config{Seed: 5, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(vecs, Config{Seed: 5, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		if a.Assign(v) != b.Assign(v) {
+			t.Fatalf("assignment %d differs between identical trainings", i)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	vecs, _ := syntheticVectors(60, 16, 13)
+	c, err := Train(vecs, Config{Seed: 5, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalClassifier(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		if c.Assign(v) != got.Assign(v) {
+			t.Fatalf("assignment %d differs after round trip", i)
+		}
+	}
+	if _, err := UnmarshalClassifier(data[:10]); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+	if _, err := UnmarshalClassifier([]byte("bogus")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestKMeansBasics(t *testing.T) {
+	// Three well-separated blobs.
+	rng := rand.New(rand.NewSource(1))
+	var vecs [][]float64
+	var truth []int
+	centers := [][]float64{{0, 0}, {5, 5}, {-5, 5}}
+	for i := 0; i < 150; i++ {
+		c := i % 3
+		vecs = append(vecs, []float64{
+			centers[c][0] + rng.NormFloat64()*0.3,
+			centers[c][1] + rng.NormFloat64()*0.3,
+		})
+		truth = append(truth, c)
+	}
+	_, assign, err := KMeans(vecs, 3, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(assign, truth); p < 0.99 {
+		t.Fatalf("kmeans purity on separable blobs = %.3f", p)
+	}
+	if s := Silhouette(vecs, assign, 0, 1); s < 0.8 {
+		t.Fatalf("silhouette = %.3f, want high", s)
+	}
+	if _, _, err := KMeans(nil, 3, 10, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := KMeans(vecs, 0, 10, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := KMeans(vecs, len(vecs)+1, 10, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	if Purity(nil, nil) != 0 || NMI(nil, nil) != 0 {
+		t.Fatal("empty metrics should be 0")
+	}
+	if Purity([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+	// Perfect clustering.
+	a := []int{0, 0, 1, 1, 2, 2}
+	if Purity(a, a) != 1 {
+		t.Fatal("perfect purity != 1")
+	}
+	if nmi := NMI(a, a); math.Abs(nmi-1) > 1e-9 {
+		t.Fatalf("perfect NMI = %v", nmi)
+	}
+	// Single cluster has zero entropy -> NMI 0.
+	if NMI([]int{0, 0, 0}, []int{0, 1, 2}) != 0 {
+		t.Fatal("degenerate NMI should be 0")
+	}
+	// Silhouette of singleton clusters is 0.
+	if s := Silhouette([][]float64{{0}, {1}}, []int{0, 1}, 0, 1); s != 0 {
+		t.Fatalf("singleton silhouette = %v", s)
+	}
+}
+
+func TestSilhouetteSampling(t *testing.T) {
+	vecs, truth := syntheticVectors(200, 16, 17)
+	full := Silhouette(vecs, truth, 0, 1)
+	sampled := Silhouette(vecs, truth, 50, 1)
+	if math.Abs(full-sampled) > 0.3 {
+		t.Fatalf("sampled silhouette %v far from full %v", sampled, full)
+	}
+}
+
+func BenchmarkTrainClassifier(b *testing.B) {
+	vecs, _ := syntheticVectors(128, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(vecs, Config{Seed: 1, Epochs: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	vecs, _ := syntheticVectors(128, 32, 1)
+	c, err := Train(vecs, Config{Seed: 1, Epochs: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Assign(vecs[i%len(vecs)])
+	}
+}

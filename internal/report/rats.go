@@ -1,0 +1,275 @@
+// Package report implements the RATS-Report role (Fig 7): the central
+// reporting infrastructure offering "comprehensive insights into usage
+// data such as node-hours on compute resources", tracking burn rates for
+// project allocations, and rendering the CPU-vs-GPU usage view across an
+// allocation program that the paper's screenshot shows. Ingestion takes
+// job records parsed from scheduler logs; reports aggregate by program,
+// project, and user over arbitrary windows.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"odakit/internal/jobsched"
+)
+
+// JobRecord is one finished (or censored) job as parsed from scheduler
+// accounting logs.
+type JobRecord struct {
+	JobID   string
+	User    string
+	Project string
+	Program string
+	GPU     bool
+	Nodes   int
+	Start   time.Time
+	End     time.Time
+	Failed  bool
+}
+
+// NodeHours returns the record's node-hours.
+func (j JobRecord) NodeHours() float64 {
+	if j.End.Before(j.Start) {
+		return 0
+	}
+	return float64(j.Nodes) * j.End.Sub(j.Start).Hours()
+}
+
+// FromSchedule converts a simulated schedule into accounting records.
+func FromSchedule(s *jobsched.Schedule) []JobRecord {
+	var out []JobRecord
+	for _, j := range s.Jobs {
+		if j.Start.IsZero() || j.End.IsZero() {
+			continue
+		}
+		out = append(out, JobRecord{
+			JobID: j.ID, User: j.User, Project: j.Project, Program: j.Program,
+			GPU: j.GPUJob, Nodes: j.Nodes, Start: j.Start, End: j.End,
+			Failed: j.State == jobsched.StateFailed,
+		})
+	}
+	return out
+}
+
+// ErrNoProject reports a missing allocation.
+var ErrNoProject = errors.New("report: no such project allocation")
+
+// RATS is the reporting store. Safe for concurrent use.
+type RATS struct {
+	mu      sync.RWMutex
+	jobs    []JobRecord
+	granted map[string]float64 // project -> allocated node-hours
+}
+
+// New returns an empty reporting store.
+func New() *RATS { return &RATS{granted: make(map[string]float64)} }
+
+// Ingest adds accounting records (daily ingestion in the paper, at
+// potentially millions of parsed log lines).
+func (r *RATS) Ingest(records []JobRecord) {
+	r.mu.Lock()
+	r.jobs = append(r.jobs, records...)
+	r.mu.Unlock()
+}
+
+// SetAllocation grants a project its node-hour allocation.
+func (r *RATS) SetAllocation(project string, nodeHours float64) {
+	r.mu.Lock()
+	r.granted[project] = nodeHours
+	r.mu.Unlock()
+}
+
+// overlapHours returns the node-hours a record contributes to a window.
+func overlapHours(j JobRecord, from, to time.Time) float64 {
+	s, e := j.Start, j.End
+	if s.Before(from) {
+		s = from
+	}
+	if e.After(to) {
+		e = to
+	}
+	if !e.After(s) {
+		return 0
+	}
+	return float64(j.Nodes) * e.Sub(s).Hours()
+}
+
+// ProgramRow is one Fig 7 row: usage split CPU vs GPU per program.
+type ProgramRow struct {
+	Program      string
+	Jobs         int
+	CPUNodeHours float64
+	GPUNodeHours float64
+	Share        float64 // of total node-hours in the window
+}
+
+// ByProgram aggregates usage per allocation program over a window.
+func (r *RATS) ByProgram(from, to time.Time) []ProgramRow {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	acc := map[string]*ProgramRow{}
+	total := 0.0
+	for _, j := range r.jobs {
+		nh := overlapHours(j, from, to)
+		if nh == 0 {
+			continue
+		}
+		row, ok := acc[j.Program]
+		if !ok {
+			row = &ProgramRow{Program: j.Program}
+			acc[j.Program] = row
+		}
+		row.Jobs++
+		if j.GPU {
+			row.GPUNodeHours += nh
+		} else {
+			row.CPUNodeHours += nh
+		}
+		total += nh
+	}
+	out := make([]ProgramRow, 0, len(acc))
+	for _, row := range acc {
+		if total > 0 {
+			row.Share = (row.CPUNodeHours + row.GPUNodeHours) / total
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a := out[i].CPUNodeHours + out[i].GPUNodeHours
+		b := out[j].CPUNodeHours + out[j].GPUNodeHours
+		if a != b {
+			return a > b
+		}
+		return out[i].Program < out[j].Program
+	})
+	return out
+}
+
+// ProjectRow reports one project's burn against its allocation.
+type ProjectRow struct {
+	Project       string
+	Program       string
+	UsedNodeHours float64
+	Granted       float64
+	BurnPerDay    float64 // node-hours/day over the window
+	// DaysToExhaustion projects when the allocation runs out at the
+	// current burn rate; +Inf when burn is zero or unallocated.
+	DaysToExhaustion float64
+}
+
+// ProjectBurn reports per-project burn rates over a window.
+func (r *RATS) ProjectBurn(from, to time.Time) []ProjectRow {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	type acc struct {
+		row     ProjectRow
+		windowH float64
+	}
+	byProj := map[string]*acc{}
+	for _, j := range r.jobs {
+		a, ok := byProj[j.Project]
+		if !ok {
+			a = &acc{row: ProjectRow{Project: j.Project, Program: j.Program, Granted: r.granted[j.Project]}}
+			byProj[j.Project] = a
+		}
+		// Lifetime usage counts everything; burn uses only the window.
+		a.row.UsedNodeHours += j.NodeHours()
+		a.windowH += overlapHours(j, from, to)
+	}
+	days := to.Sub(from).Hours() / 24
+	out := make([]ProjectRow, 0, len(byProj))
+	for _, a := range byProj {
+		if days > 0 {
+			a.row.BurnPerDay = a.windowH / days
+		}
+		remaining := a.row.Granted - a.row.UsedNodeHours
+		switch {
+		case a.row.Granted == 0, a.row.BurnPerDay <= 0:
+			a.row.DaysToExhaustion = math.Inf(1)
+		case remaining <= 0:
+			a.row.DaysToExhaustion = 0
+		default:
+			a.row.DaysToExhaustion = remaining / a.row.BurnPerDay
+		}
+		out = append(out, a.row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UsedNodeHours > out[j].UsedNodeHours })
+	return out
+}
+
+// UserRow reports one user's activity.
+type UserRow struct {
+	User      string
+	Jobs      int
+	NodeHours float64
+	Failed    int
+}
+
+// ByUser aggregates usage per user over a window.
+func (r *RATS) ByUser(from, to time.Time) []UserRow {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	acc := map[string]*UserRow{}
+	for _, j := range r.jobs {
+		nh := overlapHours(j, from, to)
+		if nh == 0 {
+			continue
+		}
+		row, ok := acc[j.User]
+		if !ok {
+			row = &UserRow{User: j.User}
+			acc[j.User] = row
+		}
+		row.Jobs++
+		row.NodeHours += nh
+		if j.Failed {
+			row.Failed++
+		}
+	}
+	out := make([]UserRow, 0, len(acc))
+	for _, row := range acc {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeHours != out[j].NodeHours {
+			return out[i].NodeHours > out[j].NodeHours
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// RenderProgramReport draws the Fig 7 view as a text table.
+func RenderProgramReport(rows []ProgramRow, from, to time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RATS Report: program usage %s .. %s\n", from.Format("2006-01-02"), to.Format("2006-01-02"))
+	fmt.Fprintf(&b, "%-10s %8s %14s %14s %8s\n", "program", "jobs", "cpu node-h", "gpu node-h", "share")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %14.1f %14.1f %7.1f%%\n",
+			r.Program, r.Jobs, r.CPUNodeHours, r.GPUNodeHours, 100*r.Share)
+	}
+	return b.String()
+}
+
+// Stats reports store counters.
+type Stats struct {
+	Jobs     int
+	Projects int
+}
+
+// Stats returns current counters.
+func (r *RATS) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	projs := map[string]bool{}
+	for _, j := range r.jobs {
+		projs[j.Project] = true
+	}
+	return Stats{Jobs: len(r.jobs), Projects: len(projs)}
+}

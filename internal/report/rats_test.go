@@ -1,0 +1,169 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"odakit/internal/jobsched"
+)
+
+var t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(id, user, proj, prog string, gpu bool, nodes, startH, endH int) JobRecord {
+	return JobRecord{
+		JobID: id, User: user, Project: proj, Program: prog, GPU: gpu, Nodes: nodes,
+		Start: t0.Add(time.Duration(startH) * time.Hour),
+		End:   t0.Add(time.Duration(endH) * time.Hour),
+	}
+}
+
+func seeded() *RATS {
+	r := New()
+	r.Ingest([]JobRecord{
+		rec("j1", "alice", "PRJ001", "INCITE", true, 100, 0, 10), // 1000 gpu nh
+		rec("j2", "bob", "PRJ001", "INCITE", false, 50, 0, 4),    // 200 cpu nh
+		rec("j3", "carol", "PRJ002", "ALCC", true, 20, 5, 15),    // 200 gpu nh
+		rec("j4", "alice", "PRJ003", "DD", false, 2, 100, 110),   // outside early windows
+	})
+	return r
+}
+
+func TestNodeHours(t *testing.T) {
+	j := rec("j", "u", "p", "P", false, 10, 0, 5)
+	if j.NodeHours() != 50 {
+		t.Fatalf("node hours = %v", j.NodeHours())
+	}
+	bad := j
+	bad.End = bad.Start.Add(-time.Hour)
+	if bad.NodeHours() != 0 {
+		t.Fatal("negative interval should be 0")
+	}
+}
+
+func TestByProgram(t *testing.T) {
+	r := seeded()
+	rows := r.ByProgram(t0, t0.Add(24*time.Hour))
+	if len(rows) != 2 {
+		t.Fatalf("programs = %d, want 2 (DD outside window)", len(rows))
+	}
+	// INCITE first (1200 nh > 200 nh).
+	if rows[0].Program != "INCITE" || rows[0].Jobs != 2 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[0].GPUNodeHours != 1000 || rows[0].CPUNodeHours != 200 {
+		t.Fatalf("row0 split = %+v", rows[0])
+	}
+	if rows[1].Program != "ALCC" || rows[1].GPUNodeHours != 200 {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	wantShare := 1200.0 / 1400.0
+	if math.Abs(rows[0].Share-wantShare) > 1e-9 {
+		t.Fatalf("share = %v, want %v", rows[0].Share, wantShare)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	r := seeded()
+	// Window [0,5h): j1 contributes 100*5=500, j2 50*4=200, j3 20*0=0... j3 starts at 5.
+	rows := r.ByProgram(t0, t0.Add(5*time.Hour))
+	var incite ProgramRow
+	for _, row := range rows {
+		if row.Program == "INCITE" {
+			incite = row
+		}
+	}
+	if incite.GPUNodeHours != 500 || incite.CPUNodeHours != 200 {
+		t.Fatalf("clipped = %+v", incite)
+	}
+	for _, row := range rows {
+		if row.Program == "ALCC" {
+			t.Fatal("ALCC job starts at the window edge; should contribute nothing")
+		}
+	}
+}
+
+func TestProjectBurn(t *testing.T) {
+	r := seeded()
+	r.SetAllocation("PRJ001", 2400) // 1200 used
+	rows := r.ProjectBurn(t0, t0.Add(24*time.Hour))
+	if rows[0].Project != "PRJ001" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	p1 := rows[0]
+	if p1.UsedNodeHours != 1200 || p1.Granted != 2400 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	if math.Abs(p1.BurnPerDay-1200) > 1e-9 {
+		t.Fatalf("burn = %v node-h/day", p1.BurnPerDay)
+	}
+	if math.Abs(p1.DaysToExhaustion-1) > 1e-9 {
+		t.Fatalf("days to exhaustion = %v, want 1", p1.DaysToExhaustion)
+	}
+	// Unallocated project is +Inf.
+	for _, row := range rows {
+		if row.Project == "PRJ002" && !math.IsInf(row.DaysToExhaustion, 1) {
+			t.Fatalf("unallocated project exhaustion = %v", row.DaysToExhaustion)
+		}
+	}
+	// Exhausted allocation reports 0.
+	r.SetAllocation("PRJ002", 100) // used 200 > granted
+	rows = r.ProjectBurn(t0, t0.Add(24*time.Hour))
+	for _, row := range rows {
+		if row.Project == "PRJ002" && row.DaysToExhaustion != 0 {
+			t.Fatalf("exhausted project = %+v", row)
+		}
+	}
+}
+
+func TestByUser(t *testing.T) {
+	r := seeded()
+	r.Ingest([]JobRecord{{
+		JobID: "f1", User: "alice", Project: "PRJ001", Program: "INCITE",
+		Nodes: 10, Start: t0, End: t0.Add(time.Hour), Failed: true,
+	}})
+	rows := r.ByUser(t0, t0.Add(24*time.Hour))
+	if rows[0].User != "alice" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Jobs != 2 || rows[0].Failed != 1 {
+		t.Fatalf("alice = %+v", rows[0])
+	}
+}
+
+func TestFromSchedule(t *testing.T) {
+	sim := jobsched.New(jobsched.Config{Nodes: 64, Workload: jobsched.WorkloadConfig{Seed: 3}})
+	sched := sim.Run(t0, t0.Add(4*time.Hour))
+	recs := FromSchedule(sched)
+	if len(recs) == 0 {
+		t.Fatal("no records from schedule")
+	}
+	for _, rr := range recs {
+		if rr.Start.IsZero() || rr.End.IsZero() || rr.Nodes <= 0 {
+			t.Fatalf("bad record %+v", rr)
+		}
+	}
+	r := New()
+	r.Ingest(recs)
+	rows := r.ByProgram(t0, t0.Add(4*time.Hour))
+	if len(rows) == 0 {
+		t.Fatal("no program rows from simulated schedule")
+	}
+	st := r.Stats()
+	if st.Jobs != len(recs) || st.Projects == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRenderProgramReport(t *testing.T) {
+	r := seeded()
+	out := RenderProgramReport(r.ByProgram(t0, t0.Add(24*time.Hour)), t0, t0.Add(24*time.Hour))
+	if !strings.Contains(out, "INCITE") || !strings.Contains(out, "gpu node-h") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 programs
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,105 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row codec: the compact binary wire format used for records in flight
+// through the STREAM broker. Layout per value:
+//
+//	1 byte kind | payload
+//
+// where payload is empty for null, 1 byte for bool, a zigzag varint for
+// int/time, 8 fixed bytes for float, and uvarint-length-prefixed bytes
+// for string. Rows are prefixed with a uvarint field count so readers can
+// skip records whose schema they do not know.
+
+// AppendRow encodes r onto buf and returns the extended slice.
+func AppendRow(buf []byte, r Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindBool:
+			b := byte(0)
+			if v.num != 0 {
+				b = 1
+			}
+			buf = append(buf, b)
+		case KindInt, KindTime:
+			buf = binary.AppendVarint(buf, int64(v.num))
+		case KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, v.num)
+		case KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.str)))
+			buf = append(buf, v.str...)
+		}
+	}
+	return buf
+}
+
+// EncodeRow encodes r into a fresh buffer.
+func EncodeRow(r Row) []byte { return AppendRow(make([]byte, 0, 16*len(r)+4), r) }
+
+// DecodeRow decodes one row from buf, returning the row and the number of
+// bytes consumed.
+func DecodeRow(buf []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("schema: decode row: bad field count")
+	}
+	if n > uint64(len(buf)) { // each field needs >= 1 byte
+		return nil, 0, fmt.Errorf("schema: decode row: field count %d exceeds buffer", n)
+	}
+	off := sz
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("schema: decode row: truncated at field %d", i)
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindNull:
+			row = append(row, Null)
+		case KindBool:
+			if off >= len(buf) {
+				return nil, 0, fmt.Errorf("schema: decode row: truncated bool")
+			}
+			row = append(row, Bool(buf[off] != 0))
+			off++
+		case KindInt, KindTime:
+			v, sz := binary.Varint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("schema: decode row: bad varint")
+			}
+			off += sz
+			if kind == KindInt {
+				row = append(row, Int(v))
+			} else {
+				row = append(row, TimeNanos(v))
+			}
+		case KindFloat:
+			if off+8 > len(buf) {
+				return nil, 0, fmt.Errorf("schema: decode row: truncated float")
+			}
+			bits := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			row = append(row, Float(math.Float64frombits(bits)))
+		case KindString:
+			l, sz := binary.Uvarint(buf[off:])
+			if sz <= 0 || uint64(off+sz)+l > uint64(len(buf)) {
+				return nil, 0, fmt.Errorf("schema: decode row: truncated string")
+			}
+			off += sz
+			row = append(row, Str(string(buf[off:off+int(l)])))
+			off += int(l)
+		default:
+			return nil, 0, fmt.Errorf("schema: decode row: unknown kind %d", kind)
+		}
+	}
+	return row, off, nil
+}

@@ -1,0 +1,136 @@
+package schema
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Int(1), Str("a"), Float(2.5), Bool(true), Time(time.Unix(100, 5).UTC()), Null},
+		{},
+		{Null, Null},
+		{Str(""), Str("unicode ✓ αβγ"), Int(-1 << 62)},
+		{Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)), Float(0)},
+	}
+	for _, r := range rows {
+		buf := EncodeRow(r)
+		got, n, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		if !got.Equal(r) {
+			t.Fatalf("round trip: got %v want %v", got, r)
+		}
+	}
+}
+
+func TestCodecConcatenatedRows(t *testing.T) {
+	a := Row{Int(1), Str("x")}
+	b := Row{Float(2.5)}
+	buf := AppendRow(EncodeRow(a), b)
+	gotA, n, err := DecodeRow(buf)
+	if err != nil || !gotA.Equal(a) {
+		t.Fatalf("first row: %v %v", gotA, err)
+	}
+	gotB, _, err := DecodeRow(buf[n:])
+	if err != nil || !gotB.Equal(b) {
+		t.Fatalf("second row: %v %v", gotB, err)
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	full := EncodeRow(Row{Int(12345), Str("hello world"), Float(1.25)})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRow(full[:cut]); err == nil && cut < len(full) {
+			// A shorter prefix may still parse if it happens to form a
+			// complete smaller row only when cut==0 is impossible here;
+			// we require an error for every strict prefix.
+			t.Fatalf("truncated decode at %d bytes should fail", cut)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeRow([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Fatal("garbage field count should fail")
+	}
+	// Unknown kind byte.
+	buf := []byte{1, 200}
+	if _, _, err := DecodeRow(buf); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if _, _, err := DecodeRow(nil); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		return Float(r.NormFloat64() * 1e6)
+	case 4:
+		n := r.Intn(20)
+		b := make([]byte, n)
+		r.Read(b)
+		return Str(string(b))
+	default:
+		return TimeNanos(r.Int63() - r.Int63())
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64, width uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		row := make(Row, int(width)%12)
+		for i := range row {
+			row[i] = randomValue(r)
+		}
+		buf := EncodeRow(row)
+		got, n, err := DecodeRow(buf)
+		return err == nil && n == len(buf) && got.Equal(row)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeObservationRow(b *testing.B) {
+	row := Observation{
+		Ts: time.Unix(1717200000, 0), System: "compass", Source: "power_temp",
+		Component: "node04219", Metric: "node_power_w", Value: 2713.5,
+	}.Row()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRow(buf[:0], row)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeObservationRow(b *testing.B) {
+	buf := EncodeRow(Observation{
+		Ts: time.Unix(1717200000, 0), System: "compass", Source: "power_temp",
+		Component: "node04219", Metric: "node_power_w", Value: 2713.5,
+	}.Row())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRow(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

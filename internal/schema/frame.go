@@ -1,0 +1,279 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a typed vector of values plus a null mask. Only the slice
+// matching the column kind is allocated; bool and time payloads share the
+// int64 slice. Columns are the storage unit of Frame and of the columnar
+// file format.
+type Column struct {
+	kind   Kind
+	nulls  []bool
+	ints   []int64 // int, time (unix nanos), bool (0/1)
+	floats []float64
+	strs   []string
+	length int
+}
+
+// NewColumn returns an empty column of the given kind.
+func NewColumn(kind Kind) *Column { return &Column{kind: kind} }
+
+// Kind returns the column's kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of values, including nulls.
+func (c *Column) Len() int { return c.length }
+
+// Append adds a value. Null values are recorded in the mask with a
+// zero payload. Appending a non-null value of the wrong kind is an error.
+func (c *Column) Append(v Value) error {
+	if v.IsNull() {
+		c.appendNull()
+		return nil
+	}
+	if v.Kind() != c.kind {
+		return fmt.Errorf("schema: column kind %v, value kind %v", c.kind, v.Kind())
+	}
+	c.nulls = append(c.nulls, false)
+	switch c.kind {
+	case KindBool:
+		n := int64(0)
+		if v.BoolVal() {
+			n = 1
+		}
+		c.ints = append(c.ints, n)
+	case KindInt:
+		c.ints = append(c.ints, v.IntVal())
+	case KindTime:
+		c.ints = append(c.ints, v.UnixNanos())
+	case KindFloat:
+		c.floats = append(c.floats, v.FloatVal())
+	case KindString:
+		c.strs = append(c.strs, v.StrVal())
+	default:
+		return fmt.Errorf("schema: cannot append to column of kind %v", c.kind)
+	}
+	c.length++
+	return nil
+}
+
+func (c *Column) appendNull() {
+	c.nulls = append(c.nulls, true)
+	switch c.kind {
+	case KindBool, KindInt, KindTime:
+		c.ints = append(c.ints, 0)
+	case KindFloat:
+		c.floats = append(c.floats, 0)
+	case KindString:
+		c.strs = append(c.strs, "")
+	}
+	c.length++
+}
+
+// IsNull reports whether the i'th value is null.
+func (c *Column) IsNull(i int) bool { return c.nulls[i] }
+
+// Value materializes the i'th value.
+func (c *Column) Value(i int) Value {
+	if c.nulls[i] {
+		return Null
+	}
+	switch c.kind {
+	case KindBool:
+		return Bool(c.ints[i] != 0)
+	case KindInt:
+		return Int(c.ints[i])
+	case KindTime:
+		return TimeNanos(c.ints[i])
+	case KindFloat:
+		return Float(c.floats[i])
+	case KindString:
+		return Str(c.strs[i])
+	default:
+		return Null
+	}
+}
+
+// Ints exposes the raw int64 payload (int/time/bool columns). The caller
+// must not mutate it. Null positions hold zero.
+func (c *Column) Ints() []int64 { return c.ints }
+
+// Floats exposes the raw float64 payload (float columns).
+func (c *Column) Floats() []float64 { return c.floats }
+
+// Strs exposes the raw string payload (string columns).
+func (c *Column) Strs() []string { return c.strs }
+
+// Frame is a columnar batch of rows sharing one schema: the unit of work
+// in the stream processor and the row-group payload in the columnar file
+// format. A Frame is not safe for concurrent mutation.
+type Frame struct {
+	schema *Schema
+	cols   []*Column
+}
+
+// NewFrame returns an empty frame with the given schema.
+func NewFrame(s *Schema) *Frame {
+	cols := make([]*Column, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		cols[i] = NewColumn(s.Field(i).Kind)
+	}
+	return &Frame{schema: s, cols: cols}
+}
+
+// FrameOf builds a frame from rows, validating each against the schema.
+func FrameOf(s *Schema, rows ...Row) (*Frame, error) {
+	f := NewFrame(s)
+	for _, r := range rows {
+		if err := f.AppendRow(r); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Schema returns the frame's schema.
+func (f *Frame) Schema() *Schema { return f.schema }
+
+// Len returns the number of rows.
+func (f *Frame) Len() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].Len()
+}
+
+// Col returns the i'th column.
+func (f *Frame) Col(i int) *Column { return f.cols[i] }
+
+// ColByName returns the named column, or an error if absent.
+func (f *Frame) ColByName(name string) (*Column, error) {
+	i, ok := f.schema.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("schema: frame has no column %q", name)
+	}
+	return f.cols[i], nil
+}
+
+// AppendRow validates and appends one row.
+func (f *Frame) AppendRow(r Row) error {
+	if len(r) != len(f.cols) {
+		return fmt.Errorf("schema: row width %d != frame width %d", len(r), len(f.cols))
+	}
+	for i, v := range r {
+		if err := f.cols[i].Append(v); err != nil {
+			return fmt.Errorf("schema: column %q: %w", f.schema.Field(i).Name, err)
+		}
+	}
+	return nil
+}
+
+// AppendFrame appends all rows of o, which must have an equal schema.
+func (f *Frame) AppendFrame(o *Frame) error {
+	if !f.schema.Equal(o.schema) {
+		return fmt.Errorf("schema: append frame: schema mismatch %s vs %s", f.schema, o.schema)
+	}
+	for i := 0; i < o.Len(); i++ {
+		if err := f.AppendRow(o.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Row materializes the i'th row.
+func (f *Frame) Row(i int) Row {
+	r := make(Row, len(f.cols))
+	for c, col := range f.cols {
+		r[c] = col.Value(i)
+	}
+	return r
+}
+
+// Rows materializes every row. Intended for tests and small results.
+func (f *Frame) Rows() []Row {
+	out := make([]Row, f.Len())
+	for i := range out {
+		out[i] = f.Row(i)
+	}
+	return out
+}
+
+// Filter returns a new frame holding only rows where keep returns true.
+func (f *Frame) Filter(keep func(Row) bool) *Frame {
+	out := NewFrame(f.schema)
+	for i := 0; i < f.Len(); i++ {
+		r := f.Row(i)
+		if keep(r) {
+			// AppendRow cannot fail: the row came from a conforming frame.
+			_ = out.AppendRow(r)
+		}
+	}
+	return out
+}
+
+// Select returns a new frame with only the named columns.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	ns, err := f.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewFrame(ns)
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = f.schema.MustIndex(n)
+	}
+	for r := 0; r < f.Len(); r++ {
+		row := make(Row, len(idx))
+		for i, c := range idx {
+			row[i] = f.cols[c].Value(r)
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortBy sorts rows in place ordering by the named columns ascending.
+func (f *Frame) SortBy(names ...string) error {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := f.schema.Index(n)
+		if !ok {
+			return fmt.Errorf("schema: sort: no column %q", n)
+		}
+		idx[i] = j
+	}
+	rows := f.Rows()
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, c := range idx {
+			if cmp := rows[a][c].Compare(rows[b][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	nf := NewFrame(f.schema)
+	for _, r := range rows {
+		_ = nf.AppendRow(r)
+	}
+	f.cols = nf.cols
+	return nil
+}
+
+// Equal reports whether two frames hold identical schemas and rows.
+func (f *Frame) Equal(o *Frame) bool {
+	if !f.schema.Equal(o.schema) || f.Len() != o.Len() {
+		return false
+	}
+	for i := 0; i < f.Len(); i++ {
+		if !f.Row(i).Equal(o.Row(i)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,275 @@
+// Package schema defines the tabular data model shared by every odakit
+// subsystem: dynamically typed values, named fields, long- and wide-format
+// rows, and columnar frames used by the stream processor and the columnar
+// file format.
+//
+// The model mirrors the paper's §V-A pipeline anatomy: raw telemetry is
+// first normalized into a tabular long format ("Bronze"), aggregated and
+// pivoted into a wide format ("Silver"), and finally sliced into analysis
+// artifacts ("Gold"). All three states are expressed with the same Schema,
+// Row, and Frame types.
+package schema
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero Kind so that the zero
+// Value is a usable null.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding one cell of a row. The zero
+// Value is null. Values are immutable; all accessors are value receivers.
+//
+// Numeric payloads share the num field (bool/int/float/time bit patterns)
+// so a Value is two words plus the string header, avoiding interface
+// boxing on the hot ingest path.
+type Value struct {
+	kind Kind
+	num  uint64
+	str  string
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, num: uint64(v)} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, num: math.Float64bits(v)} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Time returns a time value with nanosecond precision (UTC).
+func Time(t time.Time) Value { return Value{kind: KindTime, num: uint64(t.UnixNano())} }
+
+// TimeNanos returns a time value from Unix nanoseconds.
+func TimeNanos(ns int64) Value { return Value{kind: KindTime, num: uint64(ns)} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// BoolVal returns the boolean payload; false for non-bool values.
+func (v Value) BoolVal() bool { return v.kind == KindBool && v.num != 0 }
+
+// IntVal returns the integer payload. Float values are truncated;
+// time values yield Unix nanoseconds; other kinds yield 0.
+func (v Value) IntVal() int64 {
+	switch v.kind {
+	case KindInt, KindTime:
+		return int64(v.num)
+	case KindFloat:
+		return int64(math.Float64frombits(v.num))
+	case KindBool:
+		return int64(v.num)
+	default:
+		return 0
+	}
+}
+
+// FloatVal returns the floating-point payload, converting integer values.
+// Other kinds yield NaN for null-safety in aggregations.
+func (v Value) FloatVal() float64 {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(v.num)
+	case KindInt:
+		return float64(int64(v.num))
+	case KindBool:
+		return float64(v.num)
+	default:
+		return math.NaN()
+	}
+}
+
+// StrVal returns the string payload; "" for non-string values.
+func (v Value) StrVal() string {
+	if v.kind == KindString {
+		return v.str
+	}
+	return ""
+}
+
+// TimeVal returns the time payload; the zero time for non-time values.
+func (v Value) TimeVal() time.Time {
+	if v.kind != KindTime {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(v.num)).UTC()
+}
+
+// UnixNanos returns the raw nanosecond payload of a time value.
+func (v Value) UnixNanos() int64 {
+	if v.kind != KindTime {
+		return 0
+	}
+	return int64(v.num)
+}
+
+// Equal reports deep equality of two values, including kind.
+// NaN equals NaN so that frames round-trip through codecs.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.str == o.str
+	case KindFloat:
+		a, b := math.Float64frombits(v.num), math.Float64frombits(o.num)
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return v.num == o.num
+	default:
+		return v.num == o.num
+	}
+}
+
+// Compare orders two values. Nulls sort first; mismatched kinds are
+// ordered by kind; within a kind the natural order applies.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		switch {
+		case v.str < o.str:
+			return -1
+		case v.str > o.str:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		a, b := math.Float64frombits(v.num), math.Float64frombits(o.num)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		case math.IsNaN(a) && !math.IsNaN(b):
+			return -1
+		case !math.IsNaN(a) && math.IsNaN(b):
+			return 1
+		}
+		return 0
+	default: // bool, int, time share int64 ordering
+		a, b := int64(v.num), int64(o.num)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+// String renders the value for debugging and report output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.num != 0)
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
+	case KindString:
+		return v.str
+	case KindTime:
+		return v.TimeVal().Format(time.RFC3339Nano)
+	default:
+		return "invalid"
+	}
+}
+
+// Parse converts a string into a Value of the requested kind.
+func Parse(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindNull:
+		return Null, nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null, fmt.Errorf("schema: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("schema: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("schema: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return Str(s), nil
+	case KindTime:
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return Null, fmt.Errorf("schema: parse time %q: %w", s, err)
+		}
+		return Time(t), nil
+	default:
+		return Null, fmt.Errorf("schema: parse: unknown kind %v", kind)
+	}
+}

@@ -1,0 +1,176 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be null")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v, want KindNull", v.Kind())
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	now := time.Date(2024, 6, 1, 12, 0, 0, 123, time.UTC)
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Int(-42), KindInt, "-42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hello"), KindString, "hello"},
+		{Time(now), KindTime, "2024-06-01T12:00:00.000000123Z"},
+		{Null, KindNull, "null"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if Bool(true).BoolVal() != true {
+		t.Error("BoolVal round trip failed")
+	}
+	if Int(-42).IntVal() != -42 {
+		t.Error("IntVal round trip failed")
+	}
+	if Float(2.5).FloatVal() != 2.5 {
+		t.Error("FloatVal round trip failed")
+	}
+	if Str("x").StrVal() != "x" {
+		t.Error("StrVal round trip failed")
+	}
+	if !Time(now).TimeVal().Equal(now) {
+		t.Error("TimeVal round trip failed")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Int(3).FloatVal(); got != 3.0 {
+		t.Errorf("Int(3).FloatVal() = %v, want 3", got)
+	}
+	if got := Float(3.9).IntVal(); got != 3 {
+		t.Errorf("Float(3.9).IntVal() = %v, want 3", got)
+	}
+	if !math.IsNaN(Str("x").FloatVal()) {
+		t.Error("Str.FloatVal() should be NaN")
+	}
+	if !math.IsNaN(Null.FloatVal()) {
+		t.Error("Null.FloatVal() should be NaN")
+	}
+	if Str("x").IntVal() != 0 {
+		t.Error("Str.IntVal() should be 0")
+	}
+}
+
+func TestValueEqualNaN(t *testing.T) {
+	a, b := Float(math.NaN()), Float(math.NaN())
+	if !a.Equal(b) {
+		t.Error("NaN values should compare Equal for codec round trips")
+	}
+	if a.Equal(Float(1)) {
+		t.Error("NaN should not equal 1")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Str("a"), Str("b"), -1},
+		{Float(1.5), Float(1.5), 0},
+		{Null, Int(0), -1}, // null sorts first (kind order)
+		{Bool(false), Bool(true), -1},
+		{TimeNanos(10), TimeNanos(20), -1},
+		{Float(math.NaN()), Float(1), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   string
+		want Value
+	}{
+		{KindBool, "true", Bool(true)},
+		{KindInt, "-7", Int(-7)},
+		{KindFloat, "3.25", Float(3.25)},
+		{KindString, "abc", Str("abc")},
+		{KindTime, "2024-06-01T00:00:00Z", Time(time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC))},
+		{KindNull, "whatever", Null},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.kind, c.in)
+		if err != nil {
+			t.Errorf("Parse(%v, %q): %v", c.kind, c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%v, %q) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+	if _, err := Parse(KindInt, "notanint"); err == nil {
+		t.Error("Parse should fail on bad int")
+	}
+	if _, err := Parse(KindBool, "maybe"); err == nil {
+		t.Error("Parse should fail on bad bool")
+	}
+	if _, err := Parse(KindTime, "yesterday"); err == nil {
+		t.Error("Parse should fail on bad time")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		v, err := Parse(KindString, s)
+		return err == nil && v.StrVal() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", KindTime: "time",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}

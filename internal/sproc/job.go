@@ -1,0 +1,506 @@
+package sproc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"odakit/internal/schema"
+	"odakit/internal/stream"
+)
+
+// JobConfig configures a streaming job.
+type JobConfig struct {
+	// Name identifies the job; the checkpoint file is named after it.
+	Name string
+	// Topic and Group select the broker subscription.
+	Topic string
+	Group string
+	// InputSchema decodes record payloads (schema.EncodeRow bytes).
+	InputSchema *schema.Schema
+	// BatchSize caps records per micro-batch (default 4096).
+	BatchSize int
+	// PollWait bounds how long a micro-batch waits for data (default 100ms).
+	PollWait time.Duration
+	// CheckpointDir enables recovery when non-empty: offsets, watermark,
+	// and open-window state persist there after every sunk batch.
+	CheckpointDir string
+	// PartitionIdleTimeout excludes partitions that have produced no data
+	// for this long from the watermark minimum, so an idle partition
+	// cannot stall window emission forever (default 500ms).
+	PartitionIdleTimeout time.Duration
+}
+
+// WindowSpec declares event-time windowed aggregation: tumbling by
+// default, sliding when Slide is set below Window.
+type WindowSpec struct {
+	// TimeCol is the event-time column (KindTime).
+	TimeCol string
+	// Window is the window width (e.g. 15s — the paper's Silver rollup).
+	Window time.Duration
+	// Slide is the hop between window starts; 0 (or == Window) gives
+	// tumbling windows, smaller values give overlapping sliding windows
+	// (each record lands in Window/Slide windows).
+	Slide time.Duration
+	// Lateness delays the watermark: a window closes only when the max
+	// observed event time passes window end + Lateness. Records older
+	// than an already-closed window are dropped and counted.
+	Lateness time.Duration
+	// Keys are the group-by dimensions (string columns).
+	Keys []string
+	// Aggs are the aggregations computed per (window, key group).
+	Aggs []Agg
+}
+
+// Metrics are the job's processing counters.
+type Metrics struct {
+	RecordsIn      int64
+	RecordsInvalid int64
+	RecordsLate    int64
+	Batches        int64
+	WindowsEmitted int64
+	RowsOut        int64
+	Recovered      bool
+}
+
+// Job is a micro-batch streaming pipeline: broker topic -> optional
+// filter -> optional windowed aggregation -> optional batch transforms ->
+// sink, with checkpoint-based recovery. Build it fluently, then Run or
+// Drain it. A Job is single-consumer; metrics reads are mutex-guarded.
+type Job struct {
+	broker *stream.Broker
+	cfg    JobConfig
+
+	pred   func(schema.Row) bool
+	window *WindowSpec
+	maps   []func(*schema.Frame) (*schema.Frame, error)
+	sink   func(*schema.Frame) error
+
+	mu      sync.Mutex
+	metrics Metrics
+
+	// window state
+	winState map[int64]map[string]*winGroup // windowStart -> encodedKey -> group
+	// partWM tracks the max event time seen per broker partition; the
+	// effective watermark is the minimum across partitions, so a fast
+	// partition cannot close windows other partitions still feed. A
+	// partition idle longer than PartitionIdleTimeout is excluded.
+	partWM   map[int]int64
+	nparts   int
+	partSeen map[int]time.Time // wall-clock last-data time per partition
+	emitted  int64             // latest emitted window start (nanos)
+
+	consumer *stream.Consumer
+	outSch   *schema.Schema
+}
+
+type winGroup struct {
+	key    schema.Row
+	states []aggState
+}
+
+// NewJob returns a job reading the configured topic.
+func NewJob(b *stream.Broker, cfg JobConfig) (*Job, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: job needs a name", ErrPlan)
+	}
+	if cfg.InputSchema == nil {
+		return nil, fmt.Errorf("%w: job needs an input schema", ErrPlan)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 100 * time.Millisecond
+	}
+	if cfg.PartitionIdleTimeout <= 0 {
+		cfg.PartitionIdleTimeout = 500 * time.Millisecond
+	}
+	return &Job{
+		broker: b, cfg: cfg,
+		winState: make(map[int64]map[string]*winGroup),
+		partWM:   make(map[int]int64),
+		emitted:  -1 << 62,
+	}, nil
+}
+
+// Where installs a row filter applied before windowing.
+func (j *Job) Where(pred func(schema.Row) bool) *Job {
+	j.pred = pred
+	return j
+}
+
+// Window installs tumbling-window aggregation.
+func (j *Job) Window(spec WindowSpec) *Job {
+	j.window = &spec
+	return j
+}
+
+// MapBatch appends a whole-batch transform applied after windowing (e.g.
+// a pivot into wide format).
+func (j *Job) MapBatch(fn func(*schema.Frame) (*schema.Frame, error)) *Job {
+	j.maps = append(j.maps, fn)
+	return j
+}
+
+// To installs the sink. Sinks should be idempotent: recovery semantics
+// are at-least-once across the sink/checkpoint boundary (as with
+// non-transactional sinks in the system the paper uses).
+func (j *Job) To(sink func(*schema.Frame) error) *Job {
+	j.sink = sink
+	return j
+}
+
+// Metrics returns a snapshot of the processing counters.
+func (j *Job) Metrics() Metrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.metrics
+}
+
+// windowOutSchema is ts (window start), keys..., then agg columns.
+func (j *Job) windowOutSchema() (*schema.Schema, error) {
+	in := j.cfg.InputSchema
+	fields := []schema.Field{{Name: "window", Kind: schema.KindTime}}
+	for _, k := range j.window.Keys {
+		i, ok := in.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: window key %q not in input schema", ErrPlan, k)
+		}
+		fields = append(fields, schema.Field{Name: k, Kind: in.Field(i).Kind})
+	}
+	for _, a := range j.window.Aggs {
+		if !in.Has(a.Col) {
+			return nil, fmt.Errorf("%w: agg column %q not in input schema", ErrPlan, a.Col)
+		}
+		fields = append(fields, schema.Field{Name: a.outName(), Kind: a.outKind()})
+	}
+	return schema.New(fields...), nil
+}
+
+func (j *Job) start() error {
+	if j.sink == nil {
+		return fmt.Errorf("%w: job %s has no sink", ErrPlan, j.cfg.Name)
+	}
+	if j.window != nil {
+		if j.window.TimeCol == "" || j.window.Window <= 0 || len(j.window.Aggs) == 0 {
+			return fmt.Errorf("%w: incomplete window spec", ErrPlan)
+		}
+		if j.window.Slide < 0 || j.window.Slide > j.window.Window {
+			return fmt.Errorf("%w: slide must be in (0, window]", ErrPlan)
+		}
+		if _, ok := j.cfg.InputSchema.Index(j.window.TimeCol); !ok {
+			return fmt.Errorf("%w: no time column %q", ErrPlan, j.window.TimeCol)
+		}
+		sch, err := j.windowOutSchema()
+		if err != nil {
+			return err
+		}
+		j.outSch = sch
+	}
+	c, err := j.broker.Subscribe(j.cfg.Topic, j.cfg.Group, stream.StartEarliest)
+	if err != nil {
+		return err
+	}
+	j.consumer = c
+	if j.nparts, err = j.broker.Partitions(j.cfg.Topic); err != nil {
+		return err
+	}
+	j.partSeen = make(map[int]time.Time, j.nparts)
+	now := time.Now()
+	for p := 0; p < j.nparts; p++ {
+		j.partSeen[p] = now
+	}
+	if j.cfg.CheckpointDir != "" {
+		if err := j.restore(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run processes micro-batches until ctx is cancelled. A cancelled context
+// returns nil after a final checkpoint (graceful stop).
+func (j *Job) Run(ctx context.Context) error {
+	if err := j.start(); err != nil {
+		return err
+	}
+	for {
+		if err := j.step(ctx); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return j.checkpoint()
+			}
+			return err
+		}
+	}
+}
+
+// Drain processes until the topic is fully consumed, then force-closes
+// every open window and flushes it — the batch-completion mode tests and
+// backfills use.
+func (j *Job) Drain(ctx context.Context) error {
+	if err := j.start(); err != nil {
+		return err
+	}
+	for {
+		lags, err := j.consumer.Lag()
+		if err != nil {
+			return err
+		}
+		total := int64(0)
+		for _, l := range lags {
+			total += l
+		}
+		if total == 0 {
+			break
+		}
+		if err := j.step(ctx); err != nil {
+			return err
+		}
+	}
+	// Force-flush all remaining windows.
+	if err := j.flushWindows(true); err != nil {
+		return err
+	}
+	return j.checkpoint()
+}
+
+// step consumes one micro-batch.
+func (j *Job) step(ctx context.Context) error {
+	pollCtx, cancel := context.WithTimeout(ctx, j.cfg.PollWait)
+	recs, err := j.consumer.Poll(pollCtx, j.cfg.BatchSize)
+	cancel()
+	if err != nil {
+		if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) && ctx.Err() == nil {
+			// Idle poll: no new data, but idle-partition exclusion may
+			// have just unblocked the watermark — try to flush.
+			if j.window != nil {
+				if ferr := j.flushWindows(false); ferr != nil {
+					return ferr
+				}
+				return j.checkpoint()
+			}
+			return nil
+		}
+		return err
+	}
+	batch := schema.NewFrame(j.cfg.InputSchema)
+	var tIdx int
+	if j.window != nil {
+		tIdx = j.cfg.InputSchema.MustIndex(j.window.TimeCol)
+	}
+	j.mu.Lock()
+	for _, r := range recs {
+		j.metrics.RecordsIn++
+		row, _, derr := schema.DecodeRow(r.Value)
+		if derr != nil || row.Conforms(j.cfg.InputSchema) != nil {
+			j.metrics.RecordsInvalid++
+			continue
+		}
+		// Every valid record advances its partition's watermark, even if
+		// the filter later discards it.
+		if j.window != nil && !row[tIdx].IsNull() {
+			if ev := row[tIdx].UnixNanos(); ev > j.partWM[r.Partition] {
+				j.partWM[r.Partition] = ev
+			}
+			j.partSeen[r.Partition] = time.Now()
+		}
+		if j.pred != nil && !j.pred(row) {
+			continue
+		}
+		if aerr := batch.AppendRow(row); aerr != nil {
+			j.mu.Unlock()
+			return aerr
+		}
+	}
+	j.metrics.Batches++
+	j.mu.Unlock()
+
+	if j.window != nil {
+		j.absorb(batch)
+		if err := j.flushWindows(false); err != nil {
+			return err
+		}
+	} else if batch.Len() > 0 {
+		if err := j.deliver(batch); err != nil {
+			return err
+		}
+	}
+	return j.checkpoint()
+}
+
+// absorb folds a batch into window state and advances the watermark.
+func (j *Job) absorb(batch *schema.Frame) {
+	spec := j.window
+	in := j.cfg.InputSchema
+	tIdx := in.MustIndex(spec.TimeCol)
+	keyIdx := make([]int, len(spec.Keys))
+	for i, k := range spec.Keys {
+		keyIdx[i] = in.MustIndex(k)
+	}
+	aggIdx := make([]int, len(spec.Aggs))
+	for i, a := range spec.Aggs {
+		aggIdx[i] = in.MustIndex(a.Col)
+	}
+
+	slide := spec.Slide
+	if slide <= 0 {
+		slide = spec.Window
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var kb []byte
+	for r := 0; r < batch.Len(); r++ {
+		row := batch.Row(r)
+		ts := row[tIdx]
+		if ts.IsNull() {
+			j.metrics.RecordsInvalid++
+			continue
+		}
+		// The record belongs to every window whose start lies in
+		// (ts - Window, ts], stepping by slide. For tumbling windows this
+		// is exactly one window.
+		evNanos := ts.UnixNanos()
+		latest := TumbleTime(ts.TimeVal(), slide).UnixNano()
+		if latest <= j.emitted {
+			j.metrics.RecordsLate++
+			continue
+		}
+		kb = kb[:0]
+		for _, ki := range keyIdx {
+			kb = schema.AppendRow(kb, schema.Row{row[ki]})
+		}
+		for wStart := latest; wStart > evNanos-int64(spec.Window); wStart -= int64(slide) {
+			if wStart <= j.emitted {
+				break // older overlapping windows already closed
+			}
+			groups, ok := j.winState[wStart]
+			if !ok {
+				groups = make(map[string]*winGroup)
+				j.winState[wStart] = groups
+			}
+			g, ok := groups[string(kb)]
+			if !ok {
+				key := make(schema.Row, len(keyIdx))
+				for i, ki := range keyIdx {
+					key[i] = row[ki]
+				}
+				g = &winGroup{key: key, states: make([]aggState, len(spec.Aggs))}
+				groups[string(kb)] = g
+			}
+			for i, ai := range aggIdx {
+				g.states[i].add(row[ai])
+			}
+		}
+	}
+}
+
+// watermarkLocked returns the effective event-time watermark: the minimum
+// of the per-partition maxima. Until every partition has carried data the
+// watermark is withheld — unless no new data has arrived for
+// PartitionIdleTimeout, in which case idle partitions are excluded so
+// they cannot stall the pipeline forever.
+func (j *Job) watermarkLocked() (int64, bool) {
+	now := time.Now()
+	first := true
+	var wm int64
+	for p := 0; p < j.nparts; p++ {
+		v, seen := j.partWM[p]
+		if !seen {
+			if now.Sub(j.partSeen[p]) < j.cfg.PartitionIdleTimeout {
+				// A partition with no data yet that is not idle long
+				// enough: withhold the watermark rather than risk
+				// closing windows it may still feed.
+				return 0, false
+			}
+			continue // idle-excluded
+		}
+		if first || v < wm {
+			wm = v
+			first = false
+		}
+	}
+	if first {
+		return 0, false
+	}
+	return wm, true
+}
+
+// flushWindows emits closed windows (or all when force), oldest first.
+func (j *Job) flushWindows(force bool) error {
+	if j.window == nil {
+		return nil
+	}
+	spec := j.window
+	j.mu.Lock()
+	wm, haveWM := j.watermarkLocked()
+	horizon := wm - int64(spec.Lateness)
+	var due []int64
+	for wStart := range j.winState {
+		wEnd := wStart + int64(spec.Window)
+		if force || (haveWM && wEnd <= horizon) {
+			due = append(due, wStart)
+		}
+	}
+	sort.Slice(due, func(i, k int) bool { return due[i] < due[k] })
+	frames := make([]*schema.Frame, 0, len(due))
+	for _, wStart := range due {
+		groups := j.winState[wStart]
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		f := schema.NewFrame(j.outSch)
+		for _, k := range keys {
+			g := groups[k]
+			row := schema.Row{schema.TimeNanos(wStart)}
+			row = append(row, g.key...)
+			for i, a := range spec.Aggs {
+				row = append(row, g.states[i].value(a.Kind))
+			}
+			if err := f.AppendRow(row); err != nil {
+				j.mu.Unlock()
+				return err
+			}
+		}
+		frames = append(frames, f)
+		delete(j.winState, wStart)
+		if wStart > j.emitted {
+			j.emitted = wStart
+		}
+		j.metrics.WindowsEmitted++
+	}
+	j.mu.Unlock()
+
+	for _, f := range frames {
+		if err := j.deliver(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver applies MapBatch stages then the sink.
+func (j *Job) deliver(f *schema.Frame) error {
+	var err error
+	for _, m := range j.maps {
+		f, err = m(f)
+		if err != nil {
+			return fmt.Errorf("sproc: job %s map stage: %w", j.cfg.Name, err)
+		}
+	}
+	if f.Len() == 0 {
+		return nil
+	}
+	if err := j.sink(f); err != nil {
+		return fmt.Errorf("sproc: job %s sink: %w", j.cfg.Name, err)
+	}
+	j.mu.Lock()
+	j.metrics.RowsOut += int64(f.Len())
+	j.mu.Unlock()
+	return nil
+}

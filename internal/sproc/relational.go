@@ -1,0 +1,542 @@
+// Package sproc is the stream-processing engine of the ODA framework: the
+// role Apache Spark structured streaming plays in the paper — "SQL-based
+// real-time processing along with advanced failure and recovery
+// mechanisms" (§V-B). It has two layers:
+//
+//   - Relational operators over schema.Frame (filter, group-by, pivot,
+//     join): the SQL clauses of the paper's pipeline anatomy (Fig 4-b).
+//   - A micro-batch streaming Job that consumes a broker topic, applies
+//     event-time windowed aggregation with watermarks, and recovers
+//     exactly from checkpoints after a crash.
+package sproc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// ErrPlan reports an invalid operator plan (bad column, empty spec, ...).
+var ErrPlan = errors.New("sproc: bad plan")
+
+// AggKind selects an aggregation function.
+type AggKind int
+
+// Supported aggregations.
+const (
+	AggAvg AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggFirst
+	AggLast
+)
+
+// String returns the SQL-ish name of the aggregation.
+func (k AggKind) String() string {
+	switch k {
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggFirst:
+		return "first"
+	case AggLast:
+		return "last"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// Agg is one aggregation in a group-by: Kind over Col, output named As.
+type Agg struct {
+	Col  string
+	Kind AggKind
+	As   string
+}
+
+func (a Agg) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	return a.Kind.String() + "_" + a.Col
+}
+
+func (a Agg) outKind() schema.Kind {
+	if a.Kind == AggCount {
+		return schema.KindInt
+	}
+	return schema.KindFloat
+}
+
+// aggState accumulates one aggregation cell.
+type aggState struct {
+	count       int64
+	sum         float64
+	min, max    float64
+	first, last float64
+	hasVal      bool
+}
+
+func (s *aggState) add(v schema.Value) {
+	if v.IsNull() {
+		return
+	}
+	f := v.FloatVal()
+	if math.IsNaN(f) {
+		if v.Kind() != schema.KindFloat {
+			// Non-numeric non-null values (strings, times) are countable
+			// even though they fold into no numeric statistic — this is
+			// what makes count(col) and count(*) behave like SQL.
+			s.count++
+		}
+		return
+	}
+	if !s.hasVal {
+		s.min, s.max, s.first = f, f, f
+		s.hasVal = true
+	} else {
+		if f < s.min {
+			s.min = f
+		}
+		if f > s.max {
+			s.max = f
+		}
+	}
+	s.last = f
+	s.count++
+	s.sum += f
+}
+
+func (s *aggState) merge(o aggState) {
+	if !o.hasVal {
+		s.count += o.count // count-only contributions (non-numeric values)
+		return
+	}
+	if !s.hasVal {
+		prior := s.count
+		*s = o
+		s.count += prior
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.last = o.last
+}
+
+func (s *aggState) value(kind AggKind) schema.Value {
+	if kind == AggCount {
+		return schema.Int(s.count)
+	}
+	if !s.hasVal {
+		return schema.Null
+	}
+	switch kind {
+	case AggSum:
+		return schema.Float(s.sum)
+	case AggMin:
+		return schema.Float(s.min)
+	case AggMax:
+		return schema.Float(s.max)
+	case AggFirst:
+		return schema.Float(s.first)
+	case AggLast:
+		return schema.Float(s.last)
+	default:
+		return schema.Float(s.sum / float64(s.count))
+	}
+}
+
+// Where returns rows satisfying pred (the SQL WHERE clause).
+func Where(f *schema.Frame, pred func(schema.Row) bool) *schema.Frame {
+	return f.Filter(pred)
+}
+
+// GroupBy aggregates f by the key columns (SQL GROUP BY). Output schema is
+// the keys (original kinds) followed by one column per agg. Row order is
+// deterministic: sorted by key values.
+func GroupBy(f *schema.Frame, keys []string, aggs []Agg) (*schema.Frame, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("%w: group-by needs at least one aggregation", ErrPlan)
+	}
+	sch := f.Schema()
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j, ok := sch.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: no key column %q", ErrPlan, k)
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		j, ok := sch.Index(a.Col)
+		if !ok {
+			return nil, fmt.Errorf("%w: no aggregation column %q", ErrPlan, a.Col)
+		}
+		aggIdx[i] = j
+	}
+
+	type group struct {
+		key    schema.Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var kb []byte
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		kb = kb[:0]
+		for _, ki := range keyIdx {
+			kb = schema.AppendRow(kb, schema.Row{row[ki]})
+		}
+		ks := string(kb)
+		g, ok := groups[ks]
+		if !ok {
+			key := make(schema.Row, len(keyIdx))
+			for i, ki := range keyIdx {
+				key[i] = row[ki]
+			}
+			g = &group{key: key, states: make([]aggState, len(aggs))}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i, ai := range aggIdx {
+			g.states[i].add(row[ai])
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := groups[order[i]].key, groups[order[j]].key
+		for c := range a {
+			if cmp := a[c].Compare(b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+
+	fields := make([]schema.Field, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		fields = append(fields, schema.Field{Name: k, Kind: sch.Field(keyIdx[i]).Kind})
+	}
+	for _, a := range aggs {
+		fields = append(fields, schema.Field{Name: a.outName(), Kind: a.outKind()})
+	}
+	out := schema.NewFrame(schema.New(fields...))
+	for _, ks := range order {
+		g := groups[ks]
+		row := append(schema.Row(nil), g.key...)
+		for i, a := range aggs {
+			row = append(row, g.states[i].value(a.Kind))
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	// SQL semantics: a global aggregate (no keys) over an empty input
+	// still yields one row — count 0, other aggregates null.
+	if len(keys) == 0 && len(order) == 0 {
+		row := make(schema.Row, 0, len(aggs))
+		var empty aggState
+		for _, a := range aggs {
+			row = append(row, empty.value(a.Kind))
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Pivot turns long-format rows into wide format (the §V-A Bronze→Silver
+// transform): one output row per distinct key tuple, one output column per
+// distinct value of pivotCol, cells aggregated from valueCol. Pivoted
+// column names are the pivot values, sorted for a deterministic schema.
+func Pivot(f *schema.Frame, keys []string, pivotCol, valueCol string, agg AggKind) (*schema.Frame, error) {
+	sch := f.Schema()
+	pIdx, ok := sch.Index(pivotCol)
+	if !ok {
+		return nil, fmt.Errorf("%w: no pivot column %q", ErrPlan, pivotCol)
+	}
+	if sch.Field(pIdx).Kind != schema.KindString {
+		return nil, fmt.Errorf("%w: pivot column %q must be a string", ErrPlan, pivotCol)
+	}
+	vIdx, ok := sch.Index(valueCol)
+	if !ok {
+		return nil, fmt.Errorf("%w: no value column %q", ErrPlan, valueCol)
+	}
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j, ok := sch.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: no key column %q", ErrPlan, k)
+		}
+		keyIdx[i] = j
+	}
+
+	// Discover pivot values.
+	valSet := map[string]bool{}
+	for r := 0; r < f.Len(); r++ {
+		v := f.Col(pIdx).Value(r)
+		if !v.IsNull() {
+			valSet[v.StrVal()] = true
+		}
+	}
+	pivots := make([]string, 0, len(valSet))
+	for v := range valSet {
+		pivots = append(pivots, v)
+	}
+	sort.Strings(pivots)
+	pivotPos := make(map[string]int, len(pivots))
+	for i, v := range pivots {
+		pivotPos[v] = i
+	}
+
+	type group struct {
+		key    schema.Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var kb []byte
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		kb = kb[:0]
+		for _, ki := range keyIdx {
+			kb = schema.AppendRow(kb, schema.Row{row[ki]})
+		}
+		ks := string(kb)
+		g, ok := groups[ks]
+		if !ok {
+			key := make(schema.Row, len(keyIdx))
+			for i, ki := range keyIdx {
+				key[i] = row[ki]
+			}
+			g = &group{key: key, states: make([]aggState, len(pivots))}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		pv := row[pIdx]
+		if pv.IsNull() {
+			continue
+		}
+		g.states[pivotPos[pv.StrVal()]].add(row[vIdx])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := groups[order[i]].key, groups[order[j]].key
+		for c := range a {
+			if cmp := a[c].Compare(b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+
+	fields := make([]schema.Field, 0, len(keys)+len(pivots))
+	for i, k := range keys {
+		fields = append(fields, schema.Field{Name: k, Kind: sch.Field(keyIdx[i]).Kind})
+	}
+	for _, p := range pivots {
+		kind := schema.KindFloat
+		if agg == AggCount {
+			kind = schema.KindInt
+		}
+		fields = append(fields, schema.Field{Name: p, Kind: kind})
+	}
+	out := schema.NewFrame(schema.New(fields...))
+	for _, ks := range order {
+		g := groups[ks]
+		row := append(schema.Row(nil), g.key...)
+		for i := range pivots {
+			row = append(row, g.states[i].value(agg))
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// JoinType selects join semantics.
+type JoinType int
+
+// Supported join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+)
+
+// Join hash-joins left and right on equality of the given column lists
+// (the Silver-stage contextualization join against job logs). Right-side
+// join columns are dropped from the output; other right columns are
+// appended, renamed with the given prefix when they collide.
+func Join(left, right *schema.Frame, leftOn, rightOn []string, how JoinType, rightPrefix string) (*schema.Frame, error) {
+	if len(leftOn) == 0 || len(leftOn) != len(rightOn) {
+		return nil, fmt.Errorf("%w: join needs matching key lists", ErrPlan)
+	}
+	ls, rs := left.Schema(), right.Schema()
+	lIdx := make([]int, len(leftOn))
+	for i, k := range leftOn {
+		j, ok := ls.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: left has no column %q", ErrPlan, k)
+		}
+		lIdx[i] = j
+	}
+	rIdx := make([]int, len(rightOn))
+	rKeySet := map[int]bool{}
+	for i, k := range rightOn {
+		j, ok := rs.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: right has no column %q", ErrPlan, k)
+		}
+		rIdx[i] = j
+		rKeySet[j] = true
+	}
+
+	// Output schema: all left columns + right non-key columns.
+	fields := ls.Fields()
+	var rCols []int
+	for c := 0; c < rs.Len(); c++ {
+		if rKeySet[c] {
+			continue
+		}
+		name := rs.Field(c).Name
+		if ls.Has(name) {
+			name = rightPrefix + name
+		}
+		if ls.Has(name) || name == "" {
+			return nil, fmt.Errorf("%w: join output column %q collides", ErrPlan, name)
+		}
+		fields = append(fields, schema.Field{Name: name, Kind: rs.Field(c).Kind})
+		rCols = append(rCols, c)
+	}
+	outSchema := schema.New(fields...)
+
+	// Build hash table on right.
+	table := make(map[string][]schema.Row, right.Len())
+	var kb []byte
+	for r := 0; r < right.Len(); r++ {
+		row := right.Row(r)
+		kb = kb[:0]
+		for _, ri := range rIdx {
+			kb = schema.AppendRow(kb, schema.Row{row[ri]})
+		}
+		table[string(kb)] = append(table[string(kb)], row)
+	}
+
+	out := schema.NewFrame(outSchema)
+	for l := 0; l < left.Len(); l++ {
+		lrow := left.Row(l)
+		kb = kb[:0]
+		for _, li := range lIdx {
+			kb = schema.AppendRow(kb, schema.Row{lrow[li]})
+		}
+		matches := table[string(kb)]
+		if len(matches) == 0 {
+			if how == LeftJoin {
+				row := append(schema.Row(nil), lrow...)
+				for range rCols {
+					row = append(row, schema.Null)
+				}
+				if err := out.AppendRow(row); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for _, rrow := range matches {
+			row := append(schema.Row(nil), lrow...)
+			for _, rc := range rCols {
+				row = append(row, rrow[rc])
+			}
+			if err := out.AppendRow(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// WithColumn appends a computed column.
+func WithColumn(f *schema.Frame, name string, kind schema.Kind, fn func(schema.Row) schema.Value) (*schema.Frame, error) {
+	ns, err := f.Schema().Extend(schema.Field{Name: name, Kind: kind})
+	if err != nil {
+		return nil, err
+	}
+	out := schema.NewFrame(ns)
+	for r := 0; r < f.Len(); r++ {
+		row := f.Row(r)
+		if err := out.AppendRow(append(row, fn(row))); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Describe renders a frame as an aligned text table (head rows), the
+// debugging helper behind the CLI tools.
+func Describe(f *schema.Frame, maxRows int) string {
+	var b strings.Builder
+	sch := f.Schema()
+	widths := make([]int, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		widths[i] = len(sch.Field(i).Name)
+	}
+	n := f.Len()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	cells := make([][]string, n)
+	for r := 0; r < n; r++ {
+		row := f.Row(r)
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			if len(s) > 32 {
+				s = s[:29] + "..."
+			}
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i := 0; i < sch.Len(); i++ {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], sch.Field(i).Name)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < n; r++ {
+		for c := range cells[r] {
+			fmt.Fprintf(&b, "%-*s  ", widths[c], cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	if f.Len() > n {
+		fmt.Fprintf(&b, "... (%d more rows)\n", f.Len()-n)
+	}
+	return b.String()
+}
+
+// TumbleTime truncates ts to the start of its tumbling window.
+func TumbleTime(ts time.Time, window time.Duration) time.Time {
+	return ts.Truncate(window)
+}

@@ -1,0 +1,308 @@
+package sproc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+func sqlFrame(t testing.TB) *schema.Frame {
+	t.Helper()
+	s := schema.New(
+		schema.Field{Name: "ts", Kind: schema.KindTime},
+		schema.Field{Name: "node", Kind: schema.KindString},
+		schema.Field{Name: "power", Kind: schema.KindFloat},
+		schema.Field{Name: "jobs", Kind: schema.KindInt},
+		schema.Field{Name: "gpu", Kind: schema.KindBool},
+	)
+	f := schema.NewFrame(s)
+	base := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	rows := []struct {
+		sec   int
+		node  string
+		power float64
+		jobs  int64
+		gpu   bool
+	}{
+		{0, "node0", 700, 1, true},
+		{1, "node0", 900, 1, true},
+		{2, "node1", 1500, 2, false},
+		{3, "node1", 2500, 2, true},
+		{4, "node2", 3000, 3, true},
+	}
+	for _, r := range rows {
+		err := f.AppendRow(schema.Row{
+			schema.Time(base.Add(time.Duration(r.sec) * time.Second)),
+			schema.Str(r.node), schema.Float(r.power), schema.Int(r.jobs), schema.Bool(r.gpu),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestQueryProjection(t *testing.T) {
+	f := sqlFrame(t)
+	out, err := Query(f, "SELECT node, power FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 || out.Schema().Len() != 2 {
+		t.Fatalf("shape = %dx%d", out.Len(), out.Schema().Len())
+	}
+	// Alias.
+	out, err = Query(f, "SELECT power AS watts FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Schema().Has("watts") {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+}
+
+func TestQueryWhere(t *testing.T) {
+	f := sqlFrame(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT node FROM t WHERE power > 1000", 3},
+		{"SELECT node FROM t WHERE power >= 1500 AND power < 3000", 2},
+		{"SELECT node FROM t WHERE node = 'node0'", 2},
+		{"SELECT node FROM t WHERE node != 'node0'", 3},
+		{"SELECT node FROM t WHERE gpu = true", 4},
+		{"SELECT node FROM t WHERE jobs <= 1", 2},
+		{"SELECT node FROM t WHERE ts >= '2024-06-01T00:00:03Z'", 2},
+	}
+	for _, c := range cases {
+		out, err := Query(f, c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if out.Len() != c.want {
+			t.Fatalf("%s: rows = %d, want %d", c.sql, out.Len(), c.want)
+		}
+	}
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	f := sqlFrame(t)
+	out, err := Query(f, "SELECT node, avg(power) AS p, count(*) AS n FROM t GROUP BY node ORDER BY node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	r0 := out.Row(0)
+	if r0[0].StrVal() != "node0" || r0[1].FloatVal() != 800 || r0[2].IntVal() != 2 {
+		t.Fatalf("row0 = %v", r0)
+	}
+	// Global aggregate (no GROUP BY).
+	out, err = Query(f, "SELECT max(power) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Row(0)[0].FloatVal() != 3000 {
+		t.Fatalf("max = %v", out.Rows())
+	}
+	if out.Schema().Field(0).Name != "max_power" {
+		t.Fatalf("default name = %q", out.Schema().Field(0).Name)
+	}
+}
+
+func TestQueryOrderLimit(t *testing.T) {
+	f := sqlFrame(t)
+	out, err := Query(f, "SELECT node, power FROM t ORDER BY power DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	if out.Row(0)[1].FloatVal() != 3000 || out.Row(1)[1].FloatVal() != 2500 {
+		t.Fatalf("order = %v", out.Rows())
+	}
+	// Ascending order and multi-key.
+	out, err = Query(f, "SELECT node, power FROM t ORDER BY node, power DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Row(0)[0].StrVal() != "node0" || out.Row(0)[1].FloatVal() != 900 {
+		t.Fatalf("multi-key order = %v", out.Rows())
+	}
+	// LIMIT larger than the result is a no-op.
+	out, _ = Query(f, "SELECT node FROM t LIMIT 100")
+	if out.Len() != 5 {
+		t.Fatalf("big limit rows = %d", out.Len())
+	}
+	// LIMIT 0.
+	out, _ = Query(f, "SELECT node FROM t LIMIT 0")
+	if out.Len() != 0 {
+		t.Fatalf("limit 0 rows = %d", out.Len())
+	}
+}
+
+func TestQueryFullPipeline(t *testing.T) {
+	// The Fig 4-b anatomy as a single statement.
+	f := sqlFrame(t)
+	out, err := Query(f, "SELECT node, sum(power) AS total FROM t WHERE gpu = true GROUP BY node ORDER BY total DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Row(0)[0].StrVal() != "node2" {
+		t.Fatalf("result = %v", out.Rows())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	f := sqlFrame(t)
+	bad := []string{
+		"",
+		"SELEKT node FROM t",
+		"SELECT FROM t",
+		"SELECT node",
+		"SELECT node FROM t WHERE",
+		"SELECT node FROM t WHERE power ~ 5",
+		"SELECT node FROM t WHERE power > 'abc'",
+		"SELECT node FROM t WHERE ghost = 1",
+		"SELECT ghost FROM t",
+		"SELECT node FROM t GROUP BY node", // group by without aggregate
+		"SELECT node, avg(power) FROM t",   // bare column not grouped
+		"SELECT avg(*) FROM t",             // * only for count
+		"SELECT node FROM t ORDER BY ghost",
+		"SELECT node FROM t LIMIT -1",
+		"SELECT node FROM t LIMIT x",
+		"SELECT node FROM t trailing",
+		"SELECT node FROM t WHERE node = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Query(f, sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		} else if sql != "" && !strings.Contains(sql, "unterminated") && !errors.Is(err, ErrPlan) {
+			// Lexer errors are plain; plan errors must wrap ErrPlan.
+			if !strings.Contains(err.Error(), "sql") && !errors.Is(err, ErrPlan) {
+				t.Fatalf("%s: unexpected error class %v", sql, err)
+			}
+		}
+	}
+}
+
+func TestQueryKeywordsCaseInsensitive(t *testing.T) {
+	f := sqlFrame(t)
+	out, err := Query(f, "select node from t where power > 1000 order by node limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestQueryCountStar(t *testing.T) {
+	f := sqlFrame(t)
+	out, err := Query(f, "SELECT count(*) FROM t WHERE power > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Row(0)[0].IntVal() != 5 {
+		t.Fatalf("count = %v", out.Row(0))
+	}
+	if out.Schema().Field(0).Name != "count" {
+		t.Fatalf("name = %q", out.Schema().Field(0).Name)
+	}
+}
+
+func TestQueryNullsExcludedByWhere(t *testing.T) {
+	s := schema.New(schema.Field{Name: "v", Kind: schema.KindFloat})
+	f := schema.NewFrame(s)
+	_ = f.AppendRow(schema.Row{schema.Float(1)})
+	_ = f.AppendRow(schema.Row{schema.Null})
+	out, err := Query(f, "SELECT v FROM t WHERE v >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d; null must not satisfy a comparison", out.Len())
+	}
+}
+
+func BenchmarkSQLQuery(b *testing.B) {
+	f := schema.NewFrame(schema.ObservationSchema)
+	base := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10000; i++ {
+		o := schema.Observation{
+			Ts: base.Add(time.Duration(i) * time.Second), System: "compass",
+			Source: "power_temp", Component: "node" + string(rune('a'+i%8)),
+			Metric: "node_power_w", Value: float64(700 + i%2000),
+		}
+		_ = f.AppendRow(o.Row())
+	}
+	sql := "SELECT component, avg(value) AS p FROM t WHERE value > 1000 GROUP BY component ORDER BY p DESC LIMIT 5"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Query(f, sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: the SQL path and the typed relational API agree.
+func TestSQLMatchesRelationalAPI(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := schema.NewFrame(schema.New(
+			schema.Field{Name: "k", Kind: schema.KindString},
+			schema.Field{Name: "v", Kind: schema.KindFloat},
+		))
+		for i := 0; i < int(n)+2; i++ {
+			_ = frame.AppendRow(schema.Row{
+				schema.Str(string(rune('a' + rng.Intn(4)))),
+				schema.Float(rng.NormFloat64() * 100),
+			})
+		}
+		viaSQL, err := Query(frame, "SELECT k, avg(v) AS m, count(v) AS n FROM t GROUP BY k")
+		if err != nil {
+			return false
+		}
+		viaAPI, err := GroupBy(frame, []string{"k"}, []Agg{
+			{Col: "v", Kind: AggAvg, As: "m"}, {Col: "v", Kind: AggCount, As: "n"},
+		})
+		if err != nil {
+			return false
+		}
+		return viaSQL.Equal(viaAPI)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WHERE then aggregate == aggregate of pre-filtered frame.
+func TestSQLWhereCommutesWithManualFilter(t *testing.T) {
+	f := func(seed int64, n uint8, threshold int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := schema.NewFrame(schema.New(schema.Field{Name: "v", Kind: schema.KindFloat}))
+		for i := 0; i < int(n)+1; i++ {
+			_ = frame.AppendRow(schema.Row{schema.Float(float64(rng.Intn(2000) - 1000))})
+		}
+		th := float64(threshold % 1000)
+		sql := fmt.Sprintf("SELECT count(v) AS n FROM t WHERE v >= %g", th)
+		viaSQL, err := Query(frame, sql)
+		if err != nil {
+			return false
+		}
+		manual := frame.Filter(func(r schema.Row) bool { return r[0].FloatVal() >= th })
+		return viaSQL.Row(0)[0].IntVal() == int64(manual.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

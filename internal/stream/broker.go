@@ -1,0 +1,289 @@
+// Package stream implements the STREAM tier of the odakit data services
+// (Fig 5): a partitioned, offset-addressed FIFO log broker in the role the
+// paper assigns to Apache Kafka — "FIFO buffers for in-flight data in
+// distributed multi-project pipelines".
+//
+// A Broker hosts named topics; each topic is split into partitions; each
+// partition is an append-only log addressed by monotonically increasing
+// offsets. Producers publish key/value records (keys route to partitions);
+// consumer groups track committed offsets per partition and support replay
+// by offset or timestamp. Retention trims old records by age or bytes,
+// which is how the STREAM tier keeps its bounded footprint while OCEAN and
+// GLACIER hold history.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Common errors returned by the broker.
+var (
+	ErrNoTopic        = errors.New("stream: no such topic")
+	ErrTopicExists    = errors.New("stream: topic already exists")
+	ErrNoPartition    = errors.New("stream: no such partition")
+	ErrOffsetTrimmed  = errors.New("stream: offset below retention horizon")
+	ErrBrokerClosed   = errors.New("stream: broker closed")
+	ErrOffsetInFuture = errors.New("stream: offset beyond end of log")
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Ts        time.Time
+	Key       []byte
+	Value     []byte
+}
+
+func (r Record) size() int64 { return int64(len(r.Key) + len(r.Value) + 32) }
+
+// TopicConfig controls a topic's partitioning and retention.
+type TopicConfig struct {
+	// Partitions is the number of partition logs; defaults to 4.
+	Partitions int
+	// RetentionBytes caps the byte footprint per partition; 0 = unlimited.
+	RetentionBytes int64
+	// RetentionAge drops records older than this; 0 = unlimited.
+	RetentionAge time.Duration
+	// Compacted keeps only the newest record per key (plus all keyless
+	// records): the reference-data pattern for slowly changing state like
+	// project/user registries. Compaction runs when a partition exceeds
+	// CompactEvery records (default 1024); offsets are preserved, so the
+	// log has holes that readers skip over.
+	Compacted    bool
+	CompactEvery int
+}
+
+func (c TopicConfig) withDefaults() TopicConfig {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	return c
+}
+
+// Broker hosts topics and consumer-group state. It is safe for concurrent
+// use by any number of producers and consumers.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+	groups map[string]*group
+	closed bool
+	// now is the clock; tests may swap it for determinism.
+	now func() time.Time
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics: make(map[string]*topic),
+		groups: make(map[string]*group),
+		now:    time.Now,
+	}
+}
+
+// SetClock replaces the broker clock (for deterministic tests).
+func (b *Broker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// CreateTopic creates a topic. It fails if the topic already exists.
+func (b *Broker) CreateTopic(name string, cfg TopicConfig) error {
+	cfg = cfg.withDefaults()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBrokerClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %s", ErrTopicExists, name)
+	}
+	t := &topic{name: name, cfg: cfg}
+	for i := 0; i < cfg.Partitions; i++ {
+		t.parts = append(t.parts, newPartition(name, i))
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// EnsureTopic creates the topic if it does not already exist.
+func (b *Broker) EnsureTopic(name string, cfg TopicConfig) error {
+	err := b.CreateTopic(name, cfg)
+	if errors.Is(err, ErrTopicExists) {
+		return nil
+	}
+	return err
+}
+
+// Topics returns the sorted topic names.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeleteTopic removes a topic and all of its records.
+func (b *Broker) DeleteTopic(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	for _, p := range t.parts {
+		p.close()
+	}
+	delete(b.topics, name)
+	return nil
+}
+
+// Close shuts the broker down, waking any blocked consumers with an error.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		for _, p := range t.parts {
+			p.close()
+		}
+	}
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrBrokerClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	return t, nil
+}
+
+// Publish appends a record to the topic, routing by key hash (round-robin
+// when the key is empty). It returns the partition and assigned offset.
+func (b *Broker) Publish(topicName string, key, value []byte) (partition int, offset int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := t.route(key)
+	off, err := t.parts[p].append(b.nowFunc()(), key, value, t.cfg)
+	return p, off, err
+}
+
+// PublishTo appends a record to an explicit partition.
+func (b *Broker) PublishTo(topicName string, partition int, key, value []byte) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	return t.parts[partition].append(b.nowFunc()(), key, value, t.cfg)
+}
+
+func (b *Broker) nowFunc() func() time.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.now
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(topicName string) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.parts), nil
+}
+
+// EndOffset returns the next offset that will be assigned in a partition.
+func (b *Broker) EndOffset(topicName string, partition int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	return t.parts[partition].endOffset(), nil
+}
+
+// Fetch reads up to max records from a partition starting at offset,
+// blocking until at least one record is available or ctx is done.
+func (b *Broker) Fetch(ctx context.Context, topicName string, partition int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	return t.parts[partition].fetch(ctx, offset, max)
+}
+
+// TopicStats aggregates counters across a topic's partitions.
+type TopicStats struct {
+	Topic         string
+	Partitions    int
+	Records       int64 // records currently retained
+	Bytes         int64 // bytes currently retained
+	TotalRecords  int64 // records ever published
+	TotalBytes    int64 // bytes ever published
+	FetchRecords  int64 // records ever served to consumers
+	Compactions   int64 // compaction passes across partitions
+	OldestOffsets []int64
+	EndOffsets    []int64
+}
+
+// Stats returns current counters for a topic.
+func (b *Broker) Stats(topicName string) (TopicStats, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return TopicStats{}, err
+	}
+	s := TopicStats{Topic: topicName, Partitions: len(t.parts)}
+	for _, p := range t.parts {
+		ps := p.stats()
+		s.Records += ps.records
+		s.Bytes += ps.bytes
+		s.TotalRecords += ps.totalRecords
+		s.TotalBytes += ps.totalBytes
+		s.FetchRecords += ps.fetchRecords
+		s.Compactions += ps.compactions
+		s.OldestOffsets = append(s.OldestOffsets, ps.oldest)
+		s.EndOffsets = append(s.EndOffsets, ps.end)
+	}
+	return s, nil
+}
+
+// route picks a partition for a key.
+func (t *topic) route(key []byte) int {
+	if len(key) == 0 {
+		n := t.rr.Add(1)
+		return int(n % uint64(len(t.parts)))
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(len(t.parts)))
+}

@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func publishN(t *testing.T, b *Broker, topic string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, _, err := b.Publish(topic, nil, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConsumerPollDrainsAllPartitions(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 4})
+	publishN(t, b, "telemetry", 100)
+	c, err := b.Subscribe("telemetry", "g1", StartEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for total < 100 {
+		recs, err := c.Poll(context.Background(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(recs)
+	}
+	if total != 100 {
+		t.Fatalf("polled %d records, want 100", total)
+	}
+	lags, err := c.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, l := range lags {
+		if l != 0 {
+			t.Fatalf("partition %d lag = %d, want 0", p, l)
+		}
+	}
+}
+
+func TestConsumerStartLatestSkipsHistory(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 2})
+	publishN(t, b, "telemetry", 50)
+	c, err := b.Subscribe("telemetry", "g-late", StartLatest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "telemetry", 4)
+	got := 0
+	for got < 4 {
+		recs, err := c.Poll(context.Background(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(recs)
+	}
+	if got != 4 {
+		t.Fatalf("latest consumer saw %d records, want 4", got)
+	}
+}
+
+func TestCommitAndResume(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	publishN(t, b, "telemetry", 10)
+	c1, _ := b.Subscribe("telemetry", "g2", StartEarliest)
+	recs, err := c1.Poll(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("first poll got %d", len(recs))
+	}
+	c1.Commit()
+
+	// A new consumer in the same group resumes after the commit.
+	c2, _ := b.Subscribe("telemetry", "g2", StartEarliest)
+	recs, err = c2.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || string(recs[0].Value) != "v6" {
+		t.Fatalf("resumed poll got %d records starting %q", len(recs), recs[0].Value)
+	}
+}
+
+func TestUncommittedProgressIsNotPersisted(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	publishN(t, b, "telemetry", 5)
+	c1, _ := b.Subscribe("telemetry", "g3", StartEarliest)
+	if _, err := c1.Poll(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	// No commit: a restarted consumer sees everything again.
+	c2, _ := b.Subscribe("telemetry", "g3", StartEarliest)
+	recs, err := c2.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("restart without commit saw %d records, want 5", len(recs))
+	}
+}
+
+func TestIndependentGroups(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	publishN(t, b, "telemetry", 3)
+	ca, _ := b.Subscribe("telemetry", "groupA", StartEarliest)
+	cb, _ := b.Subscribe("telemetry", "groupB", StartEarliest)
+	ra, _ := ca.Poll(context.Background(), 10)
+	rb, _ := cb.Poll(context.Background(), 10)
+	if len(ra) != 3 || len(rb) != 3 {
+		t.Fatalf("groups saw %d and %d records, want 3 and 3", len(ra), len(rb))
+	}
+}
+
+func TestSeekReplay(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	publishN(t, b, "telemetry", 10)
+	c, _ := b.Subscribe("telemetry", "g4", StartEarliest)
+	if _, err := c.Poll(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seek(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 || string(recs[0].Value) != "v3" {
+		t.Fatalf("replay got %d records starting %q", len(recs), recs[0].Value)
+	}
+	if err := c.Seek(5, 0); err == nil {
+		t.Fatal("Seek on bad partition should fail")
+	}
+}
+
+func TestSeekToTime(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	clock := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.SetClock(func() time.Time { return clock })
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Publish("telemetry", nil, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		clock = clock.Add(time.Second)
+	}
+	c, _ := b.Subscribe("telemetry", "g5", StartLatest)
+	if err := c.SeekToTime(time.Date(2024, 6, 1, 0, 0, 7, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[0].Value) != "v7" {
+		t.Fatalf("time replay got %d records starting %q", len(recs), recs[0].Value)
+	}
+}
+
+func TestConsumerSkipsTrimmedOffsets(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1, RetentionBytes: 300})
+	c, _ := b.Subscribe("telemetry", "g6", StartEarliest)
+	payload := make([]byte, 64)
+	for i := 0; i < 30; i++ {
+		if _, _, err := b.Publish("telemetry", nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The consumer's cursor (0) is far below the retention horizon; Poll
+	// must skip forward instead of erroring out.
+	recs, err := c.Poll(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Offset == 0 {
+		t.Fatalf("expected skip past trimmed head, got %d records first offset %d", len(recs), recs[0].Offset)
+	}
+}
+
+func TestPollContextCancel(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 3})
+	c, _ := b.Subscribe("telemetry", "g7", StartEarliest)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Poll(ctx, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPollWakesOnPublish(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 3})
+	c, _ := b.Subscribe("telemetry", "g8", StartEarliest)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		recs, err := c.Poll(context.Background(), 10)
+		if err != nil || len(recs) != 1 {
+			t.Errorf("poll: %v %d", err, len(recs))
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, _, err := b.Publish("telemetry", []byte("k"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("poll did not wake on publish")
+	}
+}
+
+func TestSubscribeMissingTopic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if _, err := b.Subscribe("ghost", "g", StartEarliest); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPositionAndCommitted(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	publishN(t, b, "telemetry", 4)
+	c, _ := b.Subscribe("telemetry", "g9", StartEarliest)
+	if pos := c.Position(); pos[0] != 0 {
+		t.Fatalf("initial position = %v", pos)
+	}
+	_, _ = c.Poll(context.Background(), 10)
+	if pos := c.Position(); pos[0] != 4 {
+		t.Fatalf("position after poll = %v", pos)
+	}
+	if com := c.Committed(); len(com) != 0 {
+		t.Fatalf("committed before commit = %v", com)
+	}
+	c.Commit()
+	if com := c.Committed(); com[0] != 4 {
+		t.Fatalf("committed = %v", com)
+	}
+}

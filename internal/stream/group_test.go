@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJoinGroupSplitsPartitions(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 4})
+	m1, err := b.JoinGroup("telemetry", "g", StartEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := m1.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 4 {
+		t.Fatalf("solo member owns %v, want all 4", a1)
+	}
+	m2, err := b.JoinGroup("telemetry", "g", StartEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ = m1.Assignment()
+	a2, err := m2.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != 2 || len(a2) != 2 {
+		t.Fatalf("split = %v / %v", a1, a2)
+	}
+	union := sortInts(append(append([]int{}, a1...), a2...))
+	if !reflect.DeepEqual(union, []int{0, 1, 2, 3}) {
+		t.Fatalf("union = %v", union)
+	}
+	info, err := b.GroupState("g", "telemetry")
+	if err != nil || info.Members != 2 || info.Generation < 2 {
+		t.Fatalf("group state = %+v, %v", info, err)
+	}
+	if _, err := b.GroupState("ghost", "telemetry"); err == nil {
+		t.Fatal("ghost group resolved")
+	}
+}
+
+func TestGroupExactlyOnceDelivery(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 4})
+	const total = 400
+	for i := 0; i < total; i++ {
+		if _, _, err := b.Publish("telemetry", []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	m2, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	drain := func(m *Member) {
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			recs, err := m.Poll(ctx, 64)
+			cancel()
+			if err != nil {
+				return // timed out: drained
+			}
+			mu.Lock()
+			for _, r := range recs {
+				seen[string(r.Value)]++
+			}
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for _, m := range []*Member{m1, m2} {
+		wg.Add(1)
+		go func(m *Member) { defer wg.Done(); drain(m) }(m)
+	}
+	wg.Wait()
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct records, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %s delivered %d times", v, n)
+		}
+	}
+}
+
+func TestRebalanceOnLeave(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 4})
+	m1, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	m2, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	if a, _ := m1.Assignment(); len(a) != 2 {
+		t.Fatalf("pre-leave assignment = %v", a)
+	}
+	m2.Leave()
+	a, err := m1.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("post-leave assignment = %v, want all 4", a)
+	}
+	// The departed member is unusable.
+	if _, err := m2.Assignment(); !errors.Is(err, ErrMemberLeft) {
+		t.Fatalf("left member assignment: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := m2.Poll(ctx, 1); !errors.Is(err, ErrMemberLeft) {
+		t.Fatalf("left member poll: %v", err)
+	}
+	m2.Leave() // idempotent
+}
+
+func TestCommitSurvivesRebalance(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 2})
+	for i := 0; i < 20; i++ {
+		if _, err := b.PublishTo("telemetry", i%2, nil, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	// m1 owns both partitions; consume everything and commit.
+	got := 0
+	for got < 20 {
+		recs, err := m1.Poll(context.Background(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(recs)
+	}
+	if err := m1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second member joins: it must resume from the committed offsets,
+	// not replay.
+	m2, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if recs, err := m2.Poll(ctx, 100); err == nil && len(recs) > 0 {
+		t.Fatalf("new member replayed %d committed records", len(recs))
+	}
+	// New data flows to whichever member owns its partition.
+	for i := 0; i < 4; i++ {
+		if _, err := b.PublishTo("telemetry", i%2, nil, []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	news := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for news < 4 && time.Now().Before(deadline) {
+		for _, m := range []*Member{m1, m2} {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			recs, err := m.Poll(ctx, 10)
+			cancel()
+			if err == nil {
+				news += len(recs)
+			}
+		}
+	}
+	if news != 4 {
+		t.Fatalf("new records delivered = %d, want 4", news)
+	}
+}
+
+func TestOverProvisionedGroup(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 1})
+	m1, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	m2, _ := b.JoinGroup("telemetry", "g", StartEarliest)
+	a1, _ := m1.Assignment()
+	a2, _ := m2.Assignment()
+	if len(a1)+len(a2) != 1 {
+		t.Fatalf("assignments = %v / %v", a1, a2)
+	}
+	// The idle member's poll times out cleanly rather than erroring.
+	idle := m2
+	if len(a2) == 1 {
+		idle = m1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if _, err := idle.Poll(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("idle member poll: %v", err)
+	}
+	// When the owner leaves, the idle member inherits the partition.
+	owner := m1
+	if idle == m1 {
+		owner = m2
+	}
+	owner.Leave()
+	if _, _, err := b.Publish("telemetry", nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := idle.Poll(context.Background(), 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("inherited poll = %v, %v", recs, err)
+	}
+}
+
+func TestJoinGroupMissingTopic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if _, err := b.JoinGroup("ghost", "g", StartEarliest); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupStartLatest(t *testing.T) {
+	b := newTestBroker(t, TopicConfig{Partitions: 2})
+	publishN(t, b, "telemetry", 10)
+	m, _ := b.JoinGroup("telemetry", "late", StartLatest)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if recs, err := m.Poll(ctx, 100); err == nil && len(recs) > 0 {
+		t.Fatalf("latest member saw %d historical records", len(recs))
+	}
+	publishN(t, b, "telemetry", 3)
+	got := 0
+	for got < 3 {
+		recs, err := m.Poll(context.Background(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(recs)
+	}
+}

@@ -1,0 +1,244 @@
+package stream
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// topic groups partitions with a shared config.
+type topic struct {
+	name  string
+	cfg   TopicConfig
+	parts []*partition
+	rr    atomic.Uint64 // round-robin cursor for keyless publishes
+}
+
+// partition is one append-only log. Records are held in a slice sorted by
+// offset; retention trims the head and compaction may punch holes, so
+// readers locate offsets by binary search rather than by index. horizon
+// is the lowest offset still addressable (reads below it fail with
+// ErrOffsetTrimmed); next is the offset the next append will take.
+type partition struct {
+	topic string
+	id    int
+
+	mu      sync.Mutex
+	horizon int64
+	next    int64
+	recs    []Record
+	bytes   int64
+	closed  bool
+	// notify is closed and replaced on every append so blocked fetchers
+	// wake without a condition variable (select-able with ctx.Done()).
+	notify chan struct{}
+
+	totalRecords atomic.Int64
+	totalBytes   atomic.Int64
+	fetchRecords atomic.Int64
+	compactions  atomic.Int64
+}
+
+func newPartition(topic string, id int) *partition {
+	return &partition{topic: topic, id: id, notify: make(chan struct{})}
+}
+
+func (p *partition) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.notify)
+}
+
+func (p *partition) endOffset() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next
+}
+
+func (p *partition) append(ts time.Time, key, value []byte, cfg TopicConfig) (int64, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrBrokerClosed
+	}
+	off := p.next
+	p.next++
+	rec := Record{
+		Topic: p.topic, Partition: p.id, Offset: off, Ts: ts,
+		Key: append([]byte(nil), key...), Value: append([]byte(nil), value...),
+	}
+	p.recs = append(p.recs, rec)
+	p.bytes += rec.size()
+	p.totalRecords.Add(1)
+	p.totalBytes.Add(rec.size())
+	if cfg.Compacted {
+		every := cfg.CompactEvery
+		if every <= 0 {
+			every = 1024
+		}
+		if len(p.recs) > every {
+			p.compactLocked()
+		}
+	}
+	p.enforceRetentionLocked(ts, cfg)
+	ch := p.notify
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+	close(ch)
+	return off, nil
+}
+
+// compactLocked keeps only the newest record per key (keyless records are
+// always kept), preserving offsets — the log is left with holes.
+func (p *partition) compactLocked() {
+	latest := make(map[string]int64, len(p.recs))
+	for _, r := range p.recs {
+		if len(r.Key) > 0 {
+			latest[string(r.Key)] = r.Offset
+		}
+	}
+	kept := p.recs[:0]
+	var bytes int64
+	for _, r := range p.recs {
+		if len(r.Key) == 0 || latest[string(r.Key)] == r.Offset {
+			kept = append(kept, r)
+			bytes += r.size()
+		}
+	}
+	p.recs = kept
+	p.bytes = bytes
+	p.compactions.Add(1)
+	// The horizon does not move: cursors pointing at compacted-away
+	// offsets simply skip forward to the next surviving record, exactly
+	// as readers of a compacted log expect.
+}
+
+// enforceRetentionLocked trims the head while limits are exceeded.
+func (p *partition) enforceRetentionLocked(now time.Time, cfg TopicConfig) {
+	trim := 0
+	for trim < len(p.recs)-1 { // always keep at least the newest record
+		r := p.recs[trim]
+		overBytes := cfg.RetentionBytes > 0 && p.bytes > cfg.RetentionBytes
+		overAge := cfg.RetentionAge > 0 && now.Sub(r.Ts) > cfg.RetentionAge
+		if !overBytes && !overAge {
+			break
+		}
+		p.bytes -= r.size()
+		trim++
+	}
+	if trim > 0 {
+		p.recs = append([]Record(nil), p.recs[trim:]...)
+		if len(p.recs) > 0 {
+			p.horizon = p.recs[0].Offset
+		} else {
+			p.horizon = p.next
+		}
+	}
+}
+
+// searchLocked returns the index of the first record with Offset >= off.
+func (p *partition) searchLocked(off int64) int {
+	return sort.Search(len(p.recs), func(i int) bool { return p.recs[i].Offset >= off })
+}
+
+// fetch returns up to max records starting at offset, blocking until data
+// arrives, the partition closes, or ctx is done.
+func (p *partition) fetch(ctx context.Context, offset int64, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	for {
+		p.mu.Lock()
+		if offset < p.horizon {
+			p.mu.Unlock()
+			return nil, ErrOffsetTrimmed
+		}
+		if offset > p.next {
+			p.mu.Unlock()
+			return nil, ErrOffsetInFuture
+		}
+		if i := p.searchLocked(offset); i < len(p.recs) {
+			j := i + max
+			if j > len(p.recs) {
+				j = len(p.recs)
+			}
+			out := append([]Record(nil), p.recs[i:j]...)
+			p.fetchRecords.Add(int64(len(out)))
+			p.mu.Unlock()
+			return out, nil
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrBrokerClosed
+		}
+		ch := p.notify
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// fetchNoWait returns immediately with whatever is available (possibly
+// nothing) at offset.
+func (p *partition) fetchNoWait(offset int64, max int) ([]Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < p.horizon {
+		return nil, ErrOffsetTrimmed
+	}
+	i := p.searchLocked(offset)
+	if i >= len(p.recs) {
+		return nil, nil
+	}
+	j := i + max
+	if j > len(p.recs) {
+		j = len(p.recs)
+	}
+	out := append([]Record(nil), p.recs[i:j]...)
+	p.fetchRecords.Add(int64(len(out)))
+	return out, nil
+}
+
+// offsetAtTime returns the first offset whose record timestamp is >= ts.
+// If every retained record is older, it returns the end offset.
+func (p *partition) offsetAtTime(ts time.Time) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.recs {
+		if !r.Ts.Before(ts) {
+			return r.Offset
+		}
+	}
+	return p.next
+}
+
+type partitionStats struct {
+	records, bytes            int64
+	totalRecords, totalBytes  int64
+	fetchRecords, oldest, end int64
+	compactions               int64
+}
+
+func (p *partition) stats() partitionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return partitionStats{
+		records:      int64(len(p.recs)),
+		bytes:        p.bytes,
+		totalRecords: p.totalRecords.Load(),
+		totalBytes:   p.totalBytes.Load(),
+		fetchRecords: p.fetchRecords.Load(),
+		oldest:       p.horizon,
+		end:          p.next,
+		compactions:  p.compactions.Load(),
+	}
+}

@@ -1,0 +1,197 @@
+// Package telemetry synthesizes the heavily instrumented HPC environment
+// of §IV: per-node power and thermal sensors, GPU counters, storage and
+// interconnect client counters, performance counters, syslog events, and
+// facility (cooling plant) sensors, for two simulated system generations.
+//
+// The facility's real data is proprietary; this package substitutes
+// deterministic, seeded generators whose record shapes, per-source rates,
+// and pathologies (sample loss, timestamp skew, rare events) exercise the
+// same downstream code paths. At full configured scale the aggregate raw
+// rate extrapolates to the paper's 4.2-4.5 TB/day (Fig 4-a).
+//
+// All randomness is a pure function of (seed, source, component, metric,
+// timestamp) so any time slice of any source can be regenerated in any
+// order and always yields identical data — the property that makes replay
+// and pipeline-recovery tests exact.
+package telemetry
+
+import (
+	"time"
+)
+
+// Source identifies one class of data stream (the Y axis of Fig 3).
+type Source string
+
+// The data sources emitted by a system generation.
+const (
+	SourcePowerTemp     Source = "power_temp"     // per-node power & thermal, 1 Hz
+	SourcePerfCounters  Source = "perf_counters"  // per-node CPU/GPU PMU counters, 1 Hz
+	SourceGPU           Source = "gpu"            // per-GPU utilization & memory, 0.1 Hz
+	SourceStorageClient Source = "storage_client" // per-node filesystem client counters
+	SourceFabricClient  Source = "fabric_client"  // per-node interconnect counters
+	SourceStorageSystem Source = "storage_system" // server-side storage counters
+	SourceFabric        Source = "fabric"         // switch-side interconnect counters
+	SourceFacility      Source = "facility"       // cooling plant & power distribution
+	SourceSyslog        Source = "syslog"         // unstructured log events
+	SourceResourceMgr   Source = "resource_manager"
+)
+
+// MetricSources lists the numeric-observation sources in emission order.
+var MetricSources = []Source{
+	SourcePowerTemp, SourcePerfCounters, SourceGPU, SourceStorageClient,
+	SourceFabricClient, SourceStorageSystem, SourceFabric, SourceFacility,
+}
+
+// SourceSpec describes a source's shape: how many components emit, how
+// many metrics per component, and at what interval. Records/day at full
+// scale follows directly, which is what Fig 4-a reports.
+type SourceSpec struct {
+	Source     Source
+	Components int // emitting components (nodes, GPUs, servers, sensors)
+	Metrics    int // metrics per component per sample
+	Interval   time.Duration
+}
+
+// RecordsPerDay returns the full-scale record rate of this source.
+func (s SourceSpec) RecordsPerDay() float64 {
+	if s.Interval <= 0 {
+		return 0
+	}
+	samplesPerDay := float64(24*time.Hour) / float64(s.Interval)
+	return float64(s.Components*s.Metrics) * samplesPerDay
+}
+
+// SystemConfig describes one simulated system generation.
+type SystemConfig struct {
+	// Name of the system ("compass" = Frontier-like, "mountain" = Summit-like).
+	Name string
+	// Nodes in the machine.
+	Nodes int
+	// GPUsPerNode (logical GPUs).
+	GPUsPerNode int
+	// StorageServers and FabricSwitches are out-of-compute components.
+	StorageServers int
+	FabricSwitches int
+	// FacilitySensors counts cooling-plant/power-distribution channels.
+	FacilitySensors int
+
+	// IdlePowerW and MaxPowerW bound a node's power draw.
+	IdlePowerW float64
+	MaxPowerW  float64
+
+	// Sample intervals per source family.
+	PowerInterval    time.Duration
+	PerfInterval     time.Duration
+	GPUInterval      time.Duration
+	StorageInterval  time.Duration
+	FabricInterval   time.Duration
+	FacilityInterval time.Duration
+
+	// Seed drives all synthetic randomness.
+	Seed int64
+	// LossRate is the per-sample probability a reading is silently
+	// dropped (the paper's "lossy" data, §VIII-A).
+	LossRate float64
+	// SkewMax jitters sample timestamps uniformly in [0, SkewMax): the
+	// cross-component clock skew that 15 s aggregation reconciles.
+	SkewMax time.Duration
+	// NoiseFrac is multiplicative sensor noise (std as fraction of value).
+	NoiseFrac float64
+	// ErrorEventRate is the mean syslog error events per node per hour.
+	ErrorEventRate float64
+	// Anomalies are injected incidents (thermal runaway, stuck sensors,
+	// GPU failure bursts) with exact ground truth — the "rare events"
+	// the paper's ML pipelines are starved of (§VIII-A).
+	Anomalies []Anomaly
+}
+
+// FrontierLike returns the "compass" generation: 9,408 nodes, 8 GPUs/node,
+// rates tuned so the aggregate raw volume lands in the paper's
+// 4.2-4.5 TB/day band with power_temp alone near 0.5 TB/day (§VII-B).
+func FrontierLike(seed int64) SystemConfig {
+	return SystemConfig{
+		Name: "compass", Nodes: 9408, GPUsPerNode: 8,
+		StorageServers: 450, FabricSwitches: 480, FacilitySensors: 600,
+		IdlePowerW: 700, MaxPowerW: 3400,
+		PowerInterval: time.Second, PerfInterval: time.Second,
+		GPUInterval: 10 * time.Second, StorageInterval: 10 * time.Second,
+		FabricInterval: 10 * time.Second, FacilityInterval: 5 * time.Second,
+		Seed: seed, LossRate: 0.01, SkewMax: 500 * time.Millisecond,
+		NoiseFrac: 0.015, ErrorEventRate: 0.8,
+	}
+}
+
+// SummitLike returns the "mountain" generation: 4,608 nodes, 6 GPUs/node,
+// 10 s power telemetry (the prior generation's coarser out-of-band rate).
+func SummitLike(seed int64) SystemConfig {
+	return SystemConfig{
+		Name: "mountain", Nodes: 4608, GPUsPerNode: 6,
+		StorageServers: 288, FabricSwitches: 324, FacilitySensors: 400,
+		IdlePowerW: 500, MaxPowerW: 2200,
+		PowerInterval: 10 * time.Second, PerfInterval: time.Second,
+		GPUInterval: 10 * time.Second, StorageInterval: 10 * time.Second,
+		FabricInterval: 10 * time.Second, FacilityInterval: 5 * time.Second,
+		Seed: seed, LossRate: 0.02, SkewMax: time.Second,
+		NoiseFrac: 0.02, ErrorEventRate: 1.2,
+	}
+}
+
+// Scaled returns a copy of the config shrunk to n nodes with component
+// counts scaled proportionally — the laptop-scale harness used by tests
+// and benches, whose per-record measurements extrapolate back to full
+// scale via Specs().
+func (c SystemConfig) Scaled(n int) SystemConfig {
+	if n <= 0 || n >= c.Nodes {
+		return c
+	}
+	f := float64(n) / float64(c.Nodes)
+	scale := func(v int) int {
+		s := int(float64(v) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	c.StorageServers = scale(c.StorageServers)
+	c.FabricSwitches = scale(c.FabricSwitches)
+	c.FacilitySensors = scale(c.FacilitySensors)
+	c.Nodes = n
+	return c
+}
+
+// Metric counts per source family (fixed by the generator).
+const (
+	powerTempMetrics = 10 // node/cpu/4×gpu power, cpu/gpu temp, mem power, inlet temp
+	perfMetrics      = 44 // PMU counters: the L0 "inundation" source of Fig 3
+	gpuMetrics       = 5  // util, occupancy, mem_used, mem_bw, sm_clock
+	storageCliM      = 6  // read/write bytes & ops, open/close counts
+	fabricCliM       = 6  // tx/rx bytes & pkts, congestion, retries
+	storageSrvM      = 12
+	fabricSrvM       = 10
+	facilityMetrics  = 1 // each facility sensor is its own channel
+)
+
+// Specs returns the per-source shape of this system at its configured
+// scale. Fig 4-a is regenerated from these plus measured bytes/record.
+func (c SystemConfig) Specs() []SourceSpec {
+	return []SourceSpec{
+		{SourcePowerTemp, c.Nodes, powerTempMetrics, c.PowerInterval},
+		{SourcePerfCounters, c.Nodes, perfMetrics, c.PerfInterval},
+		{SourceGPU, c.Nodes * c.GPUsPerNode, gpuMetrics, c.GPUInterval},
+		{SourceStorageClient, c.Nodes, storageCliM, c.StorageInterval},
+		{SourceFabricClient, c.Nodes, fabricCliM, c.FabricInterval},
+		{SourceStorageSystem, c.StorageServers, storageSrvM, c.StorageInterval},
+		{SourceFabric, c.FabricSwitches, fabricSrvM, c.FabricInterval},
+		{SourceFacility, c.FacilitySensors, facilityMetrics, c.FacilityInterval},
+	}
+}
+
+// Spec returns the spec for one source.
+func (c SystemConfig) Spec(s Source) (SourceSpec, bool) {
+	for _, sp := range c.Specs() {
+		if sp.Source == s {
+			return sp, true
+		}
+	}
+	return SourceSpec{}, false
+}

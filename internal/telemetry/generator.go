@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"odakit/internal/jobsched"
+	"odakit/internal/schema"
+)
+
+// NodeLoad supplies job context for the power model. *jobsched.Schedule
+// implements it; a nil NodeLoad models an idle machine.
+type NodeLoad interface {
+	JobAt(node int, t time.Time) *jobsched.Job
+}
+
+// Generator synthesizes observations and events for one system. It is
+// stateless and safe for concurrent use: every reading is a pure function
+// of (config seed, source, component, metric, tick).
+type Generator struct {
+	cfg  SystemConfig
+	load NodeLoad
+	sys  uint64 // hash of system name, folded into every sample hash
+}
+
+// NewGenerator returns a generator for the system. load may be nil.
+func NewGenerator(cfg SystemConfig, load NodeLoad) *Generator {
+	return &Generator{cfg: cfg, load: load, sys: hashStr(cfg.Name)}
+}
+
+// Config returns the generator's system configuration.
+func (g *Generator) Config() SystemConfig { return g.cfg }
+
+// jobShape returns the normalized load of the job on a node at t, plus
+// whether a job is present.
+func (g *Generator) jobShape(node int, t time.Time) (float64, *jobsched.Job) {
+	if g.load == nil {
+		return 0, nil
+	}
+	j := g.load.JobAt(node, t)
+	if j == nil {
+		return 0, nil
+	}
+	phase := unit(hashStr(j.ID))
+	s := ProfileShape(j.Profile, t.Sub(j.Start), j.Period, phase)
+	return s * j.Intensity, j
+}
+
+// NodePower returns the modeled node power draw in watts, before sensor
+// noise. The digital twin uses the same function, which is what makes
+// telemetry replay validation (Fig 11) exact up to noise.
+func (g *Generator) NodePower(node int, t time.Time) float64 {
+	shape, _ := g.jobShape(node, t)
+	return g.cfg.IdlePowerW + shape*(g.cfg.MaxPowerW-g.cfg.IdlePowerW)
+}
+
+// TotalPower returns the machine's total compute power draw in watts.
+func (g *Generator) TotalPower(t time.Time) float64 {
+	sum := 0.0
+	for n := 0; n < g.cfg.Nodes; n++ {
+		sum += g.NodePower(n, t)
+	}
+	return sum
+}
+
+// noise applies multiplicative Gaussian sensor noise keyed by identity.
+func (g *Generator) noise(v float64, key ...uint64) float64 {
+	if g.cfg.NoiseFrac <= 0 {
+		return v
+	}
+	h1 := hash64(append([]uint64{g.sys, uint64(g.cfg.Seed), 0xa0}, key...)...)
+	h2 := hash64(append([]uint64{g.sys, uint64(g.cfg.Seed), 0xb1}, key...)...)
+	return v * (1 + g.cfg.NoiseFrac*gauss(h1, h2))
+}
+
+// lost reports whether this sample is dropped by the loss model.
+func (g *Generator) lost(key ...uint64) bool {
+	if g.cfg.LossRate <= 0 {
+		return false
+	}
+	h := hash64(append([]uint64{g.sys, uint64(g.cfg.Seed), 0x1055}, key...)...)
+	return unit(h) < g.cfg.LossRate
+}
+
+// skew returns the fixed clock offset of a component within a source.
+func (g *Generator) skew(src Source, component int) time.Duration {
+	if g.cfg.SkewMax <= 0 {
+		return 0
+	}
+	h := hash64(g.sys, uint64(g.cfg.Seed), hashStr(string(src)), uint64(component), 0x5be3)
+	return time.Duration(unit(h) * float64(g.cfg.SkewMax))
+}
+
+// Sink receives generated observations. Returning an error aborts emission.
+type Sink func(schema.Observation) error
+
+// EmitSource generates all observations of one source whose nominal tick
+// falls in [from, to), invoking sink for each surviving (non-lost) sample
+// in deterministic order: tick-major, then component, then metric.
+func (g *Generator) EmitSource(src Source, from, to time.Time, sink Sink) error {
+	spec, ok := g.cfg.Spec(src)
+	if !ok {
+		return fmt.Errorf("telemetry: unknown source %q", src)
+	}
+	for tick := from.Truncate(spec.Interval); tick.Before(to); tick = tick.Add(spec.Interval) {
+		if tick.Before(from) {
+			continue
+		}
+		if err := g.emitTick(src, spec, tick, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Generator) emitTick(src Source, spec SourceSpec, tick time.Time, sink Sink) error {
+	var totalPower float64
+	if src == SourceFacility {
+		totalPower = g.TotalPower(tick) // memoized per tick by computing once here
+	}
+	ts := uint64(tick.UnixNano())
+	srcH := hashStr(string(src))
+	for comp := 0; comp < spec.Components; comp++ {
+		sampleTs := tick.Add(g.skew(src, comp))
+		for m := 0; m < spec.Metrics; m++ {
+			if g.lost(srcH, uint64(comp), uint64(m), ts) {
+				continue
+			}
+			name, value := g.sample(src, comp, m, tick, totalPower)
+			obs := schema.Observation{
+				Ts: sampleTs, System: g.cfg.Name, Source: string(src),
+				Component: g.componentName(src, comp), Metric: name, Value: value,
+			}
+			if err := sink(obs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Generator) componentName(src Source, comp int) string {
+	switch src {
+	case SourceGPU:
+		return fmt.Sprintf("node%05d.gpu%d", comp/g.cfg.GPUsPerNode, comp%g.cfg.GPUsPerNode)
+	case SourceStorageSystem:
+		return fmt.Sprintf("oss%04d", comp)
+	case SourceFabric:
+		return fmt.Sprintf("switch%04d", comp)
+	case SourceFacility:
+		return fmt.Sprintf("cep%04d", comp)
+	default:
+		return fmt.Sprintf("node%05d", comp)
+	}
+}
+
+// facility sensor channel kinds, cycled by sensor index.
+var facilityKinds = []string{
+	"supply_temp_c", "return_temp_c", "flow_lps", "pump_kw", "cep_power_kw", "valve_pos_pct",
+}
+
+// sample computes (metric name, value) for one reading, including any
+// active injected anomalies.
+func (g *Generator) sample(src Source, comp, m int, tick time.Time, totalPower float64) (string, float64) {
+	name, v := g.sampleBase(src, comp, m, tick, totalPower)
+	if src == SourcePowerTemp && len(g.cfg.Anomalies) > 0 {
+		v = g.applyAnomalies(comp, name, tick, v)
+	}
+	return name, v
+}
+
+// sampleBase computes the anomaly-free reading.
+func (g *Generator) sampleBase(src Source, comp, m int, tick time.Time, totalPower float64) (string, float64) {
+	ts := uint64(tick.UnixNano())
+	key := []uint64{hashStr(string(src)), uint64(comp), uint64(m), ts}
+	switch src {
+	case SourcePowerTemp:
+		shape, _ := g.jobShape(comp, tick)
+		dyn := shape * (g.cfg.MaxPowerW - g.cfg.IdlePowerW)
+		switch m {
+		case 0:
+			return "node_power_w", g.noise(g.cfg.IdlePowerW+dyn, key...)
+		case 1:
+			return "cpu_power_w", g.noise(0.15*g.cfg.IdlePowerW+0.2*dyn, key...)
+		case 2, 3, 4, 5:
+			i := m - 2
+			return fmt.Sprintf("gpu%d_power_w", i), g.noise(0.1*g.cfg.IdlePowerW+0.18*dyn, key...)
+		case 6:
+			return "cpu_temp_c", g.noise(30+40*shape, key...)
+		case 7:
+			return "gpu_temp_c", g.noise(33+45*shape, key...)
+		case 8:
+			return "mem_power_w", g.noise(0.08*g.cfg.IdlePowerW+0.06*dyn, key...)
+		default:
+			return "inlet_temp_c", g.noise(32+0.5*shape, key...)
+		}
+	case SourcePerfCounters:
+		shape, _ := g.jobShape(comp, tick)
+		// Counter rates scale with load; each counter has its own magnitude.
+		mag := float64(uint64(1) << (10 + m%20))
+		return fmt.Sprintf("ctr_%02d", m), g.noise(mag*(0.05+shape), key...)
+	case SourceGPU:
+		node := comp / g.cfg.GPUsPerNode
+		shape, _ := g.jobShape(node, tick)
+		switch m {
+		case 0:
+			return "gpu_util_pct", clamp(g.noise(100*shape, key...), 0, 100)
+		case 1:
+			return "occupancy_pct", clamp(g.noise(80*shape, key...), 0, 100)
+		case 2:
+			return "mem_used_gb", clamp(g.noise(8+100*shape, key...), 0, 128)
+		case 3:
+			return "mem_bw_gbps", clamp(g.noise(1600*shape, key...), 0, 3200)
+		default:
+			return "sm_clock_mhz", clamp(g.noise(800+900*shape, key...), 500, 2100)
+		}
+	case SourceStorageClient:
+		shape, j := g.jobShape(comp, tick)
+		io := 0.1 * shape
+		if j != nil && j.Profile == jobsched.ProfileSpiky {
+			io = shape // IO-bound jobs move data in their spikes
+		}
+		switch m {
+		case 0:
+			return "read_bytes_mbps", g.noise(2000*io, key...)
+		case 1:
+			return "write_bytes_mbps", g.noise(1200*io, key...)
+		case 2:
+			return "read_ops", g.noise(5000*io, key...)
+		case 3:
+			return "write_ops", g.noise(3000*io, key...)
+		case 4:
+			return "opens", g.noise(20*io, key...)
+		default:
+			return "metadata_ops", g.noise(800*io, key...)
+		}
+	case SourceFabricClient:
+		shape, _ := g.jobShape(comp, tick)
+		switch m {
+		case 0:
+			return "tx_mbps", g.noise(9000*shape, key...)
+		case 1:
+			return "rx_mbps", g.noise(9000*shape, key...)
+		case 2:
+			return "tx_pkts_k", g.noise(800*shape, key...)
+		case 3:
+			return "rx_pkts_k", g.noise(800*shape, key...)
+		case 4:
+			return "congestion_pct", clamp(g.noise(25*shape, key...), 0, 100)
+		default:
+			return "retries", g.noise(4*shape, key...)
+		}
+	case SourceStorageSystem:
+		// Server load follows a diurnal curve plus hashed per-server bias.
+		load := g.background(comp, tick)
+		return fmt.Sprintf("srv_ctr_%02d", m), g.noise(1000*load*float64(1+m%4), key...)
+	case SourceFabric:
+		load := g.background(comp, tick)
+		return fmt.Sprintf("sw_ctr_%02d", m), g.noise(5000*load*float64(1+m%3), key...)
+	case SourceFacility:
+		kind := facilityKinds[comp%len(facilityKinds)]
+		mw := totalPower / 1e6
+		switch kind {
+		case "supply_temp_c":
+			return kind, g.noise(32, key...)
+		case "return_temp_c":
+			// Water heats with load: ~4 C swing across the power range.
+			span := g.cfg.MaxPowerW * float64(g.cfg.Nodes) / 1e6
+			return kind, g.noise(32+6*mw/span, key...)
+		case "flow_lps":
+			return kind, g.noise(300+40*mw, key...)
+		case "pump_kw":
+			return kind, g.noise(50+8*mw, key...)
+		case "cep_power_kw":
+			return kind, g.noise(totalPower/1000*1.06, key...) // + conversion losses
+		default:
+			return kind, clamp(g.noise(40+3*mw, key...), 0, 100)
+		}
+	default:
+		return "value", unit(hash64(key...))
+	}
+}
+
+// background models non-compute component load: diurnal + per-component bias.
+func (g *Generator) background(comp int, tick time.Time) float64 {
+	hour := float64(tick.Hour()) + float64(tick.Minute())/60
+	diurnal := 0.6 + 0.4*sinDay(hour)
+	bias := 0.7 + 0.6*unit(hash64(g.sys, uint64(comp), 0xb1a5))
+	return diurnal * bias
+}
+
+func sinDay(hour float64) float64 {
+	// Peak mid-afternoon, trough early morning; range [0,1].
+	return 0.5 + 0.5*math.Cos(2*math.Pi*(hour-15)/24)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CollectSource gathers a source's observations for a window into a slice.
+// Intended for tests and small windows; large flows should stream via
+// EmitSource into the broker.
+func (g *Generator) CollectSource(src Source, from, to time.Time) ([]schema.Observation, error) {
+	var out []schema.Observation
+	err := g.EmitSource(src, from, to, func(o schema.Observation) error {
+		out = append(out, o)
+		return nil
+	})
+	return out, err
+}

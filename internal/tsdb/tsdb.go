@@ -1,0 +1,480 @@
+// Package tsdb implements the LAKE tier's time-series store (Fig 5): the
+// role Apache Druid plays in the paper — online, real-time diagnostics
+// over recent telemetry. Observations are rolled up on ingest (the 15 s
+// aggregation of §V-A), held in time-chunked segments, and served through
+// group-by, filter, and top-N queries at interactive latency. Segment
+// retention keeps the hot tier bounded while OCEAN holds history.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// Dimension names available for filtering and grouping.
+const (
+	DimSystem    = "system"
+	DimSource    = "source"
+	DimComponent = "component"
+	DimMetric    = "metric"
+)
+
+var dimNames = []string{DimSystem, DimSource, DimComponent, DimMetric}
+
+// ErrBadQuery reports an invalid query.
+var ErrBadQuery = errors.New("tsdb: bad query")
+
+// Options tunes the store.
+type Options struct {
+	// SegmentDuration is the time-chunk width (default 1h).
+	SegmentDuration time.Duration
+	// RollupInterval is the ingest-time aggregation bucket (default 15s),
+	// reconciling differing sample rates and clock skew.
+	RollupInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentDuration <= 0 {
+		o.SegmentDuration = time.Hour
+	}
+	if o.RollupInterval <= 0 {
+		o.RollupInterval = 15 * time.Second
+	}
+	return o
+}
+
+type rollupKey struct {
+	ts                                int64 // rollup bucket start, unix nanos
+	system, source, component, metric string
+}
+
+func (k rollupKey) dim(name string) string {
+	switch name {
+	case DimSystem:
+		return k.system
+	case DimSource:
+		return k.source
+	case DimComponent:
+		return k.component
+	case DimMetric:
+		return k.metric
+	default:
+		return ""
+	}
+}
+
+// aggCell is one rolled-up cell: enough state for every supported
+// aggregation without keeping raw samples.
+type aggCell struct {
+	count    int64
+	sum      float64
+	min, max float64
+	lastTs   int64
+	last     float64
+}
+
+func (c *aggCell) add(tsNanos int64, v float64) {
+	if c.count == 0 || v < c.min {
+		c.min = v
+	}
+	if c.count == 0 || v > c.max {
+		c.max = v
+	}
+	c.count++
+	c.sum += v
+	if tsNanos >= c.lastTs {
+		c.lastTs, c.last = tsNanos, v
+	}
+}
+
+func (c *aggCell) merge(o aggCell) {
+	if o.count == 0 {
+		return
+	}
+	if c.count == 0 || o.min < c.min {
+		c.min = o.min
+	}
+	if c.count == 0 || o.max > c.max {
+		c.max = o.max
+	}
+	c.count += o.count
+	c.sum += o.sum
+	if o.lastTs >= c.lastTs {
+		c.lastTs, c.last = o.lastTs, o.last
+	}
+}
+
+type segment struct {
+	start time.Time
+	cells map[rollupKey]*aggCell
+	rows  int64 // raw observations ingested
+}
+
+// DB is the time-series store. Safe for concurrent use.
+type DB struct {
+	mu       sync.RWMutex
+	opts     Options
+	segments map[int64]*segment // keyed by chunk start unixnano
+
+	ingested int64
+}
+
+// New returns an empty store.
+func New(opts Options) *DB {
+	return &DB{opts: opts.withDefaults(), segments: make(map[int64]*segment)}
+}
+
+// Insert rolls one observation into its segment.
+func (db *DB) Insert(o schema.Observation) {
+	chunk := o.Ts.Truncate(db.opts.SegmentDuration)
+	bucket := o.Ts.Truncate(db.opts.RollupInterval)
+	key := rollupKey{
+		ts: bucket.UnixNano(), system: o.System, source: o.Source,
+		component: o.Component, metric: o.Metric,
+	}
+	db.mu.Lock()
+	seg, ok := db.segments[chunk.UnixNano()]
+	if !ok {
+		seg = &segment{start: chunk, cells: make(map[rollupKey]*aggCell)}
+		db.segments[chunk.UnixNano()] = seg
+	}
+	cell, ok := seg.cells[key]
+	if !ok {
+		cell = &aggCell{}
+		seg.cells[key] = cell
+	}
+	cell.add(o.Ts.UnixNano(), o.Value)
+	seg.rows++
+	db.ingested++
+	db.mu.Unlock()
+}
+
+// InsertRow inserts a row conforming to schema.ObservationSchema.
+func (db *DB) InsertRow(r schema.Row) error {
+	if err := r.Conforms(schema.ObservationSchema); err != nil {
+		return err
+	}
+	db.Insert(schema.ObservationFromRow(r))
+	return nil
+}
+
+// RollupSchema is the export format of Export: one row per rollup cell
+// with the full aggregation state, so OCEAN-archived LAKE history can be
+// re-aggregated without the raw data.
+var RollupSchema = schema.New(
+	schema.Field{Name: "bucket", Kind: schema.KindTime},
+	schema.Field{Name: "system", Kind: schema.KindString},
+	schema.Field{Name: "source", Kind: schema.KindString},
+	schema.Field{Name: "component", Kind: schema.KindString},
+	schema.Field{Name: "metric", Kind: schema.KindString},
+	schema.Field{Name: "count", Kind: schema.KindInt},
+	schema.Field{Name: "sum", Kind: schema.KindFloat},
+	schema.Field{Name: "min", Kind: schema.KindFloat},
+	schema.Field{Name: "max", Kind: schema.KindFloat},
+)
+
+// Export serializes every segment whose chunk ended before cutoff into a
+// RollupSchema frame (sorted by bucket then dimensions) — the LAKE→OCEAN
+// offload that runs just before Retain drops those segments.
+func (db *DB) Export(cutoff time.Time) (*schema.Frame, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	type kv struct {
+		k rollupKey
+		c *aggCell
+	}
+	var cells []kv
+	for _, seg := range db.segments {
+		if !seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
+			continue
+		}
+		for k, c := range seg.cells {
+			cells = append(cells, kv{k, c})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i].k, cells[j].k
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.component != b.component {
+			return a.component < b.component
+		}
+		return a.metric < b.metric
+	})
+	out := schema.NewFrame(RollupSchema)
+	for _, cell := range cells {
+		row := schema.Row{
+			schema.TimeNanos(cell.k.ts), schema.Str(cell.k.system), schema.Str(cell.k.source),
+			schema.Str(cell.k.component), schema.Str(cell.k.metric),
+			schema.Int(cell.c.count), schema.Float(cell.c.sum),
+			schema.Float(cell.c.min), schema.Float(cell.c.max),
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Retain drops segments whose chunk ended before cutoff and returns how
+// many were dropped — the LAKE tier's bounded retention.
+func (db *DB) Retain(cutoff time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for k, seg := range db.segments {
+		if seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
+			delete(db.segments, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Stats summarizes store contents.
+type Stats struct {
+	Segments    int
+	RollupCells int64
+	RawIngested int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := Stats{Segments: len(db.segments), RawIngested: db.ingested}
+	for _, s := range db.segments {
+		st.RollupCells += int64(len(s.cells))
+	}
+	return st
+}
+
+// AggKind selects the aggregation applied to matching cells.
+type AggKind int
+
+// Supported aggregations.
+const (
+	AggAvg AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggLast
+)
+
+// Query describes a group-by query.
+type Query struct {
+	// From and To bound the time range (half-open).
+	From, To time.Time
+	// Filters are dimension-equality constraints; a dimension maps to the
+	// set of accepted values (OR within a dimension, AND across).
+	Filters map[string][]string
+	// GroupBy lists output dimensions (subset of system, source,
+	// component, metric). Time is always grouped by Granularity.
+	GroupBy []string
+	// Granularity buckets output rows in time; 0 collapses the range to
+	// a single bucket.
+	Granularity time.Duration
+	// Agg is the aggregation to report.
+	Agg AggKind
+}
+
+// ResultSchema returns the schema of the query's result frame: ts, the
+// group-by dimensions, then "value".
+func (q Query) ResultSchema() *schema.Schema {
+	fields := []schema.Field{{Name: "ts", Kind: schema.KindTime}}
+	for _, d := range q.GroupBy {
+		fields = append(fields, schema.Field{Name: d, Kind: schema.KindString})
+	}
+	fields = append(fields, schema.Field{Name: "value", Kind: schema.KindFloat})
+	return schema.New(fields...)
+}
+
+func (q Query) validate() error {
+	if !q.To.After(q.From) {
+		return fmt.Errorf("%w: empty time range", ErrBadQuery)
+	}
+	if len(q.GroupBy) > len(dimNames) {
+		return fmt.Errorf("%w: too many group-by dimensions", ErrBadQuery)
+	}
+	seen := map[string]bool{}
+	for _, d := range q.GroupBy {
+		if seen[d] {
+			return fmt.Errorf("%w: duplicate group-by dimension %q", ErrBadQuery, d)
+		}
+		seen[d] = true
+	}
+	for _, d := range q.GroupBy {
+		if !validDim(d) {
+			return fmt.Errorf("%w: unknown group-by dimension %q", ErrBadQuery, d)
+		}
+	}
+	for d := range q.Filters {
+		if !validDim(d) {
+			return fmt.Errorf("%w: unknown filter dimension %q", ErrBadQuery, d)
+		}
+	}
+	return nil
+}
+
+func validDim(d string) bool {
+	for _, n := range dimNames {
+		if n == d {
+			return true
+		}
+	}
+	return false
+}
+
+type groupKey struct {
+	ts   int64
+	dims [4]string // aligned with q.GroupBy, max 4 dims
+}
+
+// Run executes the query and returns a frame sorted by (ts, dims).
+func (db *DB) Run(q Query) (*schema.Frame, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	gran := q.Granularity
+	if gran <= 0 {
+		gran = q.To.Sub(q.From)
+	}
+	db.mu.RLock()
+	groups := make(map[groupKey]*aggCell)
+	for _, seg := range db.segments {
+		segEnd := seg.start.Add(db.opts.SegmentDuration)
+		if !seg.start.Before(q.To) || !segEnd.After(q.From) {
+			continue // segment pruning by time chunk
+		}
+		for key, cell := range seg.cells {
+			ts := time.Unix(0, key.ts).UTC()
+			if ts.Before(q.From) || !ts.Before(q.To) {
+				continue
+			}
+			if !matchFilters(key, q.Filters) {
+				continue
+			}
+			gk := groupKey{ts: q.From.Add(ts.Sub(q.From).Truncate(gran)).UnixNano()}
+			for i, d := range q.GroupBy {
+				gk.dims[i] = key.dim(d)
+			}
+			g, ok := groups[gk]
+			if !ok {
+				g = &aggCell{}
+				groups[gk] = g
+			}
+			g.merge(*cell)
+		}
+	}
+	db.mu.RUnlock()
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ts != keys[j].ts {
+			return keys[i].ts < keys[j].ts
+		}
+		for d := 0; d < len(q.GroupBy); d++ {
+			if keys[i].dims[d] != keys[j].dims[d] {
+				return keys[i].dims[d] < keys[j].dims[d]
+			}
+		}
+		return false
+	})
+
+	out := schema.NewFrame(q.ResultSchema())
+	for _, k := range keys {
+		cell := groups[k]
+		row := schema.Row{schema.TimeNanos(k.ts)}
+		for i := range q.GroupBy {
+			row = append(row, schema.Str(k.dims[i]))
+		}
+		row = append(row, schema.Float(aggValue(q.Agg, cell)))
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func matchFilters(key rollupKey, filters map[string][]string) bool {
+	for dim, accepted := range filters {
+		v := key.dim(dim)
+		ok := false
+		for _, a := range accepted {
+			if v == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func aggValue(kind AggKind, c *aggCell) float64 {
+	switch kind {
+	case AggSum:
+		return c.sum
+	case AggMin:
+		return c.min
+	case AggMax:
+		return c.max
+	case AggCount:
+		return float64(c.count)
+	case AggLast:
+		return c.last
+	default: // AggAvg
+		if c.count == 0 {
+			return 0
+		}
+		return c.sum / float64(c.count)
+	}
+}
+
+// TopNEntry is one row of a top-N result.
+type TopNEntry struct {
+	Dim   string
+	Value float64
+}
+
+// TopN returns the n highest-aggregating values of one dimension over a
+// time range — the Druid-style "which nodes drew the most power" query
+// behind user-assistance triage.
+func (db *DB) TopN(q Query, dim string, n int) ([]TopNEntry, error) {
+	if !validDim(dim) {
+		return nil, fmt.Errorf("%w: unknown top-n dimension %q", ErrBadQuery, dim)
+	}
+	q.GroupBy = []string{dim}
+	q.Granularity = 0
+	f, err := db.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]TopNEntry, 0, f.Len())
+	for i := 0; i < f.Len(); i++ {
+		r := f.Row(i)
+		entries = append(entries, TopNEntry{Dim: r[1].StrVal(), Value: r[2].FloatVal()})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		return entries[i].Dim < entries[j].Dim
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries, nil
+}

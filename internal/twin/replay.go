@@ -1,0 +1,147 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Workload-side helpers: synthetic HPL trace generation, trace extraction
+// from a power provider (the telemetry generator or a schedule-driven
+// power model), and replay validation metrics.
+
+// PowerProvider supplies total IT power at a time — implemented by
+// *telemetry.Generator (TotalPower), which is how measured telemetry is
+// replayed through the twin.
+type PowerProvider interface {
+	TotalPower(t time.Time) float64
+}
+
+// TraceFrom samples a power provider into a trace at the given step.
+func TraceFrom(p PowerProvider, from, to time.Time, step time.Duration) []TracePoint {
+	var out []TracePoint
+	for ts := from; ts.Before(to); ts = ts.Add(step) {
+		out = append(out, TracePoint{Ts: ts, ITPowerW: p.TotalPower(ts)})
+	}
+	return out
+}
+
+// HPLPhases describe the canonical HPL power curve the paper replays
+// (Fig 11 middle): ramp to near-peak, long sustained plateau with the
+// characteristic slow decay as the trailing panel shrinks, then the
+// cleanup tail back to idle.
+type HPLConfig struct {
+	Nodes      int
+	IdlePowerW float64
+	MaxPowerW  float64
+	// Duration of the whole run.
+	Duration time.Duration
+	// Step is the trace sample interval.
+	Step time.Duration
+}
+
+// HPLTrace synthesizes an HPL-run power trace.
+func HPLTrace(cfg HPLConfig, start time.Time) []TracePoint {
+	if cfg.Step <= 0 {
+		cfg.Step = time.Second
+	}
+	idle := float64(cfg.Nodes) * cfg.IdlePowerW
+	peak := float64(cfg.Nodes) * cfg.MaxPowerW * 0.95
+	var out []TracePoint
+	total := cfg.Duration.Seconds()
+	for ts := start; ts.Before(start.Add(cfg.Duration)); ts = ts.Add(cfg.Step) {
+		el := ts.Sub(start).Seconds()
+		frac := el / total
+		var p float64
+		switch {
+		case frac < 0.05: // ramp
+			p = idle + (peak-idle)*(frac/0.05)
+		case frac < 0.85: // plateau with slow decay
+			decay := (frac - 0.05) / 0.80
+			p = peak - (peak-idle)*0.15*decay
+		case frac < 0.95: // panel tail-off
+			tail := (frac - 0.85) / 0.10
+			p = peak - (peak-idle)*(0.15+0.55*tail)
+		default: // cleanup
+			tail := (frac - 0.95) / 0.05
+			p = idle + (peak-idle)*0.30*(1-tail)
+		}
+		out = append(out, TracePoint{Ts: ts, ITPowerW: p})
+	}
+	return out
+}
+
+// ValidationReport compares the twin's simulated series against a
+// measured reference — the Fig 11 verification & validation numbers.
+type ValidationReport struct {
+	Samples int
+	// Power: simulated input power vs measured facility power.
+	PowerMAPE float64
+	PowerRMSE float64
+	// Return-water temperature.
+	TempRMSEC   float64
+	TempMaxErrC float64
+}
+
+// ValidatePower scores simulated vs measured power series (same length).
+func ValidatePower(sim []StepResult, measuredW []float64) (ValidationReport, error) {
+	if len(sim) != len(measuredW) || len(sim) == 0 {
+		return ValidationReport{}, errors.New("twin: validation series length mismatch")
+	}
+	var rep ValidationReport
+	rep.Samples = len(sim)
+	var sumAPE, sumSq float64
+	for i, r := range sim {
+		m := measuredW[i]
+		d := r.InputPowerW - m
+		sumSq += d * d
+		if m != 0 {
+			sumAPE += math.Abs(d) / m
+		}
+	}
+	rep.PowerMAPE = sumAPE / float64(len(sim))
+	rep.PowerRMSE = math.Sqrt(sumSq / float64(len(sim)))
+	return rep, nil
+}
+
+// ValidateTemps scores simulated vs measured return-water temperature.
+func ValidateTemps(sim []StepResult, measuredC []float64) (ValidationReport, error) {
+	if len(sim) != len(measuredC) || len(sim) == 0 {
+		return ValidationReport{}, errors.New("twin: validation series length mismatch")
+	}
+	var rep ValidationReport
+	rep.Samples = len(sim)
+	var sumSq, maxErr float64
+	for i, r := range sim {
+		d := math.Abs(r.ReturnTempC - measuredC[i])
+		sumSq += d * d
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	rep.TempRMSEC = math.Sqrt(sumSq / float64(len(sim)))
+	rep.TempMaxErrC = maxErr
+	return rep, nil
+}
+
+// WhatIf runs the same trace through a modified twin configuration and
+// reports both summaries — the paper's "what-if scenarios, system
+// optimizations, and virtual prototyping" use case.
+func WhatIf(base, variant Config, trace []TracePoint) (baseSum, variantSum EnergySummary, err error) {
+	sb, err := New(base)
+	if err != nil {
+		return EnergySummary{}, EnergySummary{}, fmt.Errorf("twin: base config: %w", err)
+	}
+	sv, err := New(variant)
+	if err != nil {
+		return EnergySummary{}, EnergySummary{}, fmt.Errorf("twin: variant config: %w", err)
+	}
+	if _, err := sb.Run(trace); err != nil {
+		return EnergySummary{}, EnergySummary{}, err
+	}
+	if _, err := sv.Run(trace); err != nil {
+		return EnergySummary{}, EnergySummary{}, err
+	}
+	return sb.Summary(), sv.Summary(), nil
+}

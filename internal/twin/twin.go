@@ -1,0 +1,253 @@
+// Package twin is the digital twin of the simulated supercomputer — the
+// role ExaDigiT [46] plays in the paper (Fig 11). It couples:
+//
+//  1. a resource-allocator/power simulator that turns a workload (a
+//     jobsched schedule or a synthetic HPL trace) into an IT power series,
+//  2. an electrical loss chain predicting "energy losses due to
+//     rectification and voltage conversion", and
+//  3. a transient thermo-fluidic cooling model (first-order lumped
+//     thermal dynamics) of the central energy plant.
+//
+// The twin replays telemetry for verification & validation: feed it the
+// measured power series and compare its simulated plant response against
+// the measured facility channels, exactly as Fig 11's middle/right panels
+// do. As a white-box model it extrapolates to workloads never observed —
+// the property the paper contrasts with black-box ML.
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config parametrizes the twin. The defaults describe the "compass"
+// (Frontier-like) system and are calibrated so the plant's steady state
+// matches the telemetry generator's facility channels, making replay
+// validation meaningful.
+type Config struct {
+	// Nodes and per-node power bounds (match telemetry.SystemConfig).
+	Nodes      int
+	IdlePowerW float64
+	MaxPowerW  float64
+
+	// SupplyTempC is the facility water supply setpoint.
+	SupplyTempC float64
+	// WetBulbC is the ambient wet-bulb temperature the cooling towers
+	// reject against (default 18). Hot weather raises the achievable
+	// supply temperature (tower outlet + approaches) and the tower fan
+	// power — the seasonal what-if dimension of the twin.
+	WetBulbC float64
+	// CoolingTauSec is the plant's first-order thermal time constant in
+	// seconds (transient lag of the return-water temperature).
+	CoolingTauSec float64
+
+	// RectBaseEff / RectLoadEff: rectifier efficiency = base + load*gain.
+	RectBaseEff, RectLoadEff float64
+	// ConvBaseEff / ConvLoadEff: downstream voltage-conversion efficiency.
+	ConvBaseEff, ConvLoadEff float64
+}
+
+// DefaultConfig returns the compass-calibrated twin.
+func DefaultConfig() Config {
+	return Config{
+		Nodes: 9408, IdlePowerW: 700, MaxPowerW: 3400,
+		SupplyTempC: 32, WetBulbC: 18, CoolingTauSec: 180,
+		RectBaseEff: 0.93, RectLoadEff: 0.04,
+		ConvBaseEff: 0.90, ConvLoadEff: 0.05,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 || c.MaxPowerW <= c.IdlePowerW {
+		return errors.New("twin: bad node/power config")
+	}
+	if c.CoolingTauSec <= 0 {
+		return errors.New("twin: cooling tau must be positive")
+	}
+	return nil
+}
+
+// maxITPowerW is the all-nodes-flat-out IT power.
+func (c Config) maxITPowerW() float64 { return float64(c.Nodes) * c.MaxPowerW }
+
+// TracePoint is one step of an IT power trace (the twin's input during
+// telemetry replay, or the power simulator's output from a workload).
+type TracePoint struct {
+	Ts       time.Time
+	ITPowerW float64
+}
+
+// StepResult is the twin's full state at one step.
+type StepResult struct {
+	Ts       time.Time
+	ITPowerW float64
+	// Electrical chain.
+	RectLossW   float64
+	ConvLossW   float64
+	InputPowerW float64 // IT + losses (facility-side draw before cooling)
+	// Thermo-fluidic plant.
+	SupplyTempC float64
+	ReturnTempC float64
+	FlowLps     float64
+	PumpPowerW  float64
+	TowerPowerW float64
+	// Efficiency.
+	PUE float64
+}
+
+// Simulator is the digital twin instance. Not safe for concurrent use;
+// create one per replay.
+type Simulator struct {
+	cfg Config
+	// plant state
+	returnTempC float64
+	initialized bool
+	lastTs      time.Time
+
+	// accumulated energy (joules) for the run summary
+	itJ, rectJ, convJ, coolJ float64
+}
+
+// New returns a twin simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// loadFrac maps IT power to the [0,1] load fraction of the machine.
+func (s *Simulator) loadFrac(itW float64) float64 {
+	idle := float64(s.cfg.Nodes) * s.cfg.IdlePowerW
+	span := s.cfg.maxITPowerW() - idle
+	f := (itW - idle) / span
+	return math.Max(0, math.Min(1, f))
+}
+
+// effectiveSupplyTempC is the achievable supply temperature: the setpoint
+// unless the towers cannot reach it — tower outlet (wet bulb + ~4C
+// approach) plus the heat-exchanger approach (~2C) bounds it from below.
+func (s *Simulator) effectiveSupplyTempC() float64 {
+	towerBound := s.cfg.WetBulbC + 4 + 2
+	if towerBound > s.cfg.SupplyTempC {
+		return towerBound
+	}
+	return s.cfg.SupplyTempC
+}
+
+// steadyReturnTempC is the plant's equilibrium return temperature for an
+// IT power level — calibrated to the telemetry generator's
+// return_temp_c channel (supply + 6C across the power range).
+func (s *Simulator) steadyReturnTempC(itW float64) float64 {
+	return s.effectiveSupplyTempC() + 6*itW/s.cfg.maxITPowerW()
+}
+
+// Step advances the twin to ts with the given IT power and returns the
+// full plant state. Steps must be fed in time order.
+func (s *Simulator) Step(ts time.Time, itPowerW float64) (StepResult, error) {
+	if itPowerW < 0 {
+		return StepResult{}, fmt.Errorf("twin: negative IT power %f", itPowerW)
+	}
+	dt := 0.0
+	if s.initialized {
+		dt = ts.Sub(s.lastTs).Seconds()
+		if dt < 0 {
+			return StepResult{}, fmt.Errorf("twin: time went backwards (%v after %v)", ts, s.lastTs)
+		}
+	} else {
+		// First step starts at equilibrium for the initial load.
+		s.returnTempC = s.steadyReturnTempC(itPowerW)
+		s.initialized = true
+	}
+	s.lastTs = ts
+
+	load := s.loadFrac(itPowerW)
+
+	// Electrical losses: IT power is what survives the chain, so the
+	// upstream draw is IT / (rectEff * convEff).
+	rectEff := s.cfg.RectBaseEff + s.cfg.RectLoadEff*load
+	convEff := s.cfg.ConvBaseEff + s.cfg.ConvLoadEff*load
+	afterConv := itPowerW / convEff
+	convLoss := afterConv - itPowerW
+	input := afterConv / rectEff
+	rectLoss := input - afterConv
+
+	// Thermo-fluidic plant: first-order relaxation toward equilibrium.
+	target := s.steadyReturnTempC(itPowerW)
+	if dt > 0 {
+		alpha := 1 - math.Exp(-dt/s.cfg.CoolingTauSec)
+		s.returnTempC += alpha * (target - s.returnTempC)
+	}
+	// Plant overheads scale with machine size so a scaled-down twin has
+	// the same PUE as the full system: fixed terms are fractions of the
+	// machine's max IT power, variable terms follow the actual draw.
+	maxIT := s.cfg.maxITPowerW()
+	flow := maxIT / 1e6 * (10 + 30*load) // liters/s per MW of capacity
+	pumpW := 0.005*maxIT + 0.025*input
+	// Tower fans work harder as the wet bulb approaches the setpoint.
+	weather := 1.0
+	if s.cfg.WetBulbC > 18 {
+		weather += (s.cfg.WetBulbC - 18) / 20
+	}
+	towerW := (0.002*maxIT + 0.015*input) * weather
+
+	res := StepResult{
+		Ts: ts, ITPowerW: itPowerW,
+		RectLossW: rectLoss, ConvLossW: convLoss, InputPowerW: input,
+		SupplyTempC: s.effectiveSupplyTempC(), ReturnTempC: s.returnTempC,
+		FlowLps: flow, PumpPowerW: pumpW, TowerPowerW: towerW,
+	}
+	res.PUE = (input + pumpW + towerW) / itPowerW
+	if itPowerW == 0 {
+		res.PUE = math.Inf(1)
+	}
+
+	if dt > 0 {
+		s.itJ += itPowerW * dt
+		s.rectJ += rectLoss * dt
+		s.convJ += convLoss * dt
+		s.coolJ += (pumpW + towerW) * dt
+	}
+	return res, nil
+}
+
+// Run replays a whole trace and returns per-step results.
+func (s *Simulator) Run(trace []TracePoint) ([]StepResult, error) {
+	out := make([]StepResult, 0, len(trace))
+	for _, p := range trace {
+		r, err := s.Step(p.Ts, p.ITPowerW)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EnergySummary reports accumulated energy over a run in kWh.
+type EnergySummary struct {
+	ITkWh       float64
+	RectLosskWh float64
+	ConvLosskWh float64
+	CoolingkWh  float64
+	// LossFraction = (rect+conv) / IT: the headline rectification &
+	// voltage-conversion overhead the paper's twin predicts.
+	LossFraction float64
+	MeanPUE      float64
+}
+
+// Summary returns the accumulated energy breakdown.
+func (s *Simulator) Summary() EnergySummary {
+	toKWh := func(j float64) float64 { return j / 3.6e6 }
+	es := EnergySummary{
+		ITkWh: toKWh(s.itJ), RectLosskWh: toKWh(s.rectJ),
+		ConvLosskWh: toKWh(s.convJ), CoolingkWh: toKWh(s.coolJ),
+	}
+	if s.itJ > 0 {
+		es.LossFraction = (s.rectJ + s.convJ) / s.itJ
+		es.MeanPUE = (s.itJ + s.rectJ + s.convJ + s.coolJ) / s.itJ
+	}
+	return es
+}

@@ -1,0 +1,322 @@
+package twin
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"odakit/internal/jobsched"
+	"odakit/internal/telemetry"
+)
+
+var t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 16
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := DefaultConfig()
+	bad.CoolingTauSec = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero tau accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxPowerW = bad.IdlePowerW
+	if _, err := New(bad); err == nil {
+		t.Fatal("max<=idle accepted")
+	}
+}
+
+func TestStepRejectsBadInput(t *testing.T) {
+	s, _ := New(smallConfig())
+	if _, err := s.Step(t0, -5); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	if _, err := s.Step(t0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(t0.Add(-time.Minute), 1000); err == nil {
+		t.Fatal("backwards time accepted")
+	}
+}
+
+func TestLossChainAccounting(t *testing.T) {
+	cfg := smallConfig()
+	s, _ := New(cfg)
+	it := float64(cfg.Nodes) * 2000
+	r, err := s.Step(t0, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input = IT + both losses, exactly.
+	if math.Abs(r.InputPowerW-(r.ITPowerW+r.RectLossW+r.ConvLossW)) > 1e-6 {
+		t.Fatalf("loss accounting: input %v != it %v + rect %v + conv %v",
+			r.InputPowerW, r.ITPowerW, r.RectLossW, r.ConvLossW)
+	}
+	if r.RectLossW <= 0 || r.ConvLossW <= 0 {
+		t.Fatal("losses must be positive")
+	}
+	// Overall chain efficiency in a plausible band (83-93%).
+	eff := r.ITPowerW / r.InputPowerW
+	if eff < 0.80 || eff > 0.95 {
+		t.Fatalf("chain efficiency %v implausible", eff)
+	}
+	if r.PUE <= 1.0 || r.PUE > 1.5 {
+		t.Fatalf("PUE = %v implausible", r.PUE)
+	}
+}
+
+func TestEfficiencyImprovesWithLoad(t *testing.T) {
+	cfg := smallConfig()
+	idle := float64(cfg.Nodes) * cfg.IdlePowerW
+	peak := float64(cfg.Nodes) * cfg.MaxPowerW
+
+	sLow, _ := New(cfg)
+	rLow, _ := sLow.Step(t0, idle)
+	sHigh, _ := New(cfg)
+	rHigh, _ := sHigh.Step(t0, peak)
+	effLow := rLow.ITPowerW / rLow.InputPowerW
+	effHigh := rHigh.ITPowerW / rHigh.InputPowerW
+	if effHigh <= effLow {
+		t.Fatalf("efficiency should improve with load: %v at idle vs %v at peak", effLow, effHigh)
+	}
+}
+
+func TestCoolingTransientLagsPowerStep(t *testing.T) {
+	cfg := smallConfig()
+	s, _ := New(cfg)
+	idle := float64(cfg.Nodes) * cfg.IdlePowerW
+	peak := float64(cfg.Nodes) * cfg.MaxPowerW
+
+	// Settle at idle.
+	r0, _ := s.Step(t0, idle)
+	startTemp := r0.ReturnTempC
+	// Step to peak: return temp must rise toward the new equilibrium
+	// with a lag, crossing ~63% at tau.
+	target := s.steadyReturnTempC(peak)
+	var atTau, atFiveTau float64
+	for sec := 1; sec <= int(5*cfg.CoolingTauSec); sec++ {
+		r, err := s.Step(t0.Add(time.Duration(sec)*time.Second), peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec == int(cfg.CoolingTauSec) {
+			atTau = r.ReturnTempC
+		}
+		atFiveTau = r.ReturnTempC
+	}
+	fracAtTau := (atTau - startTemp) / (target - startTemp)
+	if fracAtTau < 0.55 || fracAtTau > 0.72 {
+		t.Fatalf("at tau the response covered %.2f of the step, want ~0.63", fracAtTau)
+	}
+	if math.Abs(atFiveTau-target) > 0.1 {
+		t.Fatalf("after 5 tau temp %v has not settled to %v", atFiveTau, target)
+	}
+	if startTemp >= target {
+		t.Fatalf("equilibrium ordering wrong: idle %v vs peak %v", startTemp, target)
+	}
+}
+
+func TestRunAndSummary(t *testing.T) {
+	cfg := smallConfig()
+	trace := HPLTrace(HPLConfig{
+		Nodes: cfg.Nodes, IdlePowerW: cfg.IdlePowerW, MaxPowerW: cfg.MaxPowerW,
+		Duration: 30 * time.Minute, Step: 5 * time.Second,
+	}, t0)
+	s, _ := New(cfg)
+	results, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(trace) {
+		t.Fatalf("results = %d, trace = %d", len(results), len(trace))
+	}
+	sum := s.Summary()
+	if sum.ITkWh <= 0 || sum.RectLosskWh <= 0 || sum.ConvLosskWh <= 0 || sum.CoolingkWh <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Rect+conv losses should be roughly 8-18% of IT energy.
+	if sum.LossFraction < 0.06 || sum.LossFraction > 0.25 {
+		t.Fatalf("loss fraction = %v implausible", sum.LossFraction)
+	}
+	if sum.MeanPUE <= 1.0 || sum.MeanPUE > 1.5 {
+		t.Fatalf("mean PUE = %v implausible", sum.MeanPUE)
+	}
+}
+
+func TestHPLTraceShape(t *testing.T) {
+	cfg := HPLConfig{Nodes: 16, IdlePowerW: 700, MaxPowerW: 3400, Duration: 20 * time.Minute, Step: time.Second}
+	trace := HPLTrace(cfg, t0)
+	if len(trace) != 1200 {
+		t.Fatalf("trace points = %d", len(trace))
+	}
+	idle := float64(cfg.Nodes) * cfg.IdlePowerW
+	peakBand := float64(cfg.Nodes) * cfg.MaxPowerW
+	// Starts near idle, peaks in the plateau, ends near idle.
+	if trace[0].ITPowerW > idle*1.2 {
+		t.Fatalf("trace starts at %v, want near idle %v", trace[0].ITPowerW, idle)
+	}
+	maxP := 0.0
+	for _, p := range trace {
+		if p.ITPowerW > maxP {
+			maxP = p.ITPowerW
+		}
+		if p.ITPowerW < idle*0.5 || p.ITPowerW > peakBand {
+			t.Fatalf("trace point %v out of physical range", p.ITPowerW)
+		}
+	}
+	if maxP < 0.9*peakBand {
+		t.Fatalf("peak %v too low vs %v", maxP, peakBand)
+	}
+	last := trace[len(trace)-1].ITPowerW
+	if last > idle*1.35 {
+		t.Fatalf("trace ends at %v, want near idle", last)
+	}
+}
+
+func telemetryReplay(t *testing.T) (*telemetry.Generator, []TracePoint) {
+	t.Helper()
+	tcfg := telemetry.FrontierLike(5).Scaled(16)
+	sim := jobsched.New(jobsched.Config{Nodes: 16, Workload: jobsched.WorkloadConfig{Seed: 77, MeanInterarrival: 40 * time.Second}})
+	sched := sim.Run(t0.Add(-time.Hour), t0.Add(time.Hour))
+	gen := telemetry.NewGenerator(tcfg, sched)
+	trace := TraceFrom(gen, t0, t0.Add(20*time.Minute), 10*time.Second)
+	return gen, trace
+}
+
+func TestTelemetryReplayValidation(t *testing.T) {
+	// Fig 11: replay telemetry through the twin, then validate the twin's
+	// outputs against the "measured" facility channels.
+	_, trace := telemetryReplay(t)
+	cfg := smallConfig()
+	s, _ := New(cfg)
+	results, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured facility power: IT plus the same conversion chain the
+	// facility's cep_power_kw channel models (6% overhead in telemetry).
+	measured := make([]float64, len(trace))
+	for i, p := range trace {
+		measured[i] = p.ITPowerW * 1.06
+	}
+	rep, err := ValidatePower(results, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PowerMAPE > 0.10 {
+		t.Fatalf("power MAPE = %.3f, want under 10%%", rep.PowerMAPE)
+	}
+	// Measured return temp: telemetry's steady-state formula. The twin is
+	// transient, so allow a modest RMSE but require closeness.
+	maxIT := float64(cfg.Nodes) * cfg.MaxPowerW
+	temps := make([]float64, len(trace))
+	for i, p := range trace {
+		temps[i] = cfg.SupplyTempC + 6*p.ITPowerW/maxIT
+	}
+	trep, err := ValidateTemps(results, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trep.TempRMSEC > 1.5 {
+		t.Fatalf("return temp RMSE = %.2f C, want under 1.5", trep.TempRMSEC)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := ValidatePower(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := ValidatePower([]StepResult{{}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ValidateTemps([]StepResult{{}}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWhatIfScenario(t *testing.T) {
+	cfg := smallConfig()
+	trace := HPLTrace(HPLConfig{
+		Nodes: cfg.Nodes, IdlePowerW: cfg.IdlePowerW, MaxPowerW: cfg.MaxPowerW,
+		Duration: 15 * time.Minute, Step: 5 * time.Second,
+	}, t0)
+	better := cfg
+	better.RectBaseEff = 0.96 // prototype a better rectifier
+	base, variant, err := WhatIf(cfg, better, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variant.RectLosskWh >= base.RectLosskWh {
+		t.Fatalf("better rectifier did not reduce losses: %v vs %v", variant.RectLosskWh, base.RectLosskWh)
+	}
+	if variant.ITkWh != base.ITkWh {
+		t.Fatalf("IT energy must be invariant: %v vs %v", variant.ITkWh, base.ITkWh)
+	}
+	bad := Config{}
+	if _, _, err := WhatIf(bad, cfg, trace); err == nil {
+		t.Fatal("bad base config accepted")
+	}
+	if _, _, err := WhatIf(cfg, bad, trace); err == nil {
+		t.Fatal("bad variant config accepted")
+	}
+}
+
+func BenchmarkTwinStep(b *testing.B) {
+	s, _ := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(t0.Add(time.Duration(i)*time.Second), 2e7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWeatherAffectsCooling(t *testing.T) {
+	cfg := smallConfig()
+	trace := HPLTrace(HPLConfig{
+		Nodes: cfg.Nodes, IdlePowerW: cfg.IdlePowerW, MaxPowerW: cfg.MaxPowerW,
+		Duration: 20 * time.Minute, Step: 10 * time.Second,
+	}, t0)
+
+	winter := cfg
+	winter.WetBulbC = 5
+	summer := cfg
+	summer.WetBulbC = 28 // tower can no longer hold the 32C setpoint
+
+	wSum, sSum, err := WhatIf(winter, summer, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSum.CoolingkWh <= wSum.CoolingkWh {
+		t.Fatalf("summer cooling %.2f kWh should exceed winter %.2f", sSum.CoolingkWh, wSum.CoolingkWh)
+	}
+	// Summer raises the achievable supply (28+4+2=34 > 32) and so the
+	// return temperature too.
+	sw, _ := New(summer)
+	rw, err := sw.Step(t0, float64(cfg.Nodes)*cfg.IdlePowerW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.SupplyTempC != 34 {
+		t.Fatalf("summer supply = %v, want 34", rw.SupplyTempC)
+	}
+	// Winter keeps the setpoint.
+	ww, _ := New(winter)
+	rWinter, _ := ww.Step(t0, float64(cfg.Nodes)*cfg.IdlePowerW)
+	if rWinter.SupplyTempC != cfg.SupplyTempC {
+		t.Fatalf("winter supply = %v, want %v", rWinter.SupplyTempC, cfg.SupplyTempC)
+	}
+	// Default config is unchanged by the weather model (calibration holds).
+	def, _ := New(smallConfig())
+	rDef, _ := def.Step(t0, float64(cfg.Nodes)*cfg.IdlePowerW)
+	if rDef.SupplyTempC != cfg.SupplyTempC {
+		t.Fatalf("default supply = %v, want %v", rDef.SupplyTempC, cfg.SupplyTempC)
+	}
+}

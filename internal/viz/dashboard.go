@@ -1,0 +1,152 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"odakit/internal/jobsched"
+	"odakit/internal/logsearch"
+	"odakit/internal/tsdb"
+)
+
+// UADashboard is the user-assistance view of Fig 6: for one job it
+// compiles "data from various sources, including compute, storage, and
+// system logs, all integrated with job node allocation details" —
+// replacing the old method of manually checking different systems.
+type UADashboard struct {
+	Lake *tsdb.DB
+	Logs *logsearch.Index
+	// Sched resolves job metadata and node lists.
+	Sched *jobsched.Schedule
+}
+
+// JobView is the compiled diagnostic view for one job.
+type JobView struct {
+	JobID   string
+	User    string
+	Project string
+	State   string
+	Nodes   int
+	Start   time.Time
+	End     time.Time
+	// Per-metric node-mean series over the job's lifetime (sparkline-ready).
+	PowerSeries []float64
+	GPUUtil     []float64
+	// Hottest nodes by mean power (triage order).
+	TopNodes []tsdb.TopNEntry
+	// Events on the job's nodes during its run, newest first.
+	Events []string
+	// QueriesIssued counts backend queries — the "one view instead of
+	// checking N systems" consolidation metric.
+	QueriesIssued int
+	BuildLatency  time.Duration
+}
+
+// BuildJobView compiles the dashboard for a job id.
+func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error) {
+	start := time.Now()
+	j, ok := d.Sched.Job(jobID)
+	if !ok {
+		return nil, fmt.Errorf("viz: no such job %q", jobID)
+	}
+	if maxEvents <= 0 {
+		maxEvents = 20
+	}
+	v := &JobView{
+		JobID: j.ID, User: j.User, Project: j.Project, State: j.State.String(),
+		Nodes: j.Nodes, Start: j.Start, End: j.End,
+	}
+	nodeNames := make([]string, 0, len(j.NodeList))
+	for _, n := range j.NodeList {
+		nodeNames = append(nodeNames, fmt.Sprintf("node%05d", n))
+	}
+
+	// Power series: node-mean power per minute over the job window.
+	gran := j.End.Sub(j.Start) / 48
+	if gran < time.Minute {
+		gran = time.Minute
+	}
+	pf, err := d.Lake.Run(tsdb.Query{
+		From: j.Start, To: j.End,
+		Filters:     map[string][]string{tsdb.DimMetric: {"node_power_w"}, tsdb.DimComponent: nodeNames},
+		Granularity: gran, Agg: tsdb.AggAvg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.QueriesIssued++
+	for i := 0; i < pf.Len(); i++ {
+		v.PowerSeries = append(v.PowerSeries, pf.Row(i)[1].FloatVal())
+	}
+
+	// GPU utilization (if collected).
+	gpuNames := make([]string, 0, len(j.NodeList))
+	for _, n := range j.NodeList {
+		for g := 0; g < 8; g++ {
+			gpuNames = append(gpuNames, fmt.Sprintf("node%05d.gpu%d", n, g))
+		}
+	}
+	gf, err := d.Lake.Run(tsdb.Query{
+		From: j.Start, To: j.End,
+		Filters:     map[string][]string{tsdb.DimMetric: {"gpu_util_pct"}, tsdb.DimComponent: gpuNames},
+		Granularity: gran, Agg: tsdb.AggAvg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.QueriesIssued++
+	for i := 0; i < gf.Len(); i++ {
+		v.GPUUtil = append(v.GPUUtil, gf.Row(i)[1].FloatVal())
+	}
+
+	// Hottest nodes.
+	top, err := d.Lake.TopN(tsdb.Query{
+		From: j.Start, To: j.End,
+		Filters: map[string][]string{tsdb.DimMetric: {"node_power_w"}, tsdb.DimComponent: nodeNames},
+		Agg:     tsdb.AggAvg,
+	}, tsdb.DimComponent, 5)
+	if err != nil {
+		return nil, err
+	}
+	v.QueriesIssued++
+	v.TopNodes = top
+
+	// Log events on the job's nodes during the run.
+	for _, host := range nodeNames {
+		if len(v.Events) >= maxEvents {
+			break
+		}
+		hits := d.Logs.Search(logsearch.Query{
+			Host: host, From: j.Start, To: j.End, Limit: maxEvents - len(v.Events),
+		})
+		v.QueriesIssued++
+		for _, e := range hits {
+			v.Events = append(v.Events, fmt.Sprintf("%s %s %s: %s",
+				e.Ts.Format("15:04:05"), e.Severity, e.Host, e.Message))
+		}
+	}
+	v.BuildLatency = time.Since(start)
+	return v, nil
+}
+
+// RenderText draws the job view as a terminal dashboard.
+func (v *JobView) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== User Assistance: job %s ==\n", v.JobID)
+	fmt.Fprintf(&b, "user=%s project=%s state=%s nodes=%d window=%s..%s\n",
+		v.User, v.Project, v.State, v.Nodes,
+		v.Start.Format("15:04:05"), v.End.Format("15:04:05"))
+	fmt.Fprintf(&b, "power   %s\n", Sparkline(v.PowerSeries))
+	fmt.Fprintf(&b, "gpuutil %s\n", Sparkline(v.GPUUtil))
+	b.WriteString("hottest nodes:\n")
+	for _, n := range v.TopNodes {
+		fmt.Fprintf(&b, "  %-16s %8.1f W\n", n.Dim, n.Value)
+	}
+	fmt.Fprintf(&b, "events (%d):\n", len(v.Events))
+	for _, e := range v.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	fmt.Fprintf(&b, "[%d backend queries, %s]\n", v.QueriesIssued, v.BuildLatency.Round(time.Microsecond))
+	return b.String()
+}

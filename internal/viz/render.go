@@ -1,0 +1,193 @@
+// Package viz implements the "well packaged data applications" of §VII:
+// the user-assistance dashboard (Fig 6) that joins compute, storage, log,
+// and job-allocation data into one diagnostic view, and the Live Visual
+// Analytics service (Fig 8) that serves low-latency interactive queries
+// over pre-refined power/thermal artifacts. Rendering targets are plain
+// text (terminal sparklines and tables) and minimal standalone SVG.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode block-character strip, scaled to
+// the series min/max. NaNs render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) { // all NaN
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces a series to at most maxPoints using bucketed
+// min/max-preserving selection: each bucket contributes its extreme
+// (preserving spikes that plain striding would erase — the property the
+// LVA views need for power data).
+func Downsample(values []float64, maxPoints int) []float64 {
+	if maxPoints <= 0 || len(values) <= maxPoints {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, 0, maxPoints)
+	bucket := float64(len(values)) / float64(maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		start := int(float64(i) * bucket)
+		end := int(float64(i+1) * bucket)
+		if end > len(values) {
+			end = len(values)
+		}
+		if start >= end {
+			start = end - 1
+		}
+		// Keep the bucket's extreme relative to the previous output point.
+		ref := 0.0
+		if len(out) > 0 {
+			ref = out[len(out)-1]
+		}
+		best := values[start]
+		for _, v := range values[start:end] {
+			if math.Abs(v-ref) > math.Abs(best-ref) {
+				best = v
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// SVGLine renders one or more series as a minimal standalone SVG line
+// chart. Series are drawn in order with a small fixed palette.
+func SVGLine(title string, series map[string][]float64, width, height int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 240
+	}
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	names := make([]string, 0, len(series))
+	for name, vals := range series {
+		names = append(names, name)
+		if len(vals) > maxLen {
+			maxLen = len(vals)
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	sortStrings(names)
+	if maxLen < 2 || math.IsInf(lo, 1) {
+		return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="8" y="20">%s (no data)</text></svg>`, width, height, title)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	fmt.Fprintf(&b, `<text x="8" y="16" font-size="13" font-family="sans-serif">%s</text>`, title)
+	plotTop, plotBot := 24.0, float64(height)-8
+	for si, name := range names {
+		vals := series[name]
+		color := colors[si%len(colors)]
+		var pts []string
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			x := 8 + float64(i)/float64(maxLen-1)*(float64(width)-16)
+			y := plotBot - (v-lo)/(hi-lo)*(plotBot-plotTop)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`, color, strings.Join(pts, " "))
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="11" fill="%s" font-family="sans-serif">%s</text>`, width-120*(len(names)-si), color, name)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Heatmap renders a W×H grid of values as a text heatmap using shade
+// characters (the Fig 10 population map view).
+func Heatmap(values []float64, w, h int) string {
+	shades := []rune(" ░▒▓█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := values[y*w+x]
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(shades)-1))
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+			b.WriteRune(shades[idx]) // double width for aspect
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

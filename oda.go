@@ -1,0 +1,190 @@
+// Package oda is the public API of odakit: a self-contained, stdlib-only
+// Go reproduction of the end-to-end Operational Data Analytics framework
+// described in "Navigating Exascale Operational Data Analytics: From
+// Inundation to Insight" (SC 2024).
+//
+// The entry point is the Facility (Fig 5's one-stop shop): it owns a
+// synthetic telemetry source standing in for the instrumented HPC system,
+// the STREAM broker, the LAKE stores (time-series + log search), the
+// OCEAN object store, the GLACIER archive, the Slate-like application
+// platform, the medallion dataset registry, the DataRUC governance
+// workflow, the ML pipeline, and the RATS reporting store.
+//
+//	f, err := oda.NewFacility(oda.Options{})
+//	...
+//	stats, err := f.IngestWindow(from, to, oda.SourcePowerTemp)
+//	m, err := f.DrainSilver(ctx, oda.SilverPipelineConfig{Source: oda.SourcePowerTemp})
+//	gold, err := f.BuildGold(oda.SourcePowerTemp, "node_power_w", 32)
+//
+// Subsystems are exposed as facility fields (f.Lake, f.Logs, f.Ocean,
+// f.Glacier, f.Broker, ...) and through re-exported constructors below.
+// See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+// table/figure reproductions.
+package oda
+
+import (
+	"net/http"
+	"time"
+
+	"odakit/internal/core"
+	"odakit/internal/governance"
+	"odakit/internal/httpapi"
+	"odakit/internal/jobsched"
+	"odakit/internal/medallion"
+	"odakit/internal/profiles"
+	"odakit/internal/schema"
+	"odakit/internal/telemetry"
+	"odakit/internal/twin"
+	"odakit/internal/viz"
+)
+
+// Facility is the assembled end-to-end ODA framework (Fig 5).
+type Facility = core.Facility
+
+// Options configures NewFacility.
+type Options = core.Options
+
+// NewFacility builds and wires a facility.
+func NewFacility(opts Options) (*Facility, error) { return core.NewFacility(opts) }
+
+// SilverPipelineConfig tunes a streaming Bronze→Silver pipeline.
+type SilverPipelineConfig = core.SilverPipelineConfig
+
+// IngestStats summarizes an ingest window (the Fig 4-a numbers).
+type IngestStats = core.IngestStats
+
+// GoldArtifacts are the outputs of a Gold build (Fig 8/10 inputs).
+type GoldArtifacts = core.GoldArtifacts
+
+// LifeCycleReport times one full Fig 1 loop.
+type LifeCycleReport = core.LifeCycleReport
+
+// ControlLoops is the Fig 4-c registry of operational feedback loops.
+var ControlLoops = core.ControlLoops
+
+// OCEAN bucket names.
+const (
+	BucketBronze = core.BucketBronze
+	BucketSilver = core.BucketSilver
+	BucketGold   = core.BucketGold
+)
+
+// Telemetry sources (the Fig 3 data-source rows).
+const (
+	SourcePowerTemp     = telemetry.SourcePowerTemp
+	SourcePerfCounters  = telemetry.SourcePerfCounters
+	SourceGPU           = telemetry.SourceGPU
+	SourceStorageClient = telemetry.SourceStorageClient
+	SourceFabricClient  = telemetry.SourceFabricClient
+	SourceStorageSystem = telemetry.SourceStorageSystem
+	SourceFabric        = telemetry.SourceFabric
+	SourceFacility      = telemetry.SourceFacility
+	SourceSyslog        = telemetry.SourceSyslog
+)
+
+// SystemConfig describes a simulated system generation.
+type SystemConfig = telemetry.SystemConfig
+
+// FrontierLike returns the "compass" (current-generation) system config.
+func FrontierLike(seed int64) SystemConfig { return telemetry.FrontierLike(seed) }
+
+// SummitLike returns the "mountain" (prior-generation) system config.
+func SummitLike(seed int64) SystemConfig { return telemetry.SummitLike(seed) }
+
+// Observation is one raw sensor reading (the Bronze long-format record).
+type Observation = schema.Observation
+
+// Anomaly is an injected incident with exact ground truth.
+type Anomaly = telemetry.Anomaly
+
+// Injected incident kinds.
+const (
+	AnomalyThermalRunaway  = telemetry.AnomalyThermalRunaway
+	AnomalySensorFlatline  = telemetry.AnomalySensorFlatline
+	AnomalyGPUFailureBurst = telemetry.AnomalyGPUFailureBurst
+)
+
+// Event is one log/event record.
+type Event = schema.Event
+
+// JobProfile is a Gold-stage job power profile (Fig 10 feature).
+type JobProfile = medallion.JobProfile
+
+// Schedule is a simulated resource-manager schedule.
+type Schedule = jobsched.Schedule
+
+// WorkloadConfig parametrizes the synthetic job mix.
+type WorkloadConfig = jobsched.WorkloadConfig
+
+// Digital twin (Fig 11) re-exports.
+type (
+	// TwinConfig parametrizes the digital twin.
+	TwinConfig = twin.Config
+	// TwinSimulator is the ExaDigiT-like twin instance.
+	TwinSimulator = twin.Simulator
+	// TracePoint is one step of an IT power trace.
+	TracePoint = twin.TracePoint
+)
+
+// NewTwin returns a digital-twin simulator.
+func NewTwin(cfg TwinConfig) (*TwinSimulator, error) { return twin.New(cfg) }
+
+// DefaultTwinConfig returns the compass-calibrated twin configuration.
+func DefaultTwinConfig() TwinConfig { return twin.DefaultConfig() }
+
+// HPLTrace synthesizes an HPL-run power trace (Fig 11 middle panel).
+func HPLTrace(cfg twin.HPLConfig, start time.Time) []TracePoint { return twin.HPLTrace(cfg, start) }
+
+// HPLConfig parametrizes HPLTrace.
+type HPLConfig = twin.HPLConfig
+
+// Profile classifier (Fig 10) re-exports.
+type (
+	// Classifier is the trained NN job power-profile classifier.
+	Classifier = profiles.Classifier
+	// ClassifierConfig tunes classifier training.
+	ClassifierConfig = profiles.Config
+)
+
+// TrainClassifier fits the classifier on profile vectors.
+func TrainClassifier(vectors [][]float64, cfg ClassifierConfig) (*Classifier, error) {
+	return profiles.Train(vectors, cfg)
+}
+
+// Governance (Table II / Fig 12) re-exports.
+type (
+	// ReleaseKind classifies a governance request.
+	ReleaseKind = governance.ReleaseKind
+	// GovernanceStage is one advisory-chain stage.
+	GovernanceStage = governance.Stage
+)
+
+// Governance request kinds.
+const (
+	InternalUse    = governance.InternalUse
+	ExternalCollab = governance.ExternalCollab
+	Publication    = governance.Publication
+)
+
+// GovernanceStages lists the Table II advisory chain in review order.
+func GovernanceStages() []GovernanceStage { return governance.Stages() }
+
+// Visualization re-exports.
+type (
+	// UADashboard is the Fig 6 user-assistance dashboard.
+	UADashboard = viz.UADashboard
+	// LVA is the Fig 8 Live Visual Analytics service.
+	LVA = viz.LVA
+)
+
+// NewLVA builds the LVA service from Gold artifacts.
+func NewLVA(profiles []JobProfile, systemSeries *schema.Frame) (*LVA, error) {
+	return viz.NewLVA(profiles, systemSeries)
+}
+
+// Sparkline renders a series as a unicode strip.
+func Sparkline(values []float64) string { return viz.Sparkline(values) }
+
+// NewHTTPHandler returns the facility's read-only JSON data portal — the
+// §V-C "web server data portal" pattern. Mount it on any http.Server.
+func NewHTTPHandler(f *Facility) http.Handler { return httpapi.New(f) }
