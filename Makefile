@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages get a dedicated race-detector pass: the
+# striped-lock LAKE store, the partitioned STREAM broker, and the
+# pipeline that batches into both.
+race:
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core
+
+# Parallel ingest benchmarks (1/4/16 goroutines x batch 1/64/1024).
+bench:
+	$(GO) test -run xxx -bench '(TSDBInsertParallel|BrokerPublishBatch)' -cpu 16 -benchtime 300000x .
+
+verify: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -28,6 +28,7 @@ import (
 	"odakit/internal/report"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
+	"odakit/internal/stream"
 	"odakit/internal/telemetry"
 	"odakit/internal/tsdb"
 	"odakit/internal/twin"
@@ -760,6 +761,134 @@ func BenchmarkFig12_GovernanceWorkflow(b *testing.B) {
 	printOnce("Fig 12: data distribution workflow", fmt.Sprintf(
 		"  %d requests processed: %d released, %d rejected at cyber security\n  every release sanitized (pseudonyms + scrubbed text) and PII-verified",
 		b.N, released, rejected))
+}
+
+// ------------------------------------------------------- ingest hot path
+
+// ingestObs pre-generates n distinct observations for one producer
+// goroutine, spread over many series so shard striping has work to do.
+func ingestObs(producer, n int) []schema.Observation {
+	out := make([]schema.Observation, n)
+	for i := range out {
+		out[i] = schema.Observation{
+			Ts:     benchT0.Add(time.Duration(i) * 50 * time.Millisecond),
+			System: "compass", Source: "power_temp",
+			Component: fmt.Sprintf("node%05d", (producer*97+i)%512),
+			Metric:    "node_power_w", Value: float64(1000 + i%700),
+		}
+	}
+	return out
+}
+
+// BenchmarkTSDBInsertParallel measures LAKE ingest throughput across
+// producer counts and batch sizes. batch=1 drives the per-record path
+// (Insert); batch>1 drives InsertBatch. One op = one observation, so
+// ns/op is directly comparable across the grid.
+func BenchmarkTSDBInsertParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("goroutines=%d/batch=%d", g, batch), func(b *testing.B) {
+				db := tsdb.New(tsdb.Options{})
+				pools := make([][]schema.Observation, g)
+				poolLen := batch
+				if poolLen < 4096 {
+					poolLen = 4096
+				}
+				for w := range pools {
+					pools[w] = ingestObs(w, poolLen)
+				}
+				quota := (b.N + g - 1) / g
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						pool := pools[w]
+						for done := 0; done < quota; {
+							if batch == 1 {
+								db.Insert(pool[done%len(pool)])
+								done++
+								continue
+							}
+							start := done % (len(pool) - batch + 1)
+							db.InsertBatch(pool[start : start+batch])
+							done += batch
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkBrokerPublishBatch measures STREAM publish throughput across
+// producer counts and batch sizes. batch=1 drives the per-record path
+// (Publish); batch>1 drives PublishBatch. Retention is capped so the
+// resident log stays bounded while b.N grows.
+func BenchmarkBrokerPublishBatch(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("goroutines=%d/batch=%d", g, batch), func(b *testing.B) {
+				br := stream.NewBroker()
+				defer br.Close()
+				if err := br.CreateTopic("bronze", stream.TopicConfig{
+					Partitions: 4, RetentionBytes: 8 << 20,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				pools := make([][]stream.Message, g)
+				poolLen := batch
+				if poolLen < 4096 {
+					poolLen = 4096
+				}
+				payload := []byte("0123456789012345678901234567890123456789012345678901234567890123")
+				for w := range pools {
+					msgs := make([]stream.Message, poolLen)
+					for i := range msgs {
+						msgs[i] = stream.Message{
+							Key:   []byte(fmt.Sprintf("node%05d", (w*97+i)%512)),
+							Value: payload,
+						}
+					}
+					pools[w] = msgs
+				}
+				quota := (b.N + g - 1) / g
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						pool := pools[w]
+						for done := 0; done < quota; {
+							if batch == 1 {
+								m := pool[done%len(pool)]
+								if _, _, err := br.Publish("bronze", m.Key, m.Value); err != nil {
+									b.Error(err)
+									return
+								}
+								done++
+								continue
+							}
+							start := done % (len(pool) - batch + 1)
+							if _, err := br.PublishBatch("bronze", pool[start:start+batch]); err != nil {
+								b.Error(err)
+								return
+							}
+							done += batch
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+			})
+		}
+	}
 }
 
 // -------------------------------------------------------------- ablations

@@ -27,11 +27,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for telemetry and workload")
 		sources = flag.String("sources", "power_temp,gpu", "comma-separated sources to ingest")
 		dataDir = flag.String("data", "", "persist OCEAN objects under this directory")
+		batch   = flag.Int("batch", 512, "ingest batch size (records per STREAM/LAKE flush; 1 = per-record)")
 	)
 	flag.Parse()
 
 	f, err := oda.NewFacility(oda.Options{
 		System: oda.FrontierLike(*seed).Scaled(*nodes), WorkloadSeed: *seed, DataDir: *dataDir,
+		IngestBatch: *batch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -51,8 +53,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingest: %d records, %d events, %.1f MiB in %s\n",
-		stats.TotalRecs, stats.Events, float64(stats.TotalByte)/(1<<20), time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("ingest: %d records, %d events, %.1f MiB in %s (%.0f records/sec, batch=%d)\n",
+		stats.TotalRecs, stats.Events, float64(stats.TotalByte)/(1<<20), elapsed.Round(time.Millisecond),
+		float64(stats.TotalRecs)/elapsed.Seconds(), *batch)
 	for _, si := range stats.Sources {
 		fmt.Printf("  %-16s %10d records %10d bytes\n", si.Source, si.Records, si.Bytes)
 	}

@@ -61,6 +61,10 @@ type Options struct {
 	// StreamRetentionBytes bounds the broker footprint per partition
 	// (default 64 MiB).
 	StreamRetentionBytes int64
+	// IngestBatch is how many records IngestWindow accumulates before
+	// flushing to the STREAM and LAKE tiers in one batched call
+	// (default 512). 1 degenerates to per-record ingest.
+	IngestBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StreamRetentionBytes <= 0 {
 		o.StreamRetentionBytes = 64 << 20
+	}
+	if o.IngestBatch <= 0 {
+		o.IngestBatch = 512
 	}
 	if o.ScheduleFrom.IsZero() {
 		o.ScheduleFrom = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC).Add(-2 * time.Hour)
@@ -190,25 +197,46 @@ type IngestStats struct {
 // IngestWindow generates telemetry for [from, to) and lands it: numeric
 // observations go to the per-source bronze topics AND the LAKE rollup
 // store (the real-time path); syslog events go to the log index and the
-// syslog topic. It returns per-source volumes.
+// syslog topic. Records are accumulated into Options.IngestBatch-sized
+// batches and flushed via Broker.PublishBatch + Lake.InsertBatch, so
+// ingest never serializes on per-record broker or lake locks. It
+// returns per-source volumes.
 func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source) (IngestStats, error) {
 	if len(sources) == 0 {
 		sources = telemetry.MetricSources
 	}
+	batchSize := f.Opts.IngestBatch
 	stats := IngestStats{From: from, To: to}
+	msgs := make([]stream.Message, 0, batchSize)
+	obsBatch := make([]schema.Observation, 0, batchSize)
 	for _, src := range sources {
 		si := SourceIngest{Source: src}
 		topic := BronzeTopic(src)
-		err := f.Gen.EmitSource(src, from, to, func(o schema.Observation) error {
-			payload := schema.EncodeRow(o.Row())
-			if _, _, err := f.Broker.Publish(topic, []byte(o.Component), payload); err != nil {
+		flush := func() error {
+			if len(msgs) == 0 {
+				return nil
+			}
+			if _, err := f.Broker.PublishBatch(topic, msgs); err != nil {
 				return err
 			}
-			f.Lake.Insert(o)
+			f.Lake.InsertBatch(obsBatch)
+			msgs, obsBatch = msgs[:0], obsBatch[:0]
+			return nil
+		}
+		err := f.Gen.EmitSource(src, from, to, func(o schema.Observation) error {
+			payload := schema.EncodeRow(o.Row())
+			msgs = append(msgs, stream.Message{Key: []byte(o.Component), Value: payload})
+			obsBatch = append(obsBatch, o)
 			si.Records++
 			si.Bytes += int64(len(payload))
+			if len(msgs) >= batchSize {
+				return flush()
+			}
 			return nil
 		})
+		if err == nil {
+			err = flush()
+		}
 		if err != nil {
 			return stats, fmt.Errorf("core: ingest %s: %w", src, err)
 		}
@@ -217,17 +245,32 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 		stats.TotalRecs += si.Records
 		stats.TotalByte += si.Bytes
 	}
-	// Syslog events.
+	// Syslog events: the log index is updated inline, the syslog topic in
+	// batches.
+	flushEvents := func() error {
+		if len(msgs) == 0 {
+			return nil
+		}
+		if _, err := f.Broker.PublishBatch(BronzeTopic(telemetry.SourceSyslog), msgs); err != nil {
+			return err
+		}
+		msgs = msgs[:0]
+		return nil
+	}
 	err := f.Gen.EmitEvents(from, to, func(e schema.Event) error {
 		f.Logs.Add(e)
 		payload := schema.EncodeRow(e.Row())
-		if _, _, err := f.Broker.Publish(BronzeTopic(telemetry.SourceSyslog), []byte(e.Host), payload); err != nil {
-			return err
-		}
+		msgs = append(msgs, stream.Message{Key: []byte(e.Host), Value: payload})
 		stats.Events++
 		stats.TotalByte += int64(len(payload))
+		if len(msgs) >= batchSize {
+			return flushEvents()
+		}
 		return nil
 	})
+	if err == nil {
+		err = flushEvents()
+	}
 	if err != nil {
 		return stats, fmt.Errorf("core: ingest events: %w", err)
 	}

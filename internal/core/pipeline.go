@@ -16,6 +16,52 @@ import (
 // (a sproc job with windowed aggregation, pivot, and contextualization)
 // and the batch/backfill form (§VI-B).
 
+// ReplayBronzeToLake rebuilds the LAKE rollup store from the retained
+// bronze topic of a source — the recovery path after a LAKE restart, and
+// a consumer of the batched ingest hot path end to end: records are
+// fetched in pages and rolled up via InsertBatch. It returns how many
+// observations were replayed.
+func (f *Facility) ReplayBronzeToLake(ctx context.Context, src telemetry.Source) (int64, error) {
+	topic := BronzeTopic(src)
+	parts, err := f.Broker.Partitions(topic)
+	if err != nil {
+		return 0, err
+	}
+	var replayed int64
+	batch := make([]schema.Observation, 0, f.Opts.IngestBatch)
+	for p := 0; p < parts; p++ {
+		st, err := f.Broker.Stats(topic)
+		if err != nil {
+			return replayed, err
+		}
+		off, end := st.OldestOffsets[p], st.EndOffsets[p]
+		for off < end {
+			recs, err := f.Broker.Fetch(ctx, topic, p, off, f.Opts.IngestBatch)
+			if err != nil {
+				return replayed, err
+			}
+			if len(recs) == 0 {
+				break
+			}
+			batch = batch[:0]
+			for _, r := range recs {
+				row, _, err := schema.DecodeRow(r.Value)
+				if err != nil {
+					return replayed, fmt.Errorf("core: replay %s/%d@%d: %w", topic, p, r.Offset, err)
+				}
+				if err := row.Conforms(schema.ObservationSchema); err != nil {
+					return replayed, fmt.Errorf("core: replay %s/%d@%d: %w", topic, p, r.Offset, err)
+				}
+				batch = append(batch, schema.ObservationFromRow(row))
+			}
+			f.Lake.InsertBatch(batch)
+			replayed += int64(len(batch))
+			off = recs[len(recs)-1].Offset + 1
+		}
+	}
+	return replayed, nil
+}
+
 // SilverObjectKey is the OCEAN key Silver data for a source appends to.
 func SilverObjectKey(src telemetry.Source) string { return string(src) + "/silver.ocf" }
 

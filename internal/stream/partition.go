@@ -14,13 +14,19 @@ type topic struct {
 	cfg   TopicConfig
 	parts []*partition
 	rr    atomic.Uint64 // round-robin cursor for keyless publishes
+	// batchRR staggers the partition visit order across PublishBatch
+	// calls so concurrent batches don't convoy lock-for-lock.
+	batchRR atomic.Uint64
 }
 
-// partition is one append-only log. Records are held in a slice sorted by
-// offset; retention trims the head and compaction may punch holes, so
-// readers locate offsets by binary search rather than by index. horizon
-// is the lowest offset still addressable (reads below it fail with
-// ErrOffsetTrimmed); next is the offset the next append will take.
+// partition is one append-only log. Records are held in a ring buffer
+// ordered by offset: retention advances the head while appends advance
+// the tail, so once retention bounds the live set the ring recycles one
+// allocation forever — no per-append growth, tail copying, or GC churn.
+// Compaction may punch holes in the offset sequence, so readers locate
+// offsets by binary search rather than by index. horizon is the lowest
+// offset still addressable (reads below it fail with ErrOffsetTrimmed);
+// next is the offset the next append will take.
 type partition struct {
 	topic string
 	id    int
@@ -28,9 +34,13 @@ type partition struct {
 	mu      sync.Mutex
 	horizon int64
 	next    int64
-	recs    []Record
-	bytes   int64
-	closed  bool
+	// Ring storage: the live records, ordered by offset, are
+	// buf[(head+i)%len(buf)] for logical index i in [0, count).
+	buf    []Record
+	head   int
+	count  int
+	bytes  int64
+	closed bool
 	// notify is closed and replaced on every append so blocked fetchers
 	// wake without a condition variable (select-able with ctx.Done()).
 	notify chan struct{}
@@ -43,6 +53,40 @@ type partition struct {
 
 func newPartition(topic string, id int) *partition {
 	return &partition{topic: topic, id: id, notify: make(chan struct{})}
+}
+
+// recAt returns the record at logical index i (0 = oldest); the caller
+// must hold p.mu and ensure 0 <= i < p.count.
+func (p *partition) recAt(i int) *Record {
+	return &p.buf[(p.head+i)%len(p.buf)]
+}
+
+// pushLocked appends one record at the tail, growing the ring only while
+// the live set is still growing.
+func (p *partition) pushLocked(rec Record) {
+	if p.count == len(p.buf) {
+		newCap := 2 * len(p.buf)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		nb := make([]Record, newCap)
+		for i := 0; i < p.count; i++ {
+			nb[i] = *p.recAt(i)
+		}
+		p.buf, p.head = nb, 0
+	}
+	p.buf[(p.head+p.count)%len(p.buf)] = rec
+	p.count++
+}
+
+// trimLocked drops the n oldest records, zeroing their slots so the ring
+// does not pin their key/value buffers.
+func (p *partition) trimLocked(n int) {
+	for i := 0; i < n; i++ {
+		*p.recAt(i) = Record{}
+	}
+	p.head = (p.head + n) % len(p.buf)
+	p.count -= n
 }
 
 func (p *partition) close() {
@@ -62,27 +106,68 @@ func (p *partition) endOffset() int64 {
 }
 
 func (p *partition) append(ts time.Time, key, value []byte, cfg TopicConfig) (int64, error) {
+	return p.appendBatch(ts, []Message{{Key: key, Value: value}}, cfg)
+}
+
+// appendBatch appends every message in order under one lock acquisition,
+// then runs compaction and retention once and arms the notify channel
+// once — the amortized hot path behind Broker.PublishBatch. It returns
+// the offset assigned to the first message of the batch.
+func (p *partition) appendBatch(ts time.Time, msgs []Message, cfg TopicConfig) (int64, error) {
+	if len(msgs) == 0 {
+		return p.endOffset(), nil
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return 0, ErrBrokerClosed
 	}
-	off := p.next
-	p.next++
-	rec := Record{
-		Topic: p.topic, Partition: p.id, Offset: off, Ts: ts,
-		Key: append([]byte(nil), key...), Value: append([]byte(nil), value...),
+	first := p.next
+	// Callers may reuse their message buffers after we return, so keys and
+	// values are copied. For append-only topics the copies share one arena
+	// allocation per batch; compacted topics copy per record so compaction
+	// dropping a record doesn't pin the whole batch's arena in memory.
+	var arena []byte
+	if !cfg.Compacted {
+		total := 0
+		for i := range msgs {
+			total += len(msgs[i].Key) + len(msgs[i].Value)
+		}
+		arena = make([]byte, 0, total)
 	}
-	p.recs = append(p.recs, rec)
-	p.bytes += rec.size()
-	p.totalRecords.Add(1)
-	p.totalBytes.Add(rec.size())
+	var added int64
+	for i := range msgs {
+		m := &msgs[i]
+		var key, value []byte
+		if cfg.Compacted {
+			key = append([]byte(nil), m.Key...)
+			value = append([]byte(nil), m.Value...)
+		} else {
+			off := len(arena)
+			arena = append(arena, m.Key...)
+			key = arena[off:len(arena):len(arena)]
+			off = len(arena)
+			arena = append(arena, m.Value...)
+			value = arena[off:len(arena):len(arena)]
+		}
+		rec := Record{
+			Topic: p.topic, Partition: p.id, Offset: p.next, Ts: ts,
+			Key: key, Value: value,
+		}
+		sz := rec.size()
+		p.next++
+		p.pushLocked(rec)
+		p.bytes += sz
+		added += sz
+	}
+	p.totalRecords.Add(int64(len(msgs)))
+	p.totalBytes.Add(added)
 	if cfg.Compacted {
 		every := cfg.CompactEvery
 		if every <= 0 {
 			every = 1024
 		}
-		if len(p.recs) > every {
+		if p.count > every {
 			p.compactLocked()
 		}
 	}
@@ -91,27 +176,36 @@ func (p *partition) append(ts time.Time, key, value []byte, cfg TopicConfig) (in
 	p.notify = make(chan struct{})
 	p.mu.Unlock()
 	close(ch)
-	return off, nil
+	return first, nil
 }
 
 // compactLocked keeps only the newest record per key (keyless records are
-// always kept), preserving offsets — the log is left with holes.
+// always kept), preserving offsets — the log is left with holes. The
+// surviving records are slid down in ring order, so no allocation.
 func (p *partition) compactLocked() {
-	latest := make(map[string]int64, len(p.recs))
-	for _, r := range p.recs {
+	latest := make(map[string]int64, p.count)
+	for i := 0; i < p.count; i++ {
+		r := p.recAt(i)
 		if len(r.Key) > 0 {
 			latest[string(r.Key)] = r.Offset
 		}
 	}
-	kept := p.recs[:0]
+	w := 0
 	var bytes int64
-	for _, r := range p.recs {
+	for i := 0; i < p.count; i++ {
+		r := p.recAt(i)
 		if len(r.Key) == 0 || latest[string(r.Key)] == r.Offset {
-			kept = append(kept, r)
-			bytes += r.size()
+			if w != i {
+				*p.recAt(w) = *r
+			}
+			bytes += p.recAt(w).size()
+			w++
 		}
 	}
-	p.recs = kept
+	for i := w; i < p.count; i++ {
+		*p.recAt(i) = Record{}
+	}
+	p.count = w
 	p.bytes = bytes
 	p.compactions.Add(1)
 	// The horizon does not move: cursors pointing at compacted-away
@@ -122,8 +216,8 @@ func (p *partition) compactLocked() {
 // enforceRetentionLocked trims the head while limits are exceeded.
 func (p *partition) enforceRetentionLocked(now time.Time, cfg TopicConfig) {
 	trim := 0
-	for trim < len(p.recs)-1 { // always keep at least the newest record
-		r := p.recs[trim]
+	for trim < p.count-1 { // always keep at least the newest record
+		r := p.recAt(trim)
 		overBytes := cfg.RetentionBytes > 0 && p.bytes > cfg.RetentionBytes
 		overAge := cfg.RetentionAge > 0 && now.Sub(r.Ts) > cfg.RetentionAge
 		if !overBytes && !overAge {
@@ -133,18 +227,28 @@ func (p *partition) enforceRetentionLocked(now time.Time, cfg TopicConfig) {
 		trim++
 	}
 	if trim > 0 {
-		p.recs = append([]Record(nil), p.recs[trim:]...)
-		if len(p.recs) > 0 {
-			p.horizon = p.recs[0].Offset
+		p.trimLocked(trim)
+		if p.count > 0 {
+			p.horizon = p.recAt(0).Offset
 		} else {
 			p.horizon = p.next
 		}
 	}
 }
 
-// searchLocked returns the index of the first record with Offset >= off.
+// searchLocked returns the logical index of the first record with
+// Offset >= off.
 func (p *partition) searchLocked(off int64) int {
-	return sort.Search(len(p.recs), func(i int) bool { return p.recs[i].Offset >= off })
+	return sort.Search(p.count, func(i int) bool { return p.recAt(i).Offset >= off })
+}
+
+// copyRangeLocked copies logical indices [i, j) out of the ring.
+func (p *partition) copyRangeLocked(i, j int) []Record {
+	out := make([]Record, j-i)
+	for k := range out {
+		out[k] = *p.recAt(i + k)
+	}
+	return out
 }
 
 // fetch returns up to max records starting at offset, blocking until data
@@ -163,12 +267,12 @@ func (p *partition) fetch(ctx context.Context, offset int64, max int) ([]Record,
 			p.mu.Unlock()
 			return nil, ErrOffsetInFuture
 		}
-		if i := p.searchLocked(offset); i < len(p.recs) {
+		if i := p.searchLocked(offset); i < p.count {
 			j := i + max
-			if j > len(p.recs) {
-				j = len(p.recs)
+			if j > p.count {
+				j = p.count
 			}
-			out := append([]Record(nil), p.recs[i:j]...)
+			out := p.copyRangeLocked(i, j)
 			p.fetchRecords.Add(int64(len(out)))
 			p.mu.Unlock()
 			return out, nil
@@ -188,22 +292,27 @@ func (p *partition) fetch(ctx context.Context, offset int64, max int) ([]Record,
 }
 
 // fetchNoWait returns immediately with whatever is available (possibly
-// nothing) at offset.
+// nothing) at offset. It applies the same offset semantics as fetch:
+// below the horizon is ErrOffsetTrimmed, beyond the end of the log is
+// ErrOffsetInFuture.
 func (p *partition) fetchNoWait(offset int64, max int) ([]Record, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if offset < p.horizon {
 		return nil, ErrOffsetTrimmed
 	}
+	if offset > p.next {
+		return nil, ErrOffsetInFuture
+	}
 	i := p.searchLocked(offset)
-	if i >= len(p.recs) {
+	if i >= p.count {
 		return nil, nil
 	}
 	j := i + max
-	if j > len(p.recs) {
-		j = len(p.recs)
+	if j > p.count {
+		j = p.count
 	}
-	out := append([]Record(nil), p.recs[i:j]...)
+	out := p.copyRangeLocked(i, j)
 	p.fetchRecords.Add(int64(len(out)))
 	return out, nil
 }
@@ -213,7 +322,8 @@ func (p *partition) fetchNoWait(offset int64, max int) ([]Record, error) {
 func (p *partition) offsetAtTime(ts time.Time) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, r := range p.recs {
+	for i := 0; i < p.count; i++ {
+		r := p.recAt(i)
 		if !r.Ts.Before(ts) {
 			return r.Offset
 		}
@@ -232,7 +342,7 @@ func (p *partition) stats() partitionStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return partitionStats{
-		records:      int64(len(p.recs)),
+		records:      int64(p.count),
 		bytes:        p.bytes,
 		totalRecords: p.totalRecords.Load(),
 		totalBytes:   p.totalBytes.Load(),

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odakit/internal/schema"
@@ -111,47 +112,265 @@ func (c *aggCell) merge(o aggCell) {
 
 type segment struct {
 	start time.Time
-	cells map[rollupKey]*aggCell
+	cells cellTable
 	rows  int64 // raw observations ingested
 }
 
-// DB is the time-series store. Safe for concurrent use.
-type DB struct {
-	mu       sync.RWMutex
-	opts     Options
-	segments map[int64]*segment // keyed by chunk start unixnano
+// cellTable is an open-addressed (linear-probe) hash table from rollupKey
+// to an inline aggCell. It replaces a Go map on the ingest hot path: the
+// probe hash is derived from the series hash already computed for shard
+// striping, cells live inline in the slots (no per-cell allocation, one
+// cache line per probe), and the stored hash makes misses cheap.
+type cellTable struct {
+	slots []cellSlot
+	n     int
+}
 
+type cellSlot struct {
+	hash uint32
+	used bool
+	key  rollupKey
+	cell aggCell
+}
+
+// cellHash mixes the rollup bucket into the series hash. bucketN is in
+// nanos so consecutive buckets differ only in high bits; the shift brings
+// them down and the odd multiplier spreads them.
+func cellHash(seriesH uint32, bucketN int64) uint32 {
+	return (seriesH ^ uint32(uint64(bucketN)>>30)) * 2654435761
+}
+
+// cell returns the cell for key (creating it if absent). h must be
+// cellHash of the key's series and bucket. The returned pointer is only
+// valid until the next cell call — a later insert may grow the table.
+func (t *cellTable) cell(h uint32, key rollupKey) *aggCell {
+	if t.n >= len(t.slots)*3/4 { // covers the empty table too
+		t.grow()
+	}
+	mask := uint32(len(t.slots) - 1)
+	i := h & mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			s.used = true
+			s.hash = h
+			s.key = key
+			t.n++
+			return &s.cell
+		}
+		if s.hash == h && s.key == key {
+			return &s.cell
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *cellTable) grow() {
+	newCap := 2 * len(t.slots)
+	if newCap == 0 {
+		newCap = 64
+	}
+	old := t.slots
+	t.slots = make([]cellSlot, newCap)
+	mask := uint32(newCap - 1)
+	for oi := range old {
+		s := &old[oi]
+		if !s.used {
+			continue
+		}
+		i := s.hash & mask
+		for t.slots[i].used {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = *s
+	}
+}
+
+// shardCount is the number of lock stripes. Series are hashed across
+// shards by their dimensions, so concurrent producers writing different
+// series never serialize on one mutex. Power of two keeps the modulo
+// cheap.
+const shardCount = 16
+
+// dbShard is one lock stripe: an independent map of time-chunked
+// segments holding the slice of rollup cells whose series hash here.
+type dbShard struct {
+	mu       sync.RWMutex
+	segments map[int64]*segment // keyed by chunk start unixnano
 	ingested int64
+}
+
+// DB is the time-series store. Safe for concurrent use: the cell space
+// is partitioned over shardCount lock stripes by series hash, and every
+// reader (Run, Export, Stats) visits the stripes one at a time.
+type DB struct {
+	opts   Options
+	shards [shardCount]dbShard
+	// batchCursor staggers the stripe visit order across InsertBatch
+	// calls so concurrent batches don't convoy lock-for-lock.
+	batchCursor atomic.Uint32
 }
 
 // New returns an empty store.
 func New(opts Options) *DB {
-	return &DB{opts: opts.withDefaults(), segments: make(map[int64]*segment)}
+	db := &DB{opts: opts.withDefaults()}
+	for i := range db.shards {
+		db.shards[i].segments = make(map[int64]*segment)
+	}
+	return db
+}
+
+// seriesHash is FNV-1a over component and metric — the dimensions that
+// actually vary across concurrent producers. It is computed once per
+// record and reused for both the lock stripe and the cell-table probe;
+// series differing only in system or source share a stripe and a probe
+// chain, which costs a little clustering, never correctness.
+func seriesHash(component, metric string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(component); i++ {
+		h = (h ^ uint32(component[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32 // separator so ("ab","c") != ("a","bc")
+	for i := 0; i < len(metric); i++ {
+		h = (h ^ uint32(metric[i])) * prime32
+	}
+	return h
+}
+
+// shardIndex maps a series onto a lock stripe.
+func shardIndex(component, metric string) uint32 {
+	return seriesHash(component, metric) % shardCount
+}
+
+// insertLocked rolls one observation into seg; the owning shard's mu
+// must be held. h is the record's seriesHash and bucketN its
+// epoch-anchored rollup bucket in nanos.
+func insertLocked(sh *dbShard, seg *segment, h uint32, bucketN int64, o *schema.Observation) {
+	key := rollupKey{
+		ts: bucketN, system: o.System, source: o.Source,
+		component: o.Component, metric: o.Metric,
+	}
+	seg.cells.cell(cellHash(h, bucketN), key).add(o.Ts.UnixNano(), o.Value)
+	seg.rows++
+	sh.ingested++
+}
+
+// segmentLocked returns (creating if needed) the shard's segment for the
+// chunk starting at chunkN nanos; the shard's mu must be held.
+func (sh *dbShard) segmentLocked(chunkN int64) *segment {
+	seg, ok := sh.segments[chunkN]
+	if !ok {
+		seg = &segment{start: time.Unix(0, chunkN).UTC()}
+		sh.segments[chunkN] = seg
+	}
+	return seg
+}
+
+// chunkAndBucket returns the epoch-anchored segment chunk and rollup
+// bucket (unix nanos) for a timestamp. Epoch anchoring matches the
+// bucket semantics of Run and is cheaper than time.Time.Truncate on the
+// ingest hot path.
+func (db *DB) chunkAndBucket(ts time.Time) (chunkN, bucketN int64) {
+	tsn := ts.UnixNano()
+	chunkN = tsn - floorMod(tsn, int64(db.opts.SegmentDuration))
+	bucketN = tsn - floorMod(tsn, int64(db.opts.RollupInterval))
+	return chunkN, bucketN
 }
 
 // Insert rolls one observation into its segment.
 func (db *DB) Insert(o schema.Observation) {
-	chunk := o.Ts.Truncate(db.opts.SegmentDuration)
-	bucket := o.Ts.Truncate(db.opts.RollupInterval)
-	key := rollupKey{
-		ts: bucket.UnixNano(), system: o.System, source: o.Source,
-		component: o.Component, metric: o.Metric,
+	chunkN, bucketN := db.chunkAndBucket(o.Ts)
+	h := seriesHash(o.Component, o.Metric)
+	sh := &db.shards[h%shardCount]
+	sh.mu.Lock()
+	insertLocked(sh, sh.segmentLocked(chunkN), h, bucketN, &o)
+	sh.mu.Unlock()
+}
+
+// InsertBatch rolls a batch of observations into their segments, taking
+// each shard lock at most once for the whole batch — the contention-free
+// ingest path producers should prefer at volume.
+func (db *DB) InsertBatch(obs []schema.Observation) {
+	n := len(obs)
+	if n == 0 {
+		return
 	}
-	db.mu.Lock()
-	seg, ok := db.segments[chunk.UnixNano()]
-	if !ok {
-		seg = &segment{start: chunk, cells: make(map[rollupKey]*aggCell)}
-		db.segments[chunk.UnixNano()] = seg
+	// Counting-sort the batch indices by stripe so each stripe visit walks
+	// only its own records instead of rescanning the whole batch. The
+	// series hashes are kept: the stripe loop reuses them for the
+	// cell-table probes.
+	var hashBuf [1024]uint32
+	var ordBuf [1024]int32
+	var hashes []uint32
+	var order []int32
+	if n <= len(hashBuf) {
+		hashes, order = hashBuf[:n:n], ordBuf[:n:n]
+	} else {
+		hashes, order = make([]uint32, n), make([]int32, n)
 	}
-	cell, ok := seg.cells[key]
-	if !ok {
-		cell = &aggCell{}
-		seg.cells[key] = cell
+	var counts, pos [shardCount]int32
+	for i := range obs {
+		h := seriesHash(obs[i].Component, obs[i].Metric)
+		hashes[i] = h
+		counts[h%shardCount]++
 	}
-	cell.add(o.Ts.UnixNano(), o.Value)
-	seg.rows++
-	db.ingested++
-	db.mu.Unlock()
+	acc := int32(0)
+	for s := range counts {
+		pos[s] = acc
+		acc += counts[s]
+	}
+	for i := range obs {
+		s := hashes[i] % shardCount
+		order[pos[s]] = int32(i)
+		pos[s]++ // pos[s] ends at the stripe's group end
+	}
+	// Stagger which stripe each batch starts with: concurrent batches all
+	// walking stripes 0..N in lockstep would convoy on the same mutexes.
+	start := int(db.batchCursor.Add(1)) % shardCount
+	chunkD, bucketD := int64(db.opts.SegmentDuration), int64(db.opts.RollupInterval)
+	for k := 0; k < shardCount; k++ {
+		s := (start + k) % shardCount
+		if counts[s] == 0 {
+			continue
+		}
+		sh := &db.shards[s]
+		sh.mu.Lock()
+		// Batch timestamps are overwhelmingly near-monotonic: cache the
+		// current rollup bucket and time chunk (avoiding two int64
+		// divisions per record) and the segment lookup across the run.
+		// The reuse window [winLo, winHi) is the intersection of the
+		// bucket and its chunk, so a bucket straddling a chunk boundary
+		// can never smuggle a record into the wrong segment.
+		var seg *segment
+		var chunkN, bucketN int64
+		winLo, winHi := int64(0), int64(-1<<62) // empty: first record computes
+		segChunk := int64(-1 << 62)
+		for _, oi := range order[pos[s]-counts[s] : pos[s]] {
+			o := &obs[oi]
+			tsn := o.Ts.UnixNano()
+			if tsn < winLo || tsn >= winHi {
+				chunkN = tsn - floorMod(tsn, chunkD)
+				bucketN = tsn - floorMod(tsn, bucketD)
+				winLo, winHi = bucketN, bucketN+bucketD
+				if chunkN > winLo {
+					winLo = chunkN
+				}
+				if chunkN+chunkD < winHi {
+					winHi = chunkN + chunkD
+				}
+			}
+			if seg == nil || chunkN != segChunk {
+				seg = sh.segmentLocked(chunkN)
+				segChunk = chunkN
+			}
+			insertLocked(sh, seg, hashes[oi], bucketN, o)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // InsertRow inserts a row conforming to schema.ObservationSchema.
@@ -164,8 +383,9 @@ func (db *DB) InsertRow(r schema.Row) error {
 }
 
 // RollupSchema is the export format of Export: one row per rollup cell
-// with the full aggregation state, so OCEAN-archived LAKE history can be
-// re-aggregated without the raw data.
+// with the full aggregation state — count/sum/min/max plus the
+// last-value pair (last, last_ts) — so OCEAN-archived LAKE history can
+// be re-aggregated without the raw data, including AggLast.
 var RollupSchema = schema.New(
 	schema.Field{Name: "bucket", Kind: schema.KindTime},
 	schema.Field{Name: "system", Kind: schema.KindString},
@@ -176,31 +396,45 @@ var RollupSchema = schema.New(
 	schema.Field{Name: "sum", Kind: schema.KindFloat},
 	schema.Field{Name: "min", Kind: schema.KindFloat},
 	schema.Field{Name: "max", Kind: schema.KindFloat},
+	schema.Field{Name: "last", Kind: schema.KindFloat},
+	schema.Field{Name: "last_ts", Kind: schema.KindTime},
 )
 
 // Export serializes every segment whose chunk ended before cutoff into a
-// RollupSchema frame (sorted by bucket then dimensions) — the LAKE→OCEAN
-// offload that runs just before Retain drops those segments.
+// RollupSchema frame (sorted by bucket, then system, source, component,
+// metric) — the LAKE→OCEAN offload that runs just before Retain drops
+// those segments.
 func (db *DB) Export(cutoff time.Time) (*schema.Frame, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	type kv struct {
 		k rollupKey
-		c *aggCell
+		c aggCell
 	}
 	var cells []kv
-	for _, seg := range db.segments {
-		if !seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
-			continue
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, seg := range sh.segments {
+			if !seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
+				continue
+			}
+			for i := range seg.cells.slots {
+				if s := &seg.cells.slots[i]; s.used {
+					cells = append(cells, kv{s.key, s.cell})
+				}
+			}
 		}
-		for k, c := range seg.cells {
-			cells = append(cells, kv{k, c})
-		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(cells, func(i, j int) bool {
 		a, b := cells[i].k, cells[j].k
 		if a.ts != b.ts {
 			return a.ts < b.ts
+		}
+		if a.system != b.system {
+			return a.system < b.system
+		}
+		if a.source != b.source {
+			return a.source < b.source
 		}
 		if a.component != b.component {
 			return a.component < b.component
@@ -214,6 +448,7 @@ func (db *DB) Export(cutoff time.Time) (*schema.Frame, error) {
 			schema.Str(cell.k.component), schema.Str(cell.k.metric),
 			schema.Int(cell.c.count), schema.Float(cell.c.sum),
 			schema.Float(cell.c.min), schema.Float(cell.c.max),
+			schema.Float(cell.c.last), schema.TimeNanos(cell.c.lastTs),
 		}
 		if err := out.AppendRow(row); err != nil {
 			return nil, err
@@ -222,19 +457,55 @@ func (db *DB) Export(cutoff time.Time) (*schema.Frame, error) {
 	return out, nil
 }
 
-// Retain drops segments whose chunk ended before cutoff and returns how
-// many were dropped — the LAKE tier's bounded retention.
-func (db *DB) Retain(cutoff time.Time) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	dropped := 0
-	for k, seg := range db.segments {
-		if seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
-			delete(db.segments, k)
-			dropped++
-		}
+// ImportRollups merges a RollupSchema frame (as produced by Export) back
+// into the store — the OCEAN→LAKE rehydration path. Imported cells merge
+// with any live cells for the same series and bucket, so re-importing
+// offloaded history alongside fresh ingest is safe.
+func (db *DB) ImportRollups(f *schema.Frame) error {
+	if !f.Schema().Equal(RollupSchema) {
+		return fmt.Errorf("tsdb: import: frame schema %v does not conform to RollupSchema", f.Schema())
 	}
-	return dropped
+	for i := 0; i < f.Len(); i++ {
+		r := f.Row(i)
+		bucket := r[0].TimeVal()
+		key := rollupKey{
+			ts: bucket.UnixNano(), system: r[1].StrVal(), source: r[2].StrVal(),
+			component: r[3].StrVal(), metric: r[4].StrVal(),
+		}
+		cell := aggCell{
+			count: r[5].IntVal(), sum: r[6].FloatVal(),
+			min: r[7].FloatVal(), max: r[8].FloatVal(),
+			last: r[9].FloatVal(), lastTs: r[10].TimeVal().UnixNano(),
+		}
+		chunkN, _ := db.chunkAndBucket(bucket)
+		h := seriesHash(key.component, key.metric)
+		sh := &db.shards[h%shardCount]
+		sh.mu.Lock()
+		seg := sh.segmentLocked(chunkN)
+		seg.cells.cell(cellHash(h, key.ts), key).merge(cell)
+		seg.rows += cell.count
+		sh.ingested += cell.count
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Retain drops segments whose chunk ended before cutoff and returns how
+// many time chunks were dropped — the LAKE tier's bounded retention.
+func (db *DB) Retain(cutoff time.Time) int {
+	dropped := make(map[int64]struct{})
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for k, seg := range sh.segments {
+			if seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
+				delete(sh.segments, k)
+				dropped[k] = struct{}{}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return len(dropped)
 }
 
 // Stats summarizes store contents.
@@ -244,14 +515,22 @@ type Stats struct {
 	RawIngested int64
 }
 
-// Stats returns current counters.
+// Stats returns current counters. Segments counts distinct time chunks
+// (a chunk's cells are spread across shards but it is one segment).
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	st := Stats{Segments: len(db.segments), RawIngested: db.ingested}
-	for _, s := range db.segments {
-		st.RollupCells += int64(len(s.cells))
+	var st Stats
+	chunks := make(map[int64]struct{})
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		st.RawIngested += sh.ingested
+		for k, s := range sh.segments {
+			chunks[k] = struct{}{}
+			st.RollupCells += int64(s.cells.n)
+		}
+		sh.mu.RUnlock()
 	}
+	st.Segments = len(chunks)
 	return st
 }
 
@@ -337,43 +616,64 @@ type groupKey struct {
 	dims [4]string // aligned with q.GroupBy, max 4 dims
 }
 
+// floorMod returns x mod m with the sign of m (m > 0), so bucket
+// alignment is correct for timestamps before the epoch too.
+func floorMod(x, m int64) int64 {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
 // Run executes the query and returns a frame sorted by (ts, dims).
+// Granularity buckets are anchored at the Unix epoch (Druid semantics):
+// the same data queried with a shifted From lands in the same buckets.
+// Granularity 0 collapses the range to a single bucket labeled q.From.
 func (db *DB) Run(q Query) (*schema.Frame, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	gran := q.Granularity
-	if gran <= 0 {
-		gran = q.To.Sub(q.From)
-	}
-	db.mu.RLock()
+	granNanos := int64(q.Granularity)
 	groups := make(map[groupKey]*aggCell)
-	for _, seg := range db.segments {
-		segEnd := seg.start.Add(db.opts.SegmentDuration)
-		if !seg.start.Before(q.To) || !segEnd.After(q.From) {
-			continue // segment pruning by time chunk
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, seg := range sh.segments {
+			segEnd := seg.start.Add(db.opts.SegmentDuration)
+			if !seg.start.Before(q.To) || !segEnd.After(q.From) {
+				continue // segment pruning by time chunk
+			}
+			for si := range seg.cells.slots {
+				slot := &seg.cells.slots[si]
+				if !slot.used {
+					continue
+				}
+				key := slot.key
+				ts := time.Unix(0, key.ts).UTC()
+				if ts.Before(q.From) || !ts.Before(q.To) {
+					continue
+				}
+				if !matchFilters(key, q.Filters) {
+					continue
+				}
+				gk := groupKey{ts: q.From.UnixNano()}
+				if granNanos > 0 {
+					gk.ts = key.ts - floorMod(key.ts, granNanos)
+				}
+				for i, d := range q.GroupBy {
+					gk.dims[i] = key.dim(d)
+				}
+				g, ok := groups[gk]
+				if !ok {
+					g = &aggCell{}
+					groups[gk] = g
+				}
+				g.merge(slot.cell)
+			}
 		}
-		for key, cell := range seg.cells {
-			ts := time.Unix(0, key.ts).UTC()
-			if ts.Before(q.From) || !ts.Before(q.To) {
-				continue
-			}
-			if !matchFilters(key, q.Filters) {
-				continue
-			}
-			gk := groupKey{ts: q.From.Add(ts.Sub(q.From).Truncate(gran)).UnixNano()}
-			for i, d := range q.GroupBy {
-				gk.dims[i] = key.dim(d)
-			}
-			g, ok := groups[gk]
-			if !ok {
-				g = &aggCell{}
-				groups[gk] = g
-			}
-			g.merge(*cell)
-		}
+		sh.mu.RUnlock()
 	}
-	db.mu.RUnlock()
 
 	keys := make([]groupKey, 0, len(groups))
 	for k := range groups {
