@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify clean
+.PHONY: all build vet test race bench bench-query verify clean
 
 all: verify
 
@@ -14,14 +14,21 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages get a dedicated race-detector pass: the
-# striped-lock LAKE store, the partitioned STREAM broker, and the
-# pipeline that batches into both.
+# striped-lock LAKE store, the partitioned STREAM broker, the pipeline
+# that batches into both, and the parallel read surfaces (log search
+# fan-out, columnar row-group decode).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar
 
 # Parallel ingest benchmarks (1/4/16 goroutines x batch 1/64/1024).
 bench:
 	$(GO) test -run xxx -bench '(TSDBInsertParallel|BrokerPublishBatch)' -cpu 16 -benchtime 300000x .
+
+# Query-engine grid (1/4/16 queriers x cold/warm cache x selectivity)
+# plus the serial baseline; rows land in BENCH_query.json.
+bench-query:
+	rm -f $(CURDIR)/BENCH_query.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_query.json $(GO) test -run xxx -bench 'TSDBQueryParallel' -cpu 16 -benchtime 30x .
 
 verify: vet build test race
 

@@ -8,9 +8,12 @@ package oda
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -887,6 +890,183 @@ func BenchmarkBrokerPublishBatch(b *testing.B) {
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 			})
+		}
+	}
+}
+
+// --------------------------------------------------------- query hot path
+
+// benchJSON accumulates one row per (finished) sub-benchmark and rewrites
+// $ODA_BENCH_JSON on every update. Rows are keyed by benchmark name so
+// calibration passes overwrite themselves and only the final measurement
+// survives; `make bench-query` turns this into BENCH_query.json.
+var benchJSON struct {
+	mu   sync.Mutex
+	rows map[string]map[string]any
+}
+
+func recordBenchRow(name string, row map[string]any) {
+	path := os.Getenv("ODA_BENCH_JSON")
+	if path == "" {
+		return
+	}
+	benchJSON.mu.Lock()
+	defer benchJSON.mu.Unlock()
+	if benchJSON.rows == nil {
+		benchJSON.rows = map[string]map[string]any{}
+	}
+	row["bench"] = name
+	benchJSON.rows[name] = row
+	names := make([]string, 0, len(benchJSON.rows))
+	for n := range benchJSON.rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]map[string]any, 0, len(names))
+	for _, n := range names {
+		out = append(out, benchJSON.rows[n])
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// queryWorld holds two identically-loaded LAKE stores — one with the
+// query-result cache disabled (every Run is a cold scan) and one with it
+// enabled — so the cold/warm axes of the query grid measure the same data.
+// 512 components × 4 metrics × 30 min at 15 s rollup ≈ 246k cells spread
+// over all 16 shards and 3 time chunks.
+var (
+	queryWorldOnce sync.Once
+	queryDBCold    *tsdb.DB
+	queryDBWarm    *tsdb.DB
+)
+
+func queryWorld(b *testing.B) (cold, warm *tsdb.DB) {
+	b.Helper()
+	queryWorldOnce.Do(func() {
+		metrics := []string{"node_power_w", "cpu_temp_c", "gpu_util_pct", "fan_rpm"}
+		build := func(cacheSize int) *tsdb.DB {
+			db := tsdb.New(tsdb.Options{
+				SegmentDuration: 10 * time.Minute, RollupInterval: 15 * time.Second,
+				QueryCacheSize: cacheSize,
+			})
+			batch := make([]schema.Observation, 0, 8192)
+			for s := 0; s < 30*60; s += 15 {
+				for c := 0; c < 512; c++ {
+					for m, metric := range metrics {
+						batch = append(batch, schema.Observation{
+							Ts: benchT0.Add(time.Duration(s) * time.Second), System: "compass",
+							Source: "power_temp", Component: fmt.Sprintf("node%05d", c),
+							Metric: metric, Value: float64(1000 + (s+c*7+m*13)%997),
+						})
+						if len(batch) == cap(batch) {
+							db.InsertBatch(batch)
+							batch = batch[:0]
+						}
+					}
+				}
+			}
+			db.InsertBatch(batch)
+			return db
+		}
+		queryDBCold = build(-1)
+		queryDBWarm = build(64)
+	})
+	return queryDBCold, queryDBWarm
+}
+
+// queryForSel returns the grid's grouped 16-shard query — the ISSUE's
+// acceptance shape: GroupBy component over the 512-series dataset — at
+// one of two selectivities: "all" scans every metric's cells and keeps
+// 1 in 4; "filtered" adds an 8-component filter keeping ~1 in 256.
+func queryForSel(sel string) tsdb.Query {
+	q := tsdb.Query{
+		From: benchT0, To: benchT0.Add(30 * time.Minute),
+		Filters: map[string][]string{tsdb.DimMetric: {"node_power_w"}},
+		GroupBy: []string{tsdb.DimComponent},
+		Agg:     tsdb.AggAvg,
+	}
+	if sel == "filtered" {
+		comps := make([]string, 8)
+		for i := range comps {
+			comps[i] = fmt.Sprintf("node%05d", i*61)
+		}
+		q.Filters[tsdb.DimComponent] = comps
+	}
+	return q
+}
+
+// BenchmarkTSDBQueryParallel measures LAKE read throughput across the
+// query grid: 1/4/16 concurrent queriers × cold vs warm result cache ×
+// filter selectivity, plus the retained serial reference as the
+// baseline the speedup is judged against. One op = one full query.
+func BenchmarkTSDBQueryParallel(b *testing.B) {
+	coldDB, warmDB := queryWorld(b)
+
+	for _, sel := range []string{"all", "filtered"} {
+		q := queryForSel(sel)
+		b.Run(fmt.Sprintf("baseline=serial/sel=%s", sel), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coldDB.RunSerial(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			qps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/sec")
+			recordBenchRow(b.Name(), map[string]any{
+				"queriers": 1, "cache": "serial-baseline", "sel": sel,
+				"ns_per_op": b.Elapsed().Nanoseconds() / int64(b.N), "queries_per_sec": qps,
+			})
+		})
+	}
+
+	for _, g := range []int{1, 4, 16} {
+		for _, cache := range []string{"cold", "warm"} {
+			for _, sel := range []string{"all", "filtered"} {
+				db := coldDB
+				if cache == "warm" {
+					db = warmDB
+				}
+				q := queryForSel(sel)
+				b.Run(fmt.Sprintf("queriers=%d/cache=%s/sel=%s", g, cache, sel), func(b *testing.B) {
+					if cache == "warm" { // populate the entry the grid re-reads
+						if _, err := db.Run(q); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Every querier runs quota queries; divide by the real op
+					// count so ns/op stays honest when g doesn't divide b.N.
+					quota := (b.N + g - 1) / g
+					done := g * quota
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for w := 0; w < g; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for i := 0; i < quota; i++ {
+								if _, err := db.Run(q); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					qps := float64(done) / b.Elapsed().Seconds()
+					b.ReportMetric(qps, "queries/sec")
+					recordBenchRow(b.Name(), map[string]any{
+						"queriers": g, "cache": cache, "sel": sel,
+						"ns_per_op": b.Elapsed().Nanoseconds() / int64(done), "queries_per_sec": qps,
+					})
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package columnar
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// forceParallel raises GOMAXPROCS so the parallel row-group decode
+// branch runs even on a single-core box, restoring the old value.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+// manyGroupsFile writes a file with small row groups so ScanColumns has
+// real decode fan-out; rows carry a strictly increasing seq column so
+// order violations are detectable.
+func manyGroupsFile(t *testing.T, rows, groupRows int) []byte {
+	t.Helper()
+	sch := schema.New(
+		schema.Field{Name: "ts", Kind: schema.KindTime},
+		schema.Field{Name: "component", Kind: schema.KindString},
+		schema.Field{Name: "seq", Kind: schema.KindInt},
+		schema.Field{Name: "value", Kind: schema.KindFloat},
+	)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, sch, WriterOptions{RowGroupRows: groupRows})
+	ts := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		err := w.WriteRow(schema.Row{
+			schema.Time(ts.Add(time.Duration(i) * time.Second)),
+			schema.Str(fmt.Sprintf("node%05d", i%7)),
+			schema.Int(int64(i)),
+			schema.Float(float64(i) / 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScanColumnsParallelPreservesOrder decodes 32 row groups
+// concurrently and checks rows come back in exact file order.
+func TestScanColumnsParallelPreservesOrder(t *testing.T) {
+	forceParallel(t)
+	const rows, groupRows = 1024, 32
+	fr, err := NewFileReader(manyGroupsFile(t, rows, groupRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.NumRowGroups() != rows/groupRows {
+		t.Fatalf("groups = %d, want %d", fr.NumRowGroups(), rows/groupRows)
+	}
+	res, err := fr.ScanColumns([]string{"seq", "component"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.Len() != rows {
+		t.Fatalf("rows = %d, want %d", res.Frame.Len(), rows)
+	}
+	for i := 0; i < rows; i++ {
+		if got := res.Frame.Row(i)[0].IntVal(); got != int64(i) {
+			t.Fatalf("row %d: seq = %d — output order not preserved", i, got)
+		}
+	}
+	if res.GroupsTotal != rows/groupRows || res.GroupsScanned != rows/groupRows {
+		t.Fatalf("groups total=%d scanned=%d", res.GroupsTotal, res.GroupsScanned)
+	}
+	// Projection pushdown: 2 of 4 columns per group decoded.
+	if res.ColumnsTotal != 4*rows/groupRows || res.ColumnsDecoded != 2*rows/groupRows {
+		t.Fatalf("columns total=%d decoded=%d", res.ColumnsTotal, res.ColumnsDecoded)
+	}
+}
+
+// TestScanColumnsParallelMatchesSerial compares the concurrent scan
+// against the same scan forced serial (GOMAXPROCS=1), with predicates
+// pruning some groups and filtering rows inside surviving ones.
+func TestScanColumnsParallelMatchesSerial(t *testing.T) {
+	data := manyGroupsFile(t, 999, 40) // uneven final group
+	fr, err := NewFileReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicate{Col: "seq", Min: schema.Int(100), Max: schema.Int(707)}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, serr := fr.ScanColumns([]string{"seq", "value"}, pred)
+	runtime.GOMAXPROCS(4)
+	parallel, perr := fr.ScanColumns([]string{"seq", "value"}, pred)
+	runtime.GOMAXPROCS(prev)
+
+	if serr != nil || perr != nil {
+		t.Fatalf("serial err=%v parallel err=%v", serr, perr)
+	}
+	if !parallel.Frame.Equal(serial.Frame) {
+		t.Fatalf("parallel scan diverges: %d rows vs %d", parallel.Frame.Len(), serial.Frame.Len())
+	}
+	if parallel.GroupsScanned != serial.GroupsScanned ||
+		parallel.ColumnsDecoded != serial.ColumnsDecoded {
+		t.Fatalf("counters diverge: %+v vs %+v", parallel, serial)
+	}
+	if parallel.Frame.Len() != 608 { // seq 100..707 inclusive
+		t.Fatalf("rows = %d, want 608", parallel.Frame.Len())
+	}
+	if parallel.GroupsScanned >= parallel.GroupsTotal {
+		t.Fatalf("predicate pruned nothing: %d of %d", parallel.GroupsScanned, parallel.GroupsTotal)
+	}
+}

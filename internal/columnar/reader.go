@@ -6,6 +6,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"odakit/internal/schema"
 )
@@ -285,10 +288,76 @@ type ScanResult struct {
 	ColumnsTotal   int
 }
 
+// scanWorkerCap bounds the row-group decode pool; inflate is CPU-bound,
+// so more workers than cores only adds scheduling overhead.
+const scanWorkerCap = 8
+
+// scanWorkers picks the decode fan-out for n selected row groups.
+func scanWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > scanWorkerCap {
+		w = scanWorkerCap
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanGroup decodes the needed chunks of one row group, applies the row
+// predicates exactly, and returns the surviving rows as a frame plus how
+// many column chunks were inflated. Row groups are independent, so this
+// is the unit of parallelism in ScanColumns.
+func (fr *FileReader) scanGroup(g *RowGroup, outSchema *schema.Schema, need map[int]bool,
+	outIdx, predIdx []int, preds []Predicate) (*schema.Frame, int, error) {
+	decoded := make(map[int]*schema.Column, len(need))
+	decodedN := 0
+	for c := range need {
+		col, err := fr.decodeChunk(g, c)
+		if err != nil {
+			return nil, decodedN, err
+		}
+		decoded[c] = col
+		decodedN++
+	}
+	f := schema.NewFrame(outSchema)
+	row := make(schema.Row, len(outIdx))
+	for r := 0; r < g.Rows; r++ {
+		keep := true
+		for i, p := range preds {
+			if predIdx[i] < 0 {
+				continue
+			}
+			v := decoded[predIdx[i]].Value(r)
+			if v.IsNull() ||
+				(!p.Min.IsNull() && v.Compare(p.Min) < 0) ||
+				(!p.Max.IsNull() && v.Compare(p.Max) > 0) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		for i, c := range outIdx {
+			row[i] = decoded[c].Value(r)
+		}
+		if err := f.AppendRow(row); err != nil {
+			return nil, decodedN, err
+		}
+	}
+	return f, decodedN, nil
+}
+
 // ScanColumns is Scan with projection pushdown: only the named columns
 // (plus any columns the predicates reference) are decoded, and the result
 // frame contains exactly the named columns in the given order. On wide
-// Silver frames this skips most of the inflate work.
+// Silver frames this skips most of the inflate work. Row groups that
+// survive predicate pushdown are decoded concurrently by a bounded worker
+// pool; output row order is preserved (groups are appended in file order).
 func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanResult, error) {
 	outSchema, err := fr.sch.Project(columns...)
 	if err != nil {
@@ -314,6 +383,7 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 	}
 
 	res := &ScanResult{Frame: schema.NewFrame(outSchema), GroupsTotal: len(fr.groups)}
+	selected := make([]*RowGroup, 0, len(fr.groups))
 	for _, g := range fr.groups {
 		res.ColumnsTotal += len(g.chunks)
 		skip := false
@@ -326,40 +396,43 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 		if skip {
 			continue
 		}
-		res.GroupsScanned++
-		decoded := make(map[int]*schema.Column, len(need))
-		for c := range need {
-			col, err := fr.decodeChunk(g, c)
-			if err != nil {
-				return nil, err
-			}
-			decoded[c] = col
-			res.ColumnsDecoded++
+		selected = append(selected, g)
+	}
+	res.GroupsScanned = len(selected)
+
+	frames := make([]*schema.Frame, len(selected))
+	decodedN := make([]int, len(selected))
+	errs := make([]error, len(selected))
+	workers := scanWorkers(len(selected))
+	if workers <= 1 {
+		for i, g := range selected {
+			frames[i], decodedN[i], errs[i] = fr.scanGroup(g, outSchema, need, outIdx, predIdx, preds)
 		}
-		for r := 0; r < g.Rows; r++ {
-			keep := true
-			for i, p := range preds {
-				if predIdx[i] < 0 {
-					continue
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(selected) {
+						return
+					}
+					frames[i], decodedN[i], errs[i] = fr.scanGroup(selected[i], outSchema, need, outIdx, predIdx, preds)
 				}
-				v := decoded[predIdx[i]].Value(r)
-				if v.IsNull() ||
-					(!p.Min.IsNull() && v.Compare(p.Min) < 0) ||
-					(!p.Max.IsNull() && v.Compare(p.Max) > 0) {
-					keep = false
-					break
-				}
-			}
-			if !keep {
-				continue
-			}
-			row := make(schema.Row, len(outIdx))
-			for i, c := range outIdx {
-				row[i] = decoded[c].Value(r)
-			}
-			if err := res.Frame.AppendRow(row); err != nil {
-				return nil, err
-			}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range selected {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.ColumnsDecoded += decodedN[i]
+		if err := res.Frame.AppendFrame(frames[i]); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

@@ -140,11 +140,24 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	if g := q.Get("groupby"); g != "" {
 		query.GroupBy = strings.Split(g, ",")
 	}
-	frame, err := s.f.Lake.Run(query)
+	frame, stats, err := s.f.Lake.RunWithStats(query)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
 	}
+	// Engine observability (§VII dashboards watch their own query cost):
+	// cache state, scan volume, and wall time ride along as headers so
+	// the JSON body stays stable for existing clients.
+	cache := "miss"
+	if stats.CacheHit {
+		cache = "hit"
+	}
+	w.Header().Set("X-ODA-Query-Cache", cache)
+	w.Header().Set("X-ODA-Query-Cells-Scanned", strconv.FormatInt(stats.CellsScanned, 10))
+	w.Header().Set("X-ODA-Query-Cells-Matched", strconv.FormatInt(stats.CellsMatched, 10))
+	w.Header().Set("X-ODA-Query-Segments-Pruned", strconv.Itoa(stats.SegmentsPruned))
+	w.Header().Set("X-ODA-Query-Workers", strconv.Itoa(stats.Workers))
+	w.Header().Set("X-ODA-Query-Micros", strconv.FormatInt(stats.TotalWall.Microseconds(), 10))
 	out := make([]seriesPoint, 0, frame.Len())
 	sch := frame.Schema()
 	vi := sch.MustIndex("value")

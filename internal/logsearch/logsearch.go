@@ -8,9 +8,11 @@
 package logsearch
 
 import (
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode"
 
@@ -108,25 +110,43 @@ type Query struct {
 	Limit int
 }
 
-// Search returns matching events, newest first.
-func (ix *Index) Search(q Query) []schema.Event {
-	if q.Limit <= 0 {
-		q.Limit = 100
+// searchWorkerCap bounds the segment-scan worker pool; beyond a handful
+// of scanners the merge step, not the scan, dominates.
+const searchWorkerCap = 8
+
+// searchWorkers picks the concurrent fan-out for n candidate segments.
+func searchWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > searchWorkerCap {
+		w = searchWorkerCap
 	}
-	want := make([]string, 0, len(q.Terms))
-	for _, t := range q.Terms {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// compileTerms tokenizes query terms once per query.
+func compileTerms(terms []string) []string {
+	want := make([]string, 0, len(terms))
+	for _, t := range terms {
 		want = append(want, Tokenize(t)...)
 	}
+	return want
+}
 
-	ix.mu.RLock()
-	// Visit segments newest-first so the limit can stop the scan early.
+// candidates returns the time-pruned segments newest-first. The caller
+// must hold ix.mu (read) for as long as the segments are scanned.
+func (ix *Index) candidates(q *Query) []*segmentIdx {
 	keys := make([]int64, 0, len(ix.segments))
 	for k := range ix.segments {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] > keys[j] })
-
-	var out []schema.Event
+	segs := make([]*segmentIdx, 0, len(keys))
 	for _, k := range keys {
 		seg := ix.segments[k]
 		segEnd := seg.start.Add(ix.segDur)
@@ -136,33 +156,86 @@ func (ix *Index) Search(q Query) []schema.Event {
 		if !q.To.IsZero() && !seg.start.Before(q.To) {
 			continue
 		}
-		ids := seg.match(want)
-		// Collect matches in this segment, filter, then sort newest first.
-		var hits []schema.Event
-		for _, id := range ids {
-			e := seg.docs[id]
-			if !q.From.IsZero() && e.Ts.Before(q.From) {
-				continue
-			}
-			if !q.To.IsZero() && !e.Ts.Before(q.To) {
-				continue
-			}
-			if q.Severity != "" && e.Severity != q.Severity {
-				continue
-			}
-			if q.Host != "" && e.Host != q.Host {
-				continue
-			}
-			hits = append(hits, e)
-		}
-		sort.Slice(hits, func(i, j int) bool { return hits[i].Ts.After(hits[j].Ts) })
-		out = append(out, hits...)
-		if len(out) >= q.Limit {
-			out = out[:q.Limit]
-			break
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// accept reports whether an event passes the query's row-level filters.
+func (q *Query) accept(e *schema.Event) bool {
+	if !q.From.IsZero() && e.Ts.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && !e.Ts.Before(q.To) {
+		return false
+	}
+	if q.Severity != "" && e.Severity != q.Severity {
+		return false
+	}
+	if q.Host != "" && e.Host != q.Host {
+		return false
+	}
+	return true
+}
+
+// search collects one segment's matches, filtered and sorted newest first.
+func (s *segmentIdx) search(want []string, q *Query) []schema.Event {
+	ids := s.match(want)
+	var hits []schema.Event
+	for _, id := range ids {
+		if e := &s.docs[id]; q.accept(e) {
+			hits = append(hits, *e)
 		}
 	}
-	ix.mu.RUnlock()
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Ts.After(hits[j].Ts) })
+	return hits
+}
+
+// Search returns matching events, newest first. Segment indexes are
+// scanned concurrently by a bounded worker pool; segments are visited
+// newest-first in waves so a satisfied limit still stops the scan early.
+func (ix *Index) Search(q Query) []schema.Event {
+	if q.Limit <= 0 {
+		q.Limit = 100
+	}
+	want := compileTerms(q.Terms)
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	segs := ix.candidates(&q)
+	workers := searchWorkers(len(segs))
+
+	var out []schema.Event
+	if workers == 1 {
+		for _, seg := range segs {
+			out = append(out, seg.search(want, &q)...)
+			if len(out) >= q.Limit {
+				break
+			}
+		}
+	} else {
+		// One wave of `workers` segments at a time: results land in wave
+		// order (newest first), and a filled limit stops the next wave.
+		results := make([][]schema.Event, workers)
+		for base := 0; base < len(segs) && len(out) < q.Limit; base += workers {
+			wave := segs[base:min(base+workers, len(segs))]
+			var wg sync.WaitGroup
+			wg.Add(len(wave))
+			for i, seg := range wave {
+				go func(i int, seg *segmentIdx) {
+					defer wg.Done()
+					results[i] = seg.search(want, &q)
+				}(i, seg)
+			}
+			wg.Wait()
+			for i := range wave {
+				out = append(out, results[i]...)
+			}
+		}
+	}
+	if len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
 	return out
 }
 
@@ -213,10 +286,65 @@ func intersect(a, b []int) []int {
 	return out
 }
 
-// Count returns how many events match without materializing them.
+// count tallies one segment's matches without materializing events.
+func (s *segmentIdx) count(want []string, q *Query, bySeverity map[string]int) int {
+	n := 0
+	for _, id := range s.match(want) {
+		if e := &s.docs[id]; q.accept(e) {
+			n++
+			if bySeverity != nil {
+				bySeverity[e.Severity]++
+			}
+		}
+	}
+	return n
+}
+
+// forEachSegment runs fn(i, seg) over segments with a bounded worker
+// pool. The caller must hold ix.mu (read); fn must only write state
+// owned by its index i.
+func forEachSegment(segs []*segmentIdx, fn func(i int, seg *segmentIdx)) {
+	workers := searchWorkers(len(segs))
+	if workers <= 1 {
+		for i, seg := range segs {
+			fn(i, seg)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				fn(i, segs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Count returns how many events match without materializing them: every
+// candidate segment is counted concurrently during the index scan.
 func (ix *Index) Count(q Query) int {
-	q.Limit = 1 << 30
-	return len(ix.Search(q))
+	want := compileTerms(q.Terms)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	segs := ix.candidates(&q)
+	counts := make([]int, len(segs))
+	forEachSegment(segs, func(i int, seg *segmentIdx) {
+		counts[i] = seg.count(want, &q, nil)
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
 }
 
 // Retain drops segments older than cutoff, returning the dropped count.
@@ -253,13 +381,26 @@ func (ix *Index) Stats() Stats {
 }
 
 // Histogram counts matching events per severity — the Kibana-style
-// overview panel of the diagnostics UI.
+// overview panel of the diagnostics UI. Counts are tallied during the
+// concurrent segment scan (one small map per segment, merged at the
+// end); no event slice is ever materialized.
 func (ix *Index) Histogram(q Query) map[string]int {
-	q.Limit = 1 << 30
 	q.Severity = ""
+	want := compileTerms(q.Terms)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	segs := ix.candidates(&q)
+	partials := make([]map[string]int, len(segs))
+	forEachSegment(segs, func(i int, seg *segmentIdx) {
+		m := make(map[string]int, 8)
+		seg.count(want, &q, m)
+		partials[i] = m
+	})
 	out := map[string]int{}
-	for _, e := range ix.Search(q) {
-		out[e.Severity]++
+	for _, m := range partials {
+		for sev, n := range m {
+			out[sev] += n
+		}
 	}
 	return out
 }

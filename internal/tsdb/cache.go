@@ -1,0 +1,89 @@
+package tsdb
+
+import (
+	"container/list"
+	"sync"
+
+	"odakit/internal/schema"
+)
+
+// cacheKey identifies one cacheable query execution: the canonical query
+// fingerprint plus the shard-version vector observed before the scan.
+// Any write to any stripe bumps that stripe's version, so entries for
+// stale data simply stop matching — invalidation is structural, no
+// eviction hooks on the write path.
+type cacheKey struct {
+	fp string
+	vv [shardCount]uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	frame *schema.Frame
+}
+
+// queryCache is a small LRU over query results. Dashboards re-issue the
+// same handful of queries on refresh; when no ingest landed in between,
+// the answer is a map lookup instead of a multi-shard scan.
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	lru     list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{cap: capacity, entries: make(map[cacheKey]*list.Element, capacity)}
+}
+
+// get returns the cached frame for key, promoting it to most recent.
+// Returned frames are shared — callers must treat them as read-only.
+func (c *queryCache) get(key cacheKey) (*schema.Frame, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).frame, true
+}
+
+// put stores a result, evicting the least recently used entry at cap.
+func (c *queryCache) put(key cacheKey, f *schema.Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).frame = f
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, frame: f})
+}
+
+// CacheStats reports query-result cache effectiveness.
+type CacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// CacheStats returns current cache counters (zero value when caching is
+// disabled).
+func (db *DB) CacheStats() CacheStats {
+	if db.cache == nil {
+		return CacheStats{}
+	}
+	db.cache.mu.Lock()
+	defer db.cache.mu.Unlock()
+	return CacheStats{Entries: db.cache.lru.Len(), Hits: db.cache.hits, Misses: db.cache.misses}
+}

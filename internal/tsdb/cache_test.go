@@ -1,0 +1,142 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+var cacheQ = Query{
+	From: base, To: base.Add(2 * time.Minute),
+	Filters: map[string][]string{DimMetric: {"node_power_w"}},
+	GroupBy: []string{DimComponent}, Agg: AggAvg,
+}
+
+// runStats executes the shared query and returns its stats.
+func runStats(t *testing.T, db *DB) QueryStats {
+	t.Helper()
+	_, st, err := db.RunWithStats(cacheQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestQueryCacheHitThenMiss(t *testing.T) {
+	db := seededDB(t)
+	if st := runStats(t, db); st.CacheHit {
+		t.Fatal("cold query reported a cache hit")
+	}
+	if st := runStats(t, db); !st.CacheHit {
+		t.Fatal("identical re-run missed the cache")
+	}
+	cs := db.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+	// Semantically-equal queries share an entry: filter value order and
+	// map construction order must not matter to the fingerprint.
+	reordered := cacheQ
+	reordered.Filters = map[string][]string{DimMetric: {"node_power_w"}}
+	if _, st, _ := db.RunWithStats(reordered); !st.CacheHit {
+		t.Fatal("reordered-but-equal query missed the cache")
+	}
+}
+
+// TestQueryCacheInvalidation checks that every write path bumps a shard
+// version, so a cached entry stops matching the moment the store changes.
+func TestQueryCacheInvalidation(t *testing.T) {
+	mutations := map[string]func(db *DB){
+		"Insert": func(db *DB) { db.Insert(obs(30, "node00000", "node_power_w", 1)) },
+		"InsertBatch": func(db *DB) {
+			db.InsertBatch([]schema.Observation{obs(31, "node00001", "node_power_w", 2)})
+		},
+		"Retain": func(db *DB) {
+			// Age a second segment in, then drop it: membership changed.
+			db.Insert(schema.Observation{Ts: base.Add(-5 * time.Hour), System: "compass",
+				Source: "power_temp", Component: "node00000", Metric: "node_power_w", Value: 3})
+			if _, st, err := db.RunWithStats(cacheQ); err != nil || st.CacheHit {
+				t.Fatalf("pre-retain warm run: hit=%v err=%v", st.CacheHit, err)
+			}
+			if db.Retain(base.Add(-time.Hour)) != 1 {
+				t.Fatal("retain dropped nothing")
+			}
+		},
+		"ImportRollups": func(db *DB) {
+			src := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
+			src.Insert(obs(0, "node00009", "node_power_w", 7))
+			f, err := src.Export(base.Add(48 * time.Hour))
+			if err != nil || f.Len() == 0 {
+				t.Fatalf("export: %d rows, %v", f.Len(), err)
+			}
+			if err := db.ImportRollups(f); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			db := seededDB(t)
+			runStats(t, db) // populate
+			if st := runStats(t, db); !st.CacheHit {
+				t.Fatal("warm run missed")
+			}
+			mutate(db)
+			if st := runStats(t, db); st.CacheHit {
+				t.Fatalf("%s did not invalidate the cached result", name)
+			}
+		})
+	}
+}
+
+// TestRetainNoopKeepsCache is the flip side: a Retain that drops nothing
+// leaves every version untouched, so warm entries stay valid.
+func TestRetainNoopKeepsCache(t *testing.T) {
+	db := seededDB(t)
+	runStats(t, db)
+	if db.Retain(base.Add(-100 * time.Hour)) != 0 {
+		t.Fatal("noop retain dropped segments")
+	}
+	if st := runStats(t, db); !st.CacheHit {
+		t.Fatal("noop retain invalidated the cache")
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	db := New(Options{QueryCacheSize: -1})
+	db.Insert(obs(0, "n", "m", 1))
+	for i := 0; i < 2; i++ {
+		if _, st, err := db.RunWithStats(Query{From: base, To: base.Add(time.Minute)}); err != nil || st.CacheHit {
+			t.Fatalf("run %d: hit=%v err=%v with caching disabled", i, st.CacheHit, err)
+		}
+	}
+	if cs := db.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("disabled cache stats = %+v", cs)
+	}
+}
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	db := New(Options{QueryCacheSize: 2})
+	db.Insert(obs(0, "n", "m", 1))
+	queries := []Query{
+		{From: base, To: base.Add(time.Minute)},
+		{From: base, To: base.Add(2 * time.Minute)},
+		{From: base, To: base.Add(3 * time.Minute)},
+	}
+	for _, q := range queries {
+		if _, err := db.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := db.CacheStats(); cs.Entries != 2 {
+		t.Fatalf("entries = %d, want cap 2", cs.Entries)
+	}
+	// The oldest entry was evicted; the two newest still hit.
+	if _, st, _ := db.RunWithStats(queries[0]); st.CacheHit {
+		t.Fatal("evicted entry still hit")
+	}
+	if _, st, _ := db.RunWithStats(queries[2]); !st.CacheHit {
+		t.Fatal("recent entry missed")
+	}
+}

@@ -1,0 +1,830 @@
+// Query engine for the LAKE store: shard-parallel scans with per-shard
+// partial aggregation, per-query compiled filters, and a version-keyed
+// result cache. PR 2 made ingest batch-first; this file is the matching
+// read path. A query fans out one worker per lock stripe, each folding
+// its stripe's cells into a private open-addressed partial-aggregation
+// table (no shared map, no cross-shard lock convoy), and the partials
+// are merged in stripe order so results are deterministic — merging in
+// a fixed order keeps float accumulation reproducible run to run.
+//
+// RunSerial is retained as the reference implementation: the paper's
+// original single-threaded scan, kept for equivalence testing (the
+// property test asserts Run's frames are byte-identical) and as the
+// baseline the query benchmarks measure speedups against.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// ErrBadQuery reports an invalid query.
+var ErrBadQuery = errors.New("tsdb: bad query")
+
+// AggKind selects the aggregation applied to matching cells.
+type AggKind int
+
+// Supported aggregations.
+const (
+	AggAvg AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggLast
+)
+
+// Query describes a group-by query.
+type Query struct {
+	// From and To bound the time range (half-open).
+	From, To time.Time
+	// Filters are dimension-equality constraints; a dimension maps to the
+	// set of accepted values (OR within a dimension, AND across).
+	Filters map[string][]string
+	// GroupBy lists output dimensions (subset of system, source,
+	// component, metric). Time is always grouped by Granularity.
+	GroupBy []string
+	// Granularity buckets output rows in time; 0 collapses the range to
+	// a single bucket.
+	Granularity time.Duration
+	// Agg is the aggregation to report.
+	Agg AggKind
+}
+
+// ResultSchema returns the schema of the query's result frame: ts, the
+// group-by dimensions, then "value".
+func (q Query) ResultSchema() *schema.Schema {
+	fields := []schema.Field{{Name: "ts", Kind: schema.KindTime}}
+	for _, d := range q.GroupBy {
+		fields = append(fields, schema.Field{Name: d, Kind: schema.KindString})
+	}
+	fields = append(fields, schema.Field{Name: "value", Kind: schema.KindFloat})
+	return schema.New(fields...)
+}
+
+func (q Query) validate() error {
+	if !q.To.After(q.From) {
+		return fmt.Errorf("%w: empty time range", ErrBadQuery)
+	}
+	if len(q.GroupBy) > len(dimNames) {
+		return fmt.Errorf("%w: too many group-by dimensions", ErrBadQuery)
+	}
+	seen := map[string]bool{}
+	for _, d := range q.GroupBy {
+		if seen[d] {
+			return fmt.Errorf("%w: duplicate group-by dimension %q", ErrBadQuery, d)
+		}
+		seen[d] = true
+	}
+	for _, d := range q.GroupBy {
+		if !validDim(d) {
+			return fmt.Errorf("%w: unknown group-by dimension %q", ErrBadQuery, d)
+		}
+	}
+	for d := range q.Filters {
+		if !validDim(d) {
+			return fmt.Errorf("%w: unknown filter dimension %q", ErrBadQuery, d)
+		}
+	}
+	return nil
+}
+
+func validDim(d string) bool {
+	for _, n := range dimNames {
+		if n == d {
+			return true
+		}
+	}
+	return false
+}
+
+// dimIndex maps a dimension name onto its fixed slot (0..3). Valid names
+// only; callers validate first.
+func dimIndex(d string) int {
+	switch d {
+	case DimSystem:
+		return 0
+	case DimSource:
+		return 1
+	case DimComponent:
+		return 2
+	default: // DimMetric
+		return 3
+	}
+}
+
+// dimValueAt returns a rollup key's value for a dimension slot.
+func dimValueAt(k *rollupKey, idx int) string {
+	switch idx {
+	case 0:
+		return k.system
+	case 1:
+		return k.source
+	case 2:
+		return k.component
+	default:
+		return k.metric
+	}
+}
+
+type groupKey struct {
+	ts   int64
+	dims [4]string // aligned with q.GroupBy, max 4 dims
+}
+
+// clampNanos converts a bound to unix nanos with saturation, so times
+// outside the representable nano range (e.g. the zero time.Time) compare
+// like their time.Time counterparts instead of wrapping.
+func clampNanos(t time.Time) int64 {
+	if t.Before(minNanoTime) {
+		return math.MinInt64
+	}
+	if t.After(maxNanoTime) {
+		return math.MaxInt64
+	}
+	return t.UnixNano()
+}
+
+var (
+	minNanoTime = time.Unix(0, math.MinInt64)
+	maxNanoTime = time.Unix(0, math.MaxInt64)
+)
+
+// dimFilter is one compiled dimension constraint. Single-value filters
+// (the common dashboard shape: one metric) compare directly; multi-value
+// filters hit a lookup set. Compiling once per query replaces the
+// per-cell map iteration + nested linear scan of the old matchFilters.
+type dimFilter struct {
+	dim    int
+	single string
+	set    map[string]struct{} // nil when single applies
+}
+
+// compiledQuery is the per-query execution plan shared by all workers.
+type compiledQuery struct {
+	fromN, toN  int64
+	granN       int64
+	collapsedTs int64 // output ts when granN == 0
+	filters     []dimFilter
+	groupDims   []int // dimension slot per GroupBy position
+}
+
+func compileQuery(q Query) compiledQuery {
+	cq := compiledQuery{
+		fromN:       clampNanos(q.From),
+		toN:         clampNanos(q.To),
+		granN:       int64(q.Granularity),
+		collapsedTs: q.From.UnixNano(),
+	}
+	for d := 0; d < len(dimNames); d++ {
+		vals, ok := q.Filters[dimNames[d]]
+		if !ok {
+			continue
+		}
+		f := dimFilter{dim: d}
+		if len(vals) == 1 {
+			f.single = vals[0]
+		} else {
+			f.set = make(map[string]struct{}, len(vals))
+			for _, v := range vals {
+				f.set[v] = struct{}{}
+			}
+		}
+		cq.filters = append(cq.filters, f)
+	}
+	cq.groupDims = make([]int, len(q.GroupBy))
+	for i, d := range q.GroupBy {
+		cq.groupDims[i] = dimIndex(d)
+	}
+	return cq
+}
+
+// match reports whether a cell's key passes every compiled filter.
+func (cq *compiledQuery) match(k *rollupKey) bool {
+	for i := range cq.filters {
+		f := &cq.filters[i]
+		v := dimValueAt(k, f.dim)
+		if f.set == nil {
+			if v != f.single {
+				return false
+			}
+		} else if _, ok := f.set[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// groupHash hashes the output group (bucket ts + grouped dims) for the
+// partial-aggregation table. Only the dimensions the query groups by are
+// hashed — a Go map over groupKey would hash all four plus padding.
+func (cq *compiledQuery) groupHash(ts int64, k *rollupKey) uint32 {
+	const prime32 = 16777619
+	h := uint32(2166136261)
+	for _, d := range cq.groupDims {
+		s := dimValueAt(k, d)
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint32(s[j])) * prime32
+		}
+		h = (h ^ 0xff) * prime32
+	}
+	return (h ^ uint32(uint64(ts)>>30) ^ uint32(uint64(ts))) * 2654435761
+}
+
+// groupTable is the open-addressed partial-aggregation table — the query
+// path's counterpart of the ingest path's cellTable. Group cells live
+// inline in the slots; one table per shard means no locks and no shared
+// state between scan workers.
+type groupTable struct {
+	slots []groupSlot
+	n     int
+}
+
+type groupSlot struct {
+	hash uint32
+	used bool
+	key  groupKey
+	cell aggCell
+}
+
+// cell returns the aggregation cell for key, creating it if absent. The
+// pointer is only valid until the next cell call (growth moves slots).
+func (t *groupTable) cell(h uint32, key groupKey) *aggCell {
+	if t.n >= len(t.slots)*3/4 {
+		t.grow()
+	}
+	mask := uint32(len(t.slots) - 1)
+	i := h & mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			s.used = true
+			s.hash = h
+			s.key = key
+			s.cell = aggCell{} // slots are pooled; clear prior query's state
+			t.n++
+			return &s.cell
+		}
+		if s.hash == h && s.key == key {
+			return &s.cell
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *groupTable) grow() {
+	newCap := 2 * len(t.slots)
+	if newCap == 0 {
+		newCap = 64
+	}
+	old := t.slots
+	t.slots = make([]groupSlot, newCap)
+	mask := uint32(newCap - 1)
+	for oi := range old {
+		s := &old[oi]
+		if !s.used {
+			continue
+		}
+		i := s.hash & mask
+		for t.slots[i].used {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = *s
+	}
+}
+
+// partialSet is one query's per-shard partial-aggregation tables. Sets
+// are pooled per DB: a steady query load reuses grown slot arrays
+// instead of re-allocating ~megabytes of table per query, which keeps
+// the garbage collector out of the scan path.
+type partialSet struct {
+	tables [shardCount]groupTable
+}
+
+func (t *groupTable) reset() {
+	for i := range t.slots {
+		t.slots[i].used = false
+	}
+	t.n = 0
+}
+
+func (db *DB) getPartials() *partialSet {
+	if v := db.partials.Get(); v != nil {
+		ps := v.(*partialSet)
+		for i := range ps.tables {
+			ps.tables[i].reset()
+		}
+		return ps
+	}
+	return &partialSet{}
+}
+
+func (db *DB) putPartials(ps *partialSet) { db.partials.Put(ps) }
+
+// QueryStats reports what one query execution did, making the engine's
+// pruning, parallelism, and caching observable to dashboards and benches.
+type QueryStats struct {
+	// CacheHit is true when the result came from the query-result cache
+	// (the scan counters below are then zero).
+	CacheHit bool
+	// Workers is how many scan goroutines executed the query.
+	Workers int
+	// SegmentsScanned / SegmentsPruned count time chunks visited vs
+	// skipped by chunk-level time pruning, summed over shards.
+	SegmentsScanned int
+	SegmentsPruned  int
+	// CellsScanned counts rollup cells examined; CellsMatched counts
+	// those that survived the time range and compiled filters.
+	CellsScanned int64
+	CellsMatched int64
+	// Groups is the output row count before truncation (TopN).
+	Groups int
+	// Per-stage wall clock: shard scans, partial merge, sort + emit.
+	ScanWall  time.Duration
+	MergeWall time.Duration
+	EmitWall  time.Duration
+	TotalWall time.Duration
+}
+
+type scanStats struct {
+	segsScanned, segsPruned    int
+	cellsScanned, cellsMatched int64
+}
+
+// scanShard folds one stripe's cells into gt, the shard's private
+// partial-aggregation table. Segments are visited in chunk order so
+// accumulation order — and therefore float rounding — is deterministic.
+func (db *DB) scanShard(si int, cq *compiledQuery, gt *groupTable) scanStats {
+	var ss scanStats
+	sh := &db.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if len(sh.segments) == 0 {
+		return ss
+	}
+	chunks := make([]int64, 0, len(sh.segments))
+	for k := range sh.segments {
+		chunks = append(chunks, k)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+	segDur := int64(db.opts.SegmentDuration)
+	noFilters := len(cq.filters) == 0
+	for _, chunkN := range chunks {
+		if chunkN >= cq.toN || chunkN+segDur <= cq.fromN {
+			ss.segsPruned++ // segment pruning by time chunk
+			continue
+		}
+		ss.segsScanned++
+		seg := sh.segments[chunkN]
+		// A segment wholly inside the range needs no per-cell time check.
+		contained := chunkN >= cq.fromN && chunkN+segDur <= cq.toN
+		keys := seg.cells.keys
+		ss.cellsScanned += int64(len(keys))
+		for i := range keys {
+			key := &keys[i]
+			ts := key.ts
+			if !contained && (ts < cq.fromN || ts >= cq.toN) {
+				continue
+			}
+			if !noFilters && !cq.match(key) {
+				continue
+			}
+			ss.cellsMatched++
+			gk := groupKey{ts: cq.collapsedTs}
+			if cq.granN > 0 {
+				gk.ts = ts - floorMod(ts, cq.granN)
+			}
+			for gi, d := range cq.groupDims {
+				gk.dims[gi] = dimValueAt(key, d)
+			}
+			gt.cell(cq.groupHash(gk.ts, key), gk).merge(seg.cells.cells[i])
+		}
+	}
+	return ss
+}
+
+// queryWorkers picks the desired scan fan-out: one worker per shard,
+// bounded by the machine — on a single-core box the engine degrades to
+// the serial fast path with no goroutine overhead.
+func queryWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > shardCount {
+		w = shardCount
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// aggregate executes the scan + merge phases shared by Run and TopN:
+// shard-parallel partials, merged in stripe order into one table.
+//
+// The calling goroutine always scans; extra helper goroutines are
+// spawned only for slots won from db.scanSlots, so the DB-wide helper
+// count stays bounded regardless of query concurrency. One query on an
+// idle store fans out across all shards; sixteen concurrent queries
+// each run near-serial instead of stampeding 256 goroutines onto the
+// scheduler.
+func (db *DB) aggregate(cq *compiledQuery, st *QueryStats) (*groupTable, *partialSet) {
+	helpers := 0
+	for helpers < queryWorkers()-1 {
+		select {
+		case db.scanSlots <- struct{}{}:
+			helpers++
+			continue
+		default:
+		}
+		break
+	}
+	st.Workers = helpers + 1
+	ps := db.getPartials()
+	var stats [shardCount]scanStats
+	scanStart := time.Now()
+	var next atomic.Int32
+	scanLoop := func() {
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= shardCount {
+				return
+			}
+			stats[s] = db.scanShard(s, cq, &ps.tables[s])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() { <-db.scanSlots }()
+			scanLoop()
+		}()
+	}
+	scanLoop()
+	wg.Wait()
+	st.ScanWall = time.Since(scanStart)
+	mergeStart := time.Now()
+	// Merge partials in stripe order — the fixed fold order that keeps
+	// float accumulation deterministic and identical to RunSerial. The
+	// first non-empty partial doubles as the accumulator, so a query
+	// whose matches live on one stripe merges for free.
+	total := &ps.tables[0]
+	for s := 1; s < shardCount; s++ {
+		p := &ps.tables[s]
+		if p.n == 0 {
+			continue
+		}
+		if total.n == 0 {
+			total = p
+			continue
+		}
+		for i := range p.slots {
+			if sl := &p.slots[i]; sl.used {
+				total.cell(sl.hash, sl.key).merge(sl.cell)
+			}
+		}
+	}
+	st.MergeWall = time.Since(mergeStart)
+	for s := range stats {
+		st.SegmentsScanned += stats[s].segsScanned
+		st.SegmentsPruned += stats[s].segsPruned
+		st.CellsScanned += stats[s].cellsScanned
+		st.CellsMatched += stats[s].cellsMatched
+	}
+	st.Groups = total.n
+	return total, ps
+}
+
+// Run executes the query and returns a frame sorted by (ts, dims).
+// Granularity buckets are anchored at the Unix epoch (Druid semantics):
+// the same data queried with a shifted From lands in the same buckets.
+// Granularity 0 collapses the range to a single bucket labeled q.From.
+//
+// Results are deterministic (shards and segments are folded in a fixed
+// order) and may be served from the query-result cache; treat returned
+// frames as read-only.
+func (db *DB) Run(q Query) (*schema.Frame, error) {
+	f, _, err := db.RunWithStats(q)
+	return f, err
+}
+
+// RunWithStats is Run plus execution statistics.
+func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
+	t0 := time.Now()
+	var st QueryStats
+	if err := q.validate(); err != nil {
+		return nil, st, err
+	}
+	var key cacheKey
+	if db.cache != nil {
+		key = cacheKey{fp: q.fingerprint(), vv: db.versionVector()}
+		if f, ok := db.cache.get(key); ok {
+			st.CacheHit = true
+			st.Groups = f.Len()
+			st.TotalWall = time.Since(t0)
+			return f, st, nil
+		}
+	}
+	cq := compileQuery(q)
+	total, ps := db.aggregate(&cq, &st)
+	defer db.putPartials(ps)
+
+	emitStart := time.Now()
+	type kgc struct {
+		k groupKey
+		c aggCell
+	}
+	cells := make([]kgc, 0, total.n)
+	for i := range total.slots {
+		if s := &total.slots[i]; s.used {
+			cells = append(cells, kgc{s.key, s.cell})
+		}
+	}
+	nDims := len(q.GroupBy)
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].k.ts != cells[j].k.ts {
+			return cells[i].k.ts < cells[j].k.ts
+		}
+		for d := 0; d < nDims; d++ {
+			if cells[i].k.dims[d] != cells[j].k.dims[d] {
+				return cells[i].k.dims[d] < cells[j].k.dims[d]
+			}
+		}
+		return false
+	})
+	out := schema.NewFrame(q.ResultSchema())
+	row := make(schema.Row, 0, nDims+2)
+	for i := range cells {
+		row = row[:0]
+		row = append(row, schema.TimeNanos(cells[i].k.ts))
+		for d := 0; d < nDims; d++ {
+			row = append(row, schema.Str(cells[i].k.dims[d]))
+		}
+		row = append(row, schema.Float(aggValue(q.Agg, &cells[i].c)))
+		if err := out.AppendRow(row); err != nil {
+			return nil, st, err
+		}
+	}
+	st.EmitWall = time.Since(emitStart)
+	if db.cache != nil {
+		db.cache.put(key, out)
+	}
+	st.TotalWall = time.Since(t0)
+	return out, st, nil
+}
+
+// RunSerial is the retained single-threaded reference implementation of
+// Run: per-cell time.Time checks, uncompiled filter matching, Go-map
+// partials — folded shard by shard in the same deterministic order as
+// the parallel engine. It exists so the property tests can assert the
+// parallel engine is byte-identical, and so benchmarks can measure the
+// speedup against the original scan. It never consults the result cache.
+func (db *DB) RunSerial(q Query) (*schema.Frame, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	granNanos := int64(q.Granularity)
+	groups := make(map[groupKey]*aggCell)
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		chunks := make([]int64, 0, len(sh.segments))
+		for k := range sh.segments {
+			chunks = append(chunks, k)
+		}
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+		partial := make(map[groupKey]*aggCell)
+		for _, chunkN := range chunks {
+			seg := sh.segments[chunkN]
+			segEnd := seg.start.Add(db.opts.SegmentDuration)
+			if !seg.start.Before(q.To) || !segEnd.After(q.From) {
+				continue // segment pruning by time chunk
+			}
+			for ci := range seg.cells.keys {
+				key := seg.cells.keys[ci]
+				ts := time.Unix(0, key.ts).UTC()
+				if ts.Before(q.From) || !ts.Before(q.To) {
+					continue
+				}
+				if !matchFilters(key, q.Filters) {
+					continue
+				}
+				gk := groupKey{ts: q.From.UnixNano()}
+				if granNanos > 0 {
+					gk.ts = key.ts - floorMod(key.ts, granNanos)
+				}
+				for i, d := range q.GroupBy {
+					gk.dims[i] = key.dim(d)
+				}
+				g, ok := partial[gk]
+				if !ok {
+					g = &aggCell{}
+					partial[gk] = g
+				}
+				g.merge(seg.cells.cells[ci])
+			}
+		}
+		sh.mu.RUnlock()
+		for gk, c := range partial {
+			g, ok := groups[gk]
+			if !ok {
+				g = &aggCell{}
+				groups[gk] = g
+			}
+			g.merge(*c)
+		}
+	}
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ts != keys[j].ts {
+			return keys[i].ts < keys[j].ts
+		}
+		for d := 0; d < len(q.GroupBy); d++ {
+			if keys[i].dims[d] != keys[j].dims[d] {
+				return keys[i].dims[d] < keys[j].dims[d]
+			}
+		}
+		return false
+	})
+
+	out := schema.NewFrame(q.ResultSchema())
+	for _, k := range keys {
+		cell := groups[k]
+		row := schema.Row{schema.TimeNanos(k.ts)}
+		for i := range q.GroupBy {
+			row = append(row, schema.Str(k.dims[i]))
+		}
+		row = append(row, schema.Float(aggValue(q.Agg, cell)))
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// matchFilters is the uncompiled filter check used by RunSerial.
+func matchFilters(key rollupKey, filters map[string][]string) bool {
+	for dim, accepted := range filters {
+		v := key.dim(dim)
+		ok := false
+		for _, a := range accepted {
+			if v == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func aggValue(kind AggKind, c *aggCell) float64 {
+	switch kind {
+	case AggSum:
+		return c.sum
+	case AggMin:
+		return c.min
+	case AggMax:
+		return c.max
+	case AggCount:
+		return float64(c.count)
+	case AggLast:
+		return c.last
+	default: // AggAvg
+		if c.count == 0 {
+			return 0
+		}
+		return c.sum / float64(c.count)
+	}
+}
+
+// TopNEntry is one row of a top-N result.
+type TopNEntry struct {
+	Dim   string
+	Value float64
+}
+
+// topNWorse orders heap entries: a is worse than b when it aggregates
+// lower, or ties and sorts later alphabetically (the old full-sort
+// ordering was value descending, then dim ascending).
+func topNWorse(a, b TopNEntry) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Dim > b.Dim
+}
+
+// TopN returns the n highest-aggregating values of one dimension over a
+// time range — the Druid-style "which nodes drew the most power" query
+// behind user-assistance triage. A bounded min-heap over the merged
+// partials keeps selection O(groups·log n): TopN(q, dim, 10) over 10k
+// dimension values never materializes a 10k-row frame.
+func (db *DB) TopN(q Query, dim string, n int) ([]TopNEntry, error) {
+	if !validDim(dim) {
+		return nil, fmt.Errorf("%w: unknown top-n dimension %q", ErrBadQuery, dim)
+	}
+	q.GroupBy = []string{dim}
+	q.Granularity = 0
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	var st QueryStats
+	cq := compileQuery(q)
+	total, ps := db.aggregate(&cq, &st)
+	defer db.putPartials(ps)
+	if n <= 0 {
+		return []TopNEntry{}, nil
+	}
+	// Min-heap of the n best entries seen; the root is the worst keeper.
+	heap := make([]TopNEntry, 0, n)
+	for i := range total.slots {
+		s := &total.slots[i]
+		if !s.used {
+			continue
+		}
+		e := TopNEntry{Dim: s.key.dims[0], Value: aggValue(q.Agg, &s.cell)}
+		if len(heap) < n {
+			heap = append(heap, e)
+			// Sift up: a child worse than its parent moves toward the root.
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !topNWorse(heap[c], heap[p]) {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+			continue
+		}
+		if !topNWorse(heap[0], e) {
+			continue // not better than the worst keeper
+		}
+		heap[0] = e
+		// Sift down: the replacement sinks below any worse child.
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && topNWorse(heap[r], heap[c]) {
+				c = r
+			}
+			if !topNWorse(heap[c], heap[p]) {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			p = c
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return topNWorse(heap[j], heap[i]) })
+	return heap, nil
+}
+
+// fingerprint canonicalizes a query for the result cache: filter values
+// are length-prefixed and sorted per dimension so semantically equal
+// queries share an entry regardless of map iteration or value order.
+func (q Query) fingerprint() string {
+	b := make([]byte, 0, 128)
+	b = strconv.AppendInt(b, q.From.UnixNano(), 36)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, q.To.UnixNano(), 36)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(q.Granularity), 36)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(q.Agg), 10)
+	for _, d := range q.GroupBy {
+		b = append(b, '|', 'g')
+		b = append(b, d...)
+	}
+	for d := 0; d < len(dimNames); d++ {
+		vals, ok := q.Filters[dimNames[d]]
+		if !ok {
+			continue
+		}
+		b = append(b, '|', 'f')
+		b = strconv.AppendInt(b, int64(d), 10)
+		sorted := append([]string(nil), vals...)
+		sort.Strings(sorted)
+		for _, v := range sorted {
+			b = strconv.AppendInt(b, int64(len(v)), 36)
+			b = append(b, ':')
+			b = append(b, v...)
+		}
+	}
+	return string(b)
+}

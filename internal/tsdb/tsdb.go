@@ -7,7 +7,6 @@
 package tsdb
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,9 +26,6 @@ const (
 
 var dimNames = []string{DimSystem, DimSource, DimComponent, DimMetric}
 
-// ErrBadQuery reports an invalid query.
-var ErrBadQuery = errors.New("tsdb: bad query")
-
 // Options tunes the store.
 type Options struct {
 	// SegmentDuration is the time-chunk width (default 1h).
@@ -37,6 +33,9 @@ type Options struct {
 	// RollupInterval is the ingest-time aggregation bucket (default 15s),
 	// reconciling differing sample rates and clock skew.
 	RollupInterval time.Duration
+	// QueryCacheSize bounds the query-result cache (entries). 0 selects
+	// the default (64); negative disables result caching.
+	QueryCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RollupInterval <= 0 {
 		o.RollupInterval = 15 * time.Second
+	}
+	if o.QueryCacheSize == 0 {
+		o.QueryCacheSize = 64
 	}
 	return o
 }
@@ -116,22 +118,30 @@ type segment struct {
 	rows  int64 // raw observations ingested
 }
 
-// cellTable is an open-addressed (linear-probe) hash table from rollupKey
-// to an inline aggCell. It replaces a Go map on the ingest hot path: the
-// probe hash is derived from the series hash already computed for shard
-// striping, cells live inline in the slots (no per-cell allocation, one
-// cache line per probe), and the stored hash makes misses cheap.
+// cellTable maps rollupKey to aggCell. It replaces a Go map on the
+// ingest hot path: the probe hash is derived from the series hash already
+// computed for shard striping, and the stored hash makes misses cheap.
+// Layout is structure-of-arrays: a compact open-addressed index (8 bytes
+// per entry) resolves a key to a position in dense, insertion-ordered
+// key and cell arrays. Queries stream sequentially over the packed keys
+// and touch aggregation state only for cells that match — roughly
+// halving scan memory traffic versus keys and cells interleaved in
+// 128-byte hash slots, with no change to the ingest probe cost.
 type cellTable struct {
-	slots []cellSlot
-	n     int
+	index []cellRef   // open-addressed probe index
+	keys  []rollupKey // dense, insertion order
+	cells []aggCell   // parallel to keys
 }
 
-type cellSlot struct {
+// cellRef is one index entry: the probe hash plus a 1-based position in
+// the dense arrays (0 marks an empty slot).
+type cellRef struct {
 	hash uint32
-	used bool
-	key  rollupKey
-	cell aggCell
+	idx  int32
 }
+
+// n returns the live cell count.
+func (t *cellTable) n() int { return len(t.keys) }
 
 // cellHash mixes the rollup bucket into the series hash. bucketN is in
 // nanos so consecutive buckets differ only in high bits; the shift brings
@@ -142,47 +152,45 @@ func cellHash(seriesH uint32, bucketN int64) uint32 {
 
 // cell returns the cell for key (creating it if absent). h must be
 // cellHash of the key's series and bucket. The returned pointer is only
-// valid until the next cell call — a later insert may grow the table.
+// valid until the next cell call — a later insert may grow the arrays.
 func (t *cellTable) cell(h uint32, key rollupKey) *aggCell {
-	if t.n >= len(t.slots)*3/4 { // covers the empty table too
+	if len(t.keys) >= len(t.index)*3/4 { // covers the empty table too
 		t.grow()
 	}
-	mask := uint32(len(t.slots) - 1)
+	mask := uint32(len(t.index) - 1)
 	i := h & mask
 	for {
-		s := &t.slots[i]
-		if !s.used {
-			s.used = true
-			s.hash = h
-			s.key = key
-			t.n++
-			return &s.cell
+		r := t.index[i]
+		if r.idx == 0 {
+			t.keys = append(t.keys, key)
+			t.cells = append(t.cells, aggCell{})
+			t.index[i] = cellRef{hash: h, idx: int32(len(t.keys))}
+			return &t.cells[len(t.cells)-1]
 		}
-		if s.hash == h && s.key == key {
-			return &s.cell
+		if r.hash == h && t.keys[r.idx-1] == key {
+			return &t.cells[r.idx-1]
 		}
 		i = (i + 1) & mask
 	}
 }
 
 func (t *cellTable) grow() {
-	newCap := 2 * len(t.slots)
+	newCap := 2 * len(t.index)
 	if newCap == 0 {
 		newCap = 64
 	}
-	old := t.slots
-	t.slots = make([]cellSlot, newCap)
+	old := t.index
+	t.index = make([]cellRef, newCap)
 	mask := uint32(newCap - 1)
-	for oi := range old {
-		s := &old[oi]
-		if !s.used {
+	for _, r := range old {
+		if r.idx == 0 {
 			continue
 		}
-		i := s.hash & mask
-		for t.slots[i].used {
+		i := r.hash & mask
+		for t.index[i].idx != 0 {
 			i = (i + 1) & mask
 		}
-		t.slots[i] = *s
+		t.index[i] = r
 	}
 }
 
@@ -198,6 +206,12 @@ type dbShard struct {
 	mu       sync.RWMutex
 	segments map[int64]*segment // keyed by chunk start unixnano
 	ingested int64
+	// version counts mutations to this stripe (insert, import, retain).
+	// It is bumped inside the stripe's critical section and read lock-free
+	// by the query-result cache to fingerprint store state: a repeated
+	// query whose shard-version vector is unchanged can be answered from
+	// cache without touching any stripe.
+	version atomic.Uint64
 }
 
 // DB is the time-series store. Safe for concurrent use: the cell space
@@ -209,15 +223,42 @@ type DB struct {
 	// batchCursor staggers the stripe visit order across InsertBatch
 	// calls so concurrent batches don't convoy lock-for-lock.
 	batchCursor atomic.Uint32
+	// cache is the LRU query-result cache; nil when disabled.
+	cache *queryCache
+	// scanSlots admission-controls query fan-out: each in-flight scan
+	// helper goroutine holds one slot, bounding the DB-wide total to
+	// shardCount no matter how many queries run concurrently. A query
+	// that finds the slots taken scans inline on its own goroutine —
+	// under load the engine degrades toward serial instead of drowning
+	// the scheduler in CPU-bound goroutines.
+	scanSlots chan struct{}
+	// partials pools per-query partial-aggregation tables (see
+	// partialSet) so steady query traffic reuses grown slot arrays.
+	partials sync.Pool
 }
 
 // New returns an empty store.
 func New(opts Options) *DB {
-	db := &DB{opts: opts.withDefaults()}
+	db := &DB{opts: opts.withDefaults(), scanSlots: make(chan struct{}, shardCount)}
 	for i := range db.shards {
 		db.shards[i].segments = make(map[int64]*segment)
 	}
+	if db.opts.QueryCacheSize > 0 {
+		db.cache = newQueryCache(db.opts.QueryCacheSize)
+	}
 	return db
+}
+
+// versionVector snapshots every stripe's mutation counter. Reading it
+// before a scan keys cached results conservatively: a write that lands
+// mid-scan bumps the vector, so the (possibly fresher) cached entry can
+// never be served once the store has visibly changed.
+func (db *DB) versionVector() [shardCount]uint64 {
+	var vv [shardCount]uint64
+	for i := range db.shards {
+		vv[i] = db.shards[i].version.Load()
+	}
+	return vv
 }
 
 // seriesHash is FNV-1a over component and metric — the dimensions that
@@ -288,6 +329,7 @@ func (db *DB) Insert(o schema.Observation) {
 	sh := &db.shards[h%shardCount]
 	sh.mu.Lock()
 	insertLocked(sh, sh.segmentLocked(chunkN), h, bucketN, &o)
+	sh.version.Add(1)
 	sh.mu.Unlock()
 }
 
@@ -369,6 +411,7 @@ func (db *DB) InsertBatch(obs []schema.Observation) {
 			}
 			insertLocked(sh, seg, hashes[oi], bucketN, o)
 		}
+		sh.version.Add(1)
 		sh.mu.Unlock()
 	}
 }
@@ -417,10 +460,8 @@ func (db *DB) Export(cutoff time.Time) (*schema.Frame, error) {
 			if !seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
 				continue
 			}
-			for i := range seg.cells.slots {
-				if s := &seg.cells.slots[i]; s.used {
-					cells = append(cells, kv{s.key, s.cell})
-				}
+			for i := range seg.cells.keys {
+				cells = append(cells, kv{seg.cells.keys[i], seg.cells.cells[i]})
 			}
 		}
 		sh.mu.RUnlock()
@@ -485,6 +526,7 @@ func (db *DB) ImportRollups(f *schema.Frame) error {
 		seg.cells.cell(cellHash(h, key.ts), key).merge(cell)
 		seg.rows += cell.count
 		sh.ingested += cell.count
+		sh.version.Add(1)
 		sh.mu.Unlock()
 	}
 	return nil
@@ -497,11 +539,15 @@ func (db *DB) Retain(cutoff time.Time) int {
 	for si := range db.shards {
 		sh := &db.shards[si]
 		sh.mu.Lock()
+		before := len(sh.segments)
 		for k, seg := range sh.segments {
 			if seg.start.Add(db.opts.SegmentDuration).Before(cutoff) {
 				delete(sh.segments, k)
 				dropped[k] = struct{}{}
 			}
+		}
+		if len(sh.segments) != before {
+			sh.version.Add(1)
 		}
 		sh.mu.Unlock()
 	}
@@ -526,94 +572,12 @@ func (db *DB) Stats() Stats {
 		st.RawIngested += sh.ingested
 		for k, s := range sh.segments {
 			chunks[k] = struct{}{}
-			st.RollupCells += int64(s.cells.n)
+			st.RollupCells += int64(s.cells.n())
 		}
 		sh.mu.RUnlock()
 	}
 	st.Segments = len(chunks)
 	return st
-}
-
-// AggKind selects the aggregation applied to matching cells.
-type AggKind int
-
-// Supported aggregations.
-const (
-	AggAvg AggKind = iota
-	AggSum
-	AggMin
-	AggMax
-	AggCount
-	AggLast
-)
-
-// Query describes a group-by query.
-type Query struct {
-	// From and To bound the time range (half-open).
-	From, To time.Time
-	// Filters are dimension-equality constraints; a dimension maps to the
-	// set of accepted values (OR within a dimension, AND across).
-	Filters map[string][]string
-	// GroupBy lists output dimensions (subset of system, source,
-	// component, metric). Time is always grouped by Granularity.
-	GroupBy []string
-	// Granularity buckets output rows in time; 0 collapses the range to
-	// a single bucket.
-	Granularity time.Duration
-	// Agg is the aggregation to report.
-	Agg AggKind
-}
-
-// ResultSchema returns the schema of the query's result frame: ts, the
-// group-by dimensions, then "value".
-func (q Query) ResultSchema() *schema.Schema {
-	fields := []schema.Field{{Name: "ts", Kind: schema.KindTime}}
-	for _, d := range q.GroupBy {
-		fields = append(fields, schema.Field{Name: d, Kind: schema.KindString})
-	}
-	fields = append(fields, schema.Field{Name: "value", Kind: schema.KindFloat})
-	return schema.New(fields...)
-}
-
-func (q Query) validate() error {
-	if !q.To.After(q.From) {
-		return fmt.Errorf("%w: empty time range", ErrBadQuery)
-	}
-	if len(q.GroupBy) > len(dimNames) {
-		return fmt.Errorf("%w: too many group-by dimensions", ErrBadQuery)
-	}
-	seen := map[string]bool{}
-	for _, d := range q.GroupBy {
-		if seen[d] {
-			return fmt.Errorf("%w: duplicate group-by dimension %q", ErrBadQuery, d)
-		}
-		seen[d] = true
-	}
-	for _, d := range q.GroupBy {
-		if !validDim(d) {
-			return fmt.Errorf("%w: unknown group-by dimension %q", ErrBadQuery, d)
-		}
-	}
-	for d := range q.Filters {
-		if !validDim(d) {
-			return fmt.Errorf("%w: unknown filter dimension %q", ErrBadQuery, d)
-		}
-	}
-	return nil
-}
-
-func validDim(d string) bool {
-	for _, n := range dimNames {
-		if n == d {
-			return true
-		}
-	}
-	return false
-}
-
-type groupKey struct {
-	ts   int64
-	dims [4]string // aligned with q.GroupBy, max 4 dims
 }
 
 // floorMod returns x mod m with the sign of m (m > 0), so bucket
@@ -624,157 +588,4 @@ func floorMod(x, m int64) int64 {
 		r += m
 	}
 	return r
-}
-
-// Run executes the query and returns a frame sorted by (ts, dims).
-// Granularity buckets are anchored at the Unix epoch (Druid semantics):
-// the same data queried with a shifted From lands in the same buckets.
-// Granularity 0 collapses the range to a single bucket labeled q.From.
-func (db *DB) Run(q Query) (*schema.Frame, error) {
-	if err := q.validate(); err != nil {
-		return nil, err
-	}
-	granNanos := int64(q.Granularity)
-	groups := make(map[groupKey]*aggCell)
-	for si := range db.shards {
-		sh := &db.shards[si]
-		sh.mu.RLock()
-		for _, seg := range sh.segments {
-			segEnd := seg.start.Add(db.opts.SegmentDuration)
-			if !seg.start.Before(q.To) || !segEnd.After(q.From) {
-				continue // segment pruning by time chunk
-			}
-			for si := range seg.cells.slots {
-				slot := &seg.cells.slots[si]
-				if !slot.used {
-					continue
-				}
-				key := slot.key
-				ts := time.Unix(0, key.ts).UTC()
-				if ts.Before(q.From) || !ts.Before(q.To) {
-					continue
-				}
-				if !matchFilters(key, q.Filters) {
-					continue
-				}
-				gk := groupKey{ts: q.From.UnixNano()}
-				if granNanos > 0 {
-					gk.ts = key.ts - floorMod(key.ts, granNanos)
-				}
-				for i, d := range q.GroupBy {
-					gk.dims[i] = key.dim(d)
-				}
-				g, ok := groups[gk]
-				if !ok {
-					g = &aggCell{}
-					groups[gk] = g
-				}
-				g.merge(slot.cell)
-			}
-		}
-		sh.mu.RUnlock()
-	}
-
-	keys := make([]groupKey, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].ts != keys[j].ts {
-			return keys[i].ts < keys[j].ts
-		}
-		for d := 0; d < len(q.GroupBy); d++ {
-			if keys[i].dims[d] != keys[j].dims[d] {
-				return keys[i].dims[d] < keys[j].dims[d]
-			}
-		}
-		return false
-	})
-
-	out := schema.NewFrame(q.ResultSchema())
-	for _, k := range keys {
-		cell := groups[k]
-		row := schema.Row{schema.TimeNanos(k.ts)}
-		for i := range q.GroupBy {
-			row = append(row, schema.Str(k.dims[i]))
-		}
-		row = append(row, schema.Float(aggValue(q.Agg, cell)))
-		if err := out.AppendRow(row); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-func matchFilters(key rollupKey, filters map[string][]string) bool {
-	for dim, accepted := range filters {
-		v := key.dim(dim)
-		ok := false
-		for _, a := range accepted {
-			if v == a {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-func aggValue(kind AggKind, c *aggCell) float64 {
-	switch kind {
-	case AggSum:
-		return c.sum
-	case AggMin:
-		return c.min
-	case AggMax:
-		return c.max
-	case AggCount:
-		return float64(c.count)
-	case AggLast:
-		return c.last
-	default: // AggAvg
-		if c.count == 0 {
-			return 0
-		}
-		return c.sum / float64(c.count)
-	}
-}
-
-// TopNEntry is one row of a top-N result.
-type TopNEntry struct {
-	Dim   string
-	Value float64
-}
-
-// TopN returns the n highest-aggregating values of one dimension over a
-// time range — the Druid-style "which nodes drew the most power" query
-// behind user-assistance triage.
-func (db *DB) TopN(q Query, dim string, n int) ([]TopNEntry, error) {
-	if !validDim(dim) {
-		return nil, fmt.Errorf("%w: unknown top-n dimension %q", ErrBadQuery, dim)
-	}
-	q.GroupBy = []string{dim}
-	q.Granularity = 0
-	f, err := db.Run(q)
-	if err != nil {
-		return nil, err
-	}
-	entries := make([]TopNEntry, 0, f.Len())
-	for i := 0; i < f.Len(); i++ {
-		r := f.Row(i)
-		entries = append(entries, TopNEntry{Dim: r[1].StrVal(), Value: r[2].FloatVal()})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Value != entries[j].Value {
-			return entries[i].Value > entries[j].Value
-		}
-		return entries[i].Dim < entries[j].Dim
-	})
-	if n < len(entries) {
-		entries = entries[:n]
-	}
-	return entries, nil
 }

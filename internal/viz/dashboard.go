@@ -40,7 +40,12 @@ type JobView struct {
 	// QueriesIssued counts backend queries — the "one view instead of
 	// checking N systems" consolidation metric.
 	QueriesIssued int
-	BuildLatency  time.Duration
+	// CellsScanned and CacheHits aggregate the LAKE engine's QueryStats
+	// across the view's queries: how much scan work the dashboard cost,
+	// and how much the query-result cache absorbed on refresh.
+	CellsScanned int64
+	CacheHits    int
+	BuildLatency time.Duration
 }
 
 // BuildJobView compiles the dashboard for a job id.
@@ -67,7 +72,7 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 	if gran < time.Minute {
 		gran = time.Minute
 	}
-	pf, err := d.Lake.Run(tsdb.Query{
+	pf, pst, err := d.Lake.RunWithStats(tsdb.Query{
 		From: j.Start, To: j.End,
 		Filters:     map[string][]string{tsdb.DimMetric: {"node_power_w"}, tsdb.DimComponent: nodeNames},
 		Granularity: gran, Agg: tsdb.AggAvg,
@@ -76,6 +81,7 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 		return nil, err
 	}
 	v.QueriesIssued++
+	v.noteStats(pst)
 	for i := 0; i < pf.Len(); i++ {
 		v.PowerSeries = append(v.PowerSeries, pf.Row(i)[1].FloatVal())
 	}
@@ -87,7 +93,7 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 			gpuNames = append(gpuNames, fmt.Sprintf("node%05d.gpu%d", n, g))
 		}
 	}
-	gf, err := d.Lake.Run(tsdb.Query{
+	gf, gst, err := d.Lake.RunWithStats(tsdb.Query{
 		From: j.Start, To: j.End,
 		Filters:     map[string][]string{tsdb.DimMetric: {"gpu_util_pct"}, tsdb.DimComponent: gpuNames},
 		Granularity: gran, Agg: tsdb.AggAvg,
@@ -96,6 +102,7 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 		return nil, err
 	}
 	v.QueriesIssued++
+	v.noteStats(gst)
 	for i := 0; i < gf.Len(); i++ {
 		v.GPUUtil = append(v.GPUUtil, gf.Row(i)[1].FloatVal())
 	}
@@ -130,6 +137,14 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 	return v, nil
 }
 
+// noteStats folds one query's engine statistics into the view.
+func (v *JobView) noteStats(st tsdb.QueryStats) {
+	v.CellsScanned += st.CellsScanned
+	if st.CacheHit {
+		v.CacheHits++
+	}
+}
+
 // RenderText draws the job view as a terminal dashboard.
 func (v *JobView) RenderText() string {
 	var b strings.Builder
@@ -147,6 +162,7 @@ func (v *JobView) RenderText() string {
 	for _, e := range v.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
-	fmt.Fprintf(&b, "[%d backend queries, %s]\n", v.QueriesIssued, v.BuildLatency.Round(time.Microsecond))
+	fmt.Fprintf(&b, "[%d backend queries, %d cells scanned, %d cache hits, %s]\n",
+		v.QueriesIssued, v.CellsScanned, v.CacheHits, v.BuildLatency.Round(time.Microsecond))
 	return b.String()
 }
