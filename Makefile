@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-query verify clean
+.PHONY: all build vet test race chaos bench bench-query verify clean
 
 all: verify
 
@@ -15,10 +15,18 @@ test:
 
 # The concurrency-heavy packages get a dedicated race-detector pass: the
 # striped-lock LAKE store, the partitioned STREAM broker, the pipeline
-# that batches into both, and the parallel read surfaces (log search
-# fan-out, columnar row-group decode).
+# that batches into both, the parallel read surfaces (log search
+# fan-out, columnar row-group decode), and the resilience substrate
+# (retry/breaker/supervisor, fault injector, streaming jobs).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc
+
+# Chaos pass: the full pipeline under deterministic fault injection with
+# the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
+# failure replays exactly; change it to explore other schedules.
+ODA_CHAOS_SEED ?= 20240601
+chaos:
+	ODA_CHAOS_SEED=$(ODA_CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos' ./internal/core -v
 
 # Parallel ingest benchmarks (1/4/16 goroutines x batch 1/64/1024).
 bench:
@@ -30,7 +38,7 @@ bench-query:
 	rm -f $(CURDIR)/BENCH_query.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_query.json $(GO) test -run xxx -bench 'TSDBQueryParallel' -cpu 16 -benchtime 30x .
 
-verify: vet build test race
+verify: vet build test race chaos
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,49 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// No temp residue after successful writes.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*"+TempSuffix))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left: %v", matches)
+	}
+}
+
+func TestCleanTemps(t *testing.T) {
+	dir := t.TempDir()
+	// A torn write: temp file that never got renamed.
+	if err := os.WriteFile(filepath.Join(dir, "state.json"+TempSuffix), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "keep.json"), []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CleanTemps(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("cleaned = %d, %v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.json")); err != nil {
+		t.Fatal("non-temp file removed")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*"+TempSuffix))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left: %v", matches)
+	}
+}

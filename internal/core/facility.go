@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,9 @@ import (
 	"odakit/internal/objstore"
 	"odakit/internal/platform"
 	"odakit/internal/report"
+	"odakit/internal/resilience"
 	"odakit/internal/schema"
+	"odakit/internal/sproc"
 	"odakit/internal/stream"
 	"odakit/internal/telemetry"
 	"odakit/internal/tsdb"
@@ -65,6 +68,12 @@ type Options struct {
 	// flushing to the STREAM and LAKE tiers in one batched call
 	// (default 512). 1 degenerates to per-record ingest.
 	IngestBatch int
+	// RetryPolicy shapes how facility pipelines retry transient
+	// infrastructure faults (publish, insert, fetch, ocean I/O). nil
+	// applies the resilience package defaults (5 attempts, jittered
+	// exponential backoff); without fault injection no error classifies
+	// transient, so this changes nothing on the happy path.
+	RetryPolicy *resilience.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +121,10 @@ type Facility struct {
 	DataRUC  *governance.Workflow
 	ML       *mlops.Pipeline
 	Rats     *report.RATS
+
+	// Pipelines tracks supervised streaming pipelines for health and
+	// metrics endpoints (/healthz, /api/v1/pipelines, dashboard footer).
+	Pipelines *sproc.Registry
 }
 
 // NewFacility builds and wires a facility.
@@ -142,20 +155,21 @@ func NewFacility(opts Options) (*Facility, error) {
 		return nil, err
 	}
 	f := &Facility{
-		Opts:     opts,
-		Gen:      telemetry.NewGenerator(opts.System, sched),
-		Sched:    sched,
-		Broker:   stream.NewBroker(),
-		Lake:     tsdb.New(tsdb.Options{RollupInterval: opts.SilverWindow}),
-		Logs:     logsearch.New(),
-		Ocean:    ocean,
-		Glacier:  archive.New(),
-		Apps:     platform.New(platform.Resources{CPUCores: 512, MemoryGB: 4096, StorageGB: 65536}),
-		Datasets: medallion.NewRegistry(),
-		Dict:     catalog.NewDictionary(),
-		DataRUC:  governance.NewWorkflow(),
-		ML:       ml,
-		Rats:     report.New(),
+		Opts:      opts,
+		Gen:       telemetry.NewGenerator(opts.System, sched),
+		Sched:     sched,
+		Broker:    stream.NewBroker(),
+		Lake:      tsdb.New(tsdb.Options{RollupInterval: opts.SilverWindow}),
+		Logs:      logsearch.New(),
+		Ocean:     ocean,
+		Glacier:   archive.New(),
+		Apps:      platform.New(platform.Resources{CPUCores: 512, MemoryGB: 4096, StorageGB: 65536}),
+		Datasets:  medallion.NewRegistry(),
+		Dict:      catalog.NewDictionary(),
+		DataRUC:   governance.NewWorkflow(),
+		ML:        ml,
+		Rats:      report.New(),
+		Pipelines: sproc.NewRegistry(),
 	}
 	for _, src := range telemetry.MetricSources {
 		if err := f.Broker.EnsureTopic(BronzeTopic(src), stream.TopicConfig{
@@ -216,10 +230,15 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 			if len(msgs) == 0 {
 				return nil
 			}
-			if _, err := f.Broker.PublishBatch(topic, msgs); err != nil {
+			// Retried flushes: a partial publish resumes with only the
+			// unpublished remainder, and the lake insert is all-or-nothing,
+			// so transient faults cost retries — never duplicates.
+			if err := f.publishRetry(context.Background(), topic, msgs); err != nil {
 				return err
 			}
-			f.Lake.InsertBatch(obsBatch)
+			if err := f.insertRetry(context.Background(), obsBatch); err != nil {
+				return err
+			}
 			msgs, obsBatch = msgs[:0], obsBatch[:0]
 			return nil
 		}
@@ -251,7 +270,7 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 		if len(msgs) == 0 {
 			return nil
 		}
-		if _, err := f.Broker.PublishBatch(BronzeTopic(telemetry.SourceSyslog), msgs); err != nil {
+		if err := f.publishRetry(context.Background(), BronzeTopic(telemetry.SourceSyslog), msgs); err != nil {
 			return err
 		}
 		msgs = msgs[:0]
@@ -332,7 +351,7 @@ func (f *Facility) ApplyRetention(now time.Time, lakeAge time.Duration) (Retenti
 			return st, err
 		}
 		key := "lake_rollups/" + cutoff.UTC().Format("2006-01-02T15") + ".ocf"
-		if _, err := f.Ocean.Append(BucketSilver, key, data); err != nil {
+		if err := f.oceanAppend(BucketSilver, key, data); err != nil {
 			return st, err
 		}
 		st.LakeRowsOffloaded = rollups.Len()

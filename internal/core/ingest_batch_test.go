@@ -81,12 +81,15 @@ func TestReplayBronzeToLake(t *testing.T) {
 	}
 	// Simulate a LAKE restart: fresh store, replay from STREAM.
 	f.Lake = tsdb.New(tsdb.Options{RollupInterval: f.Opts.SilverWindow})
-	n, err := f.ReplayBronzeToLake(context.Background(), telemetry.SourcePowerTemp)
+	n, quarantined, err := f.ReplayBronzeToLake(context.Background(), telemetry.SourcePowerTemp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Fatal("nothing replayed")
+	}
+	if quarantined != 0 {
+		t.Fatalf("clean topic quarantined %d records", quarantined)
 	}
 	got, err := f.Lake.Run(q)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"odakit/internal/columnar"
 	"odakit/internal/medallion"
+	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
 	"odakit/internal/telemetry"
@@ -19,47 +20,64 @@ import (
 // ReplayBronzeToLake rebuilds the LAKE rollup store from the retained
 // bronze topic of a source — the recovery path after a LAKE restart, and
 // a consumer of the batched ingest hot path end to end: records are
-// fetched in pages and rolled up via InsertBatch. It returns how many
-// observations were replayed.
-func (f *Facility) ReplayBronzeToLake(ctx context.Context, src telemetry.Source) (int64, error) {
+// fetched in pages and rolled up via InsertBatch. Undecodable or
+// non-conforming records do not abort the replay: they are quarantined
+// to the topic's DLQ with offset and error metadata and the replay keeps
+// going. Fetches and inserts retry transient faults. It returns how many
+// observations were replayed and how many were quarantined.
+func (f *Facility) ReplayBronzeToLake(ctx context.Context, src telemetry.Source) (replayed, quarantined int64, err error) {
 	topic := BronzeTopic(src)
 	parts, err := f.Broker.Partitions(topic)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var replayed int64
 	batch := make([]schema.Observation, 0, f.Opts.IngestBatch)
 	for p := 0; p < parts; p++ {
 		st, err := f.Broker.Stats(topic)
 		if err != nil {
-			return replayed, err
+			return replayed, quarantined, err
 		}
 		off, end := st.OldestOffsets[p], st.EndOffsets[p]
 		for off < end {
-			recs, err := f.Broker.Fetch(ctx, topic, p, off, f.Opts.IngestBatch)
+			recs, err := f.fetchRetry(ctx, topic, p, off, f.Opts.IngestBatch)
 			if err != nil {
-				return replayed, err
+				return replayed, quarantined, err
 			}
 			if len(recs) == 0 {
 				break
 			}
 			batch = batch[:0]
+			var dead []sproc.DeadRecord
 			for _, r := range recs {
-				row, _, err := schema.DecodeRow(r.Value)
-				if err != nil {
-					return replayed, fmt.Errorf("core: replay %s/%d@%d: %w", topic, p, r.Offset, err)
+				row, _, derr := schema.DecodeRow(r.Value)
+				if derr == nil {
+					derr = row.Conforms(schema.ObservationSchema)
 				}
-				if err := row.Conforms(schema.ObservationSchema); err != nil {
-					return replayed, fmt.Errorf("core: replay %s/%d@%d: %w", topic, p, r.Offset, err)
+				if derr != nil {
+					dead = append(dead, sproc.DeadRecord{
+						Topic: topic, Partition: p, Offset: r.Offset, Ts: r.Ts,
+						Reason:  fmt.Sprintf("core: replay %s/%d@%d: %v", topic, p, r.Offset, derr),
+						Payload: r.Value,
+					})
+					continue
 				}
 				batch = append(batch, schema.ObservationFromRow(row))
 			}
-			f.Lake.InsertBatch(batch)
+			if len(dead) > 0 {
+				n, derr := sproc.DeadLetter(f.Broker, dead)
+				quarantined += int64(n)
+				if derr != nil {
+					return replayed, quarantined, derr
+				}
+			}
+			if err := f.insertRetry(ctx, batch); err != nil {
+				return replayed, quarantined, err
+			}
 			replayed += int64(len(batch))
 			off = recs[len(recs)-1].Offset + 1
 		}
 	}
-	return replayed, nil
+	return replayed, quarantined, nil
 }
 
 // SilverObjectKey is the OCEAN key Silver data for a source appends to.
@@ -72,19 +90,35 @@ type SilverPipelineConfig struct {
 	Group string
 	// CheckpointDir enables crash recovery.
 	CheckpointDir string
+	// Breaker, when non-nil, guards the OCEAN sink with a circuit
+	// breaker: a persistently failing append trips it instead of being
+	// re-hammered on every window.
+	Breaker *resilience.BreakerConfig
+	// Retry overrides the facility retry policy for this job's poll and
+	// sink calls.
+	Retry *resilience.Policy
 }
 
 // NewSilverJob builds (without running) the streaming Bronze→Silver job
 // for a source: 15 s windowed averages, pivoted wide, contextualized with
-// job allocations, appended to the source's OCEAN Silver object.
+// job allocations, appended to the source's OCEAN Silver object. The job
+// dead-letters poison records, retries transient poll/sink faults under
+// the facility retry policy, and (when configured) guards its sink with
+// a circuit breaker.
 func (f *Facility) NewSilverJob(cfg SilverPipelineConfig) (*sproc.Job, error) {
 	if cfg.Group == "" {
 		cfg.Group = "silver-" + string(cfg.Source)
+	}
+	retry := cfg.Retry
+	if retry == nil {
+		p := f.retryPolicy()
+		retry = &p
 	}
 	job, err := sproc.NewJob(f.Broker, sproc.JobConfig{
 		Name: "silver-" + string(cfg.Source), Topic: BronzeTopic(cfg.Source),
 		Group: cfg.Group, InputSchema: schema.ObservationSchema,
 		CheckpointDir: cfg.CheckpointDir,
+		Retry:         retry, Breaker: cfg.Breaker, DeadLetter: true,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +136,9 @@ func (f *Facility) NewSilverJob(cfg SilverPipelineConfig) (*sproc.Job, error) {
 			if err != nil {
 				return err
 			}
+			// No extra retry here: the job's retry policy wraps the whole
+			// sink call, and the append fault hook rejects before mutating,
+			// so a retried sink cannot double-append a window.
 			if _, err := f.Ocean.Append(BucketSilver, SilverObjectKey(cfg.Source), data); err != nil {
 				return err
 			}
@@ -126,7 +163,7 @@ func (f *Facility) DrainSilver(ctx context.Context, cfg SilverPipelineConfig) (s
 // ReadSilver loads a source's Silver frame back from OCEAN, optionally
 // restricted to a time range via columnar predicate pushdown.
 func (f *Facility) ReadSilver(src telemetry.Source, from, to time.Time) (*schema.Frame, error) {
-	data, _, err := f.Ocean.Get(BucketSilver, SilverObjectKey(src))
+	data, err := f.oceanGet(BucketSilver, SilverObjectKey(src))
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +192,7 @@ func (f *Facility) ReadSilver(src telemetry.Source, from, to time.Time) (*schema
 // named columns (plus the window predicate column) are decoded — the
 // access path interactive views use on wide Silver objects.
 func (f *Facility) ReadSilverColumns(src telemetry.Source, columns []string, from, to time.Time) (*schema.Frame, error) {
-	data, _, err := f.Ocean.Get(BucketSilver, SilverObjectKey(src))
+	data, err := f.oceanGet(BucketSilver, SilverObjectKey(src))
 	if err != nil {
 		return nil, err
 	}
@@ -240,14 +277,14 @@ func (f *Facility) BuildGold(src telemetry.Source, powerCol string, dim int) (*G
 		}
 		buf = schema.AppendRow(buf, row)
 	}
-	if _, err := f.Ocean.Put(BucketGold, ga.ProfilesKey, buf); err != nil {
+	if err := f.oceanPut(BucketGold, ga.ProfilesKey, buf); err != nil {
 		return nil, err
 	}
 	seriesData, err := columnar.Encode(series, columnar.WriterOptions{})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Ocean.Put(BucketGold, ga.SeriesKey, seriesData); err != nil {
+	if err := f.oceanPut(BucketGold, ga.SeriesKey, seriesData); err != nil {
 		return nil, err
 	}
 	f.Datasets.Register(string(src)+"_gold", medallion.Gold, nil)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"odakit/internal/resilience"
+	"odakit/internal/schema"
+	"odakit/internal/sproc"
+	"odakit/internal/stream"
+)
+
+// Resilient wrappers for the facility's infrastructure calls: every
+// cross-tier write or read that the fault injector can target goes
+// through a retry with jittered backoff, so a transient broker, lake, or
+// ocean fault costs a retry instead of a pipeline. Fault hooks fire
+// before any state changes, which is what makes these retries
+// exactly-once: a failed call left nothing behind.
+
+// retryPolicy resolves the facility's retry policy (Options.RetryPolicy,
+// or the resilience defaults).
+func (f *Facility) retryPolicy() resilience.Policy {
+	if f.Opts.RetryPolicy != nil {
+		return *f.Opts.RetryPolicy
+	}
+	return resilience.Policy{}
+}
+
+// publishRetry publishes a batch, retrying transient failures. A partial
+// publish (some partitions faulted) resumes with only the unpublished
+// remainder, so retries never duplicate records.
+func (f *Facility) publishRetry(ctx context.Context, topic string, msgs []stream.Message) error {
+	pending := msgs
+	return resilience.Retry(ctx, f.retryPolicy(), func() error {
+		_, err := f.Broker.PublishBatch(topic, pending)
+		var pp *stream.PartialPublishError
+		if errors.As(err, &pp) {
+			pending = pp.Failed
+		}
+		return err
+	})
+}
+
+// insertRetry inserts a batch into the LAKE store, retrying transient
+// failures (the insert hook rejects before any stripe is touched).
+func (f *Facility) insertRetry(ctx context.Context, obs []schema.Observation) error {
+	return resilience.Retry(ctx, f.retryPolicy(), func() error {
+		return f.Lake.InsertBatch(obs)
+	})
+}
+
+// fetchRetry fetches records from a bronze topic, retrying transients.
+func (f *Facility) fetchRetry(ctx context.Context, topic string, part int, off int64, max int) ([]stream.Record, error) {
+	var recs []stream.Record
+	err := resilience.Retry(ctx, f.retryPolicy(), func() error {
+		var ferr error
+		recs, ferr = f.Broker.Fetch(ctx, topic, part, off, max)
+		return ferr
+	})
+	return recs, err
+}
+
+// oceanGet / oceanPut / oceanAppend wrap the OCEAN object store with the
+// same retry discipline.
+func (f *Facility) oceanGet(bucket, key string) ([]byte, error) {
+	var data []byte
+	err := resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+		var gerr error
+		data, _, gerr = f.Ocean.Get(bucket, key)
+		return gerr
+	})
+	return data, err
+}
+
+func (f *Facility) oceanPut(bucket, key string, data []byte) error {
+	return resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+		_, perr := f.Ocean.Put(bucket, key, data)
+		return perr
+	})
+}
+
+func (f *Facility) oceanAppend(bucket, key string, data []byte) error {
+	return resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+		_, aerr := f.Ocean.Append(bucket, key, data)
+		return aerr
+	})
+}
+
+// RunSilverSupervised runs the streaming Silver pipeline under a
+// supervisor: each incarnation rebuilds the job (re-subscribing and
+// restoring from its checkpoint), transient failures trigger damped
+// backed-off restarts, and the pipeline registers itself with
+// f.Pipelines so /healthz and the dashboard can see it.
+func (f *Facility) RunSilverSupervised(ctx context.Context, cfg SilverPipelineConfig, scfg resilience.SupervisorConfig) error {
+	if cfg.Group == "" {
+		cfg.Group = "silver-" + string(cfg.Source)
+	}
+	p := sproc.NewPipeline("silver-"+string(cfg.Source), scfg, func() (*sproc.Job, error) {
+		return f.NewSilverJob(cfg)
+	})
+	f.Pipelines.Register(p)
+	return p.Run(ctx)
+}

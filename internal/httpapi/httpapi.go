@@ -12,6 +12,13 @@
 //	GET /api/v1/datasets
 //	GET /api/v1/governance/requests
 //	GET /api/v1/jobs/{id}
+//	GET /api/v1/pipelines
+//
+// Under load the query endpoints degrade gracefully rather than pile
+// onto a saturated LAKE: when every concurrent scan slot is busy, a
+// query is answered from the stale side of the result cache (marked
+// X-ODA-Stale: true) when possible, and shed with 503 + Retry-After
+// otherwise.
 package httpapi
 
 import (
@@ -23,18 +30,29 @@ import (
 
 	"odakit/internal/core"
 	"odakit/internal/logsearch"
+	"odakit/internal/schema"
 	"odakit/internal/tsdb"
 )
+
+// shedLoad is the scan-slot utilization at or above which query
+// endpoints start shedding (1.0 = every slot busy).
+const shedLoad = 1.0
 
 // Server wraps a facility with HTTP handlers.
 type Server struct {
 	f   *core.Facility
 	mux *http.ServeMux
+
+	// overloaded decides whether the LAKE is too busy for a fresh scan.
+	// Defaults to "all tsdb scan slots are in use"; tests override it to
+	// exercise the shed paths deterministically.
+	overloaded func() bool
 }
 
 // New returns a server for the facility.
 func New(f *core.Facility) *Server {
 	s := &Server{f: f, mux: http.NewServeMux()}
+	s.overloaded = func() bool { return f.Lake.ScanLoad() >= shedLoad }
 	s.mux.HandleFunc("GET /healthz", s.health)
 	s.mux.HandleFunc("GET /api/v1/lake/query", s.lakeQuery)
 	s.mux.HandleFunc("GET /api/v1/lake/topn", s.lakeTopN)
@@ -43,8 +61,13 @@ func New(f *core.Facility) *Server {
 	s.mux.HandleFunc("GET /api/v1/datasets", s.datasets)
 	s.mux.HandleFunc("GET /api/v1/governance/requests", s.governanceRequests)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.job)
+	s.mux.HandleFunc("GET /api/v1/pipelines", s.pipelines)
 	return s
 }
+
+// SetOverloadCheck replaces the overload predicate (tests and custom
+// deployments).
+func (s *Server) SetOverloadCheck(fn func() bool) { s.overloaded = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -65,13 +88,54 @@ func badRequest(w http.ResponseWriter, msg string) {
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	lake := s.f.Lake.Stats()
+	pipelines := s.f.Pipelines.Snapshot()
+	// The probe degrades instead of flipping straight to dead: a failed
+	// pipeline or a saturated LAKE is "degraded" (still 200 so pollers
+	// keep scraping the detail), not "ok".
+	status := "ok"
+	for _, ps := range pipelines {
+		if !ps.Healthy() {
+			status = "degraded"
+			break
+		}
+	}
+	load := s.f.Lake.ScanLoad()
+	if status == "ok" && s.overloaded() {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"lake_segments": lake.Segments,
-		"lake_rows":     lake.RawIngested,
-		"log_docs":      s.f.Logs.Stats().Docs,
-		"topics":        s.f.Broker.Topics(),
+		"status":         status,
+		"lake_segments":  lake.Segments,
+		"lake_rows":      lake.RawIngested,
+		"lake_scan_load": load,
+		"log_docs":       s.f.Logs.Stats().Docs,
+		"topics":         s.f.Broker.Topics(),
+		"pipelines":      pipelines,
 	})
+}
+
+// pipelines reports every supervised pipeline's status: supervisor
+// state, restart counts, breaker state, and job counters including
+// retries and dead-lettered records.
+func (s *Server) pipelines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.f.Pipelines.Snapshot())
+}
+
+// shed answers an overloaded query from the stale cache when a prior
+// result for the same query shape exists, and rejects with 503 +
+// Retry-After otherwise. Returns true when the request was handled.
+func (s *Server) shed(w http.ResponseWriter, query tsdb.Query, emit func(*schema.Frame)) bool {
+	if !s.overloaded() {
+		return false
+	}
+	if fr, ok := s.f.Lake.CachedStale(query); ok {
+		w.Header().Set("X-ODA-Stale", "true")
+		emit(fr)
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "lake overloaded, retry later"})
+	return true
 }
 
 // parseWindow reads from/to query params (RFC3339); a missing pair
@@ -140,6 +204,11 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	if g := q.Get("groupby"); g != "" {
 		query.GroupBy = strings.Split(g, ",")
 	}
+	if s.shed(w, query, func(fr *schema.Frame) {
+		writeJSON(w, http.StatusOK, framePoints(fr, query.GroupBy))
+	}) {
+		return
+	}
 	frame, stats, err := s.f.Lake.RunWithStats(query)
 	if err != nil {
 		badRequest(w, err.Error())
@@ -158,21 +227,26 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-ODA-Query-Segments-Pruned", strconv.Itoa(stats.SegmentsPruned))
 	w.Header().Set("X-ODA-Query-Workers", strconv.Itoa(stats.Workers))
 	w.Header().Set("X-ODA-Query-Micros", strconv.FormatInt(stats.TotalWall.Microseconds(), 10))
+	writeJSON(w, http.StatusOK, framePoints(frame, query.GroupBy))
+}
+
+// framePoints flattens a query result frame into the JSON series shape.
+func framePoints(frame *schema.Frame, groupBy []string) []seriesPoint {
 	out := make([]seriesPoint, 0, frame.Len())
 	sch := frame.Schema()
 	vi := sch.MustIndex("value")
 	for i := 0; i < frame.Len(); i++ {
 		row := frame.Row(i)
 		p := seriesPoint{Ts: row[0].TimeVal(), Value: row[vi].FloatVal()}
-		if len(query.GroupBy) > 0 {
+		if len(groupBy) > 0 {
 			p.Dims = map[string]string{}
-			for _, d := range query.GroupBy {
+			for _, d := range groupBy {
 				p.Dims[d] = row[sch.MustIndex(d)].StrVal()
 			}
 		}
 		out = append(out, p)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"odakit/internal/atomicfile"
 )
 
 // Errors returned by the store.
@@ -66,6 +68,30 @@ type Store struct {
 
 	// MaxVersions bounds retained versions per object (default 4).
 	MaxVersions int
+
+	// faultHook, when set, is consulted before Put/Append/Get operations
+	// ("store.put" / "store.append" / "store.get" with bucket/key as
+	// target); a non-nil result aborts before any state changes, so a
+	// caller retrying an aborted write cannot duplicate data. The chaos
+	// injector (internal/faults) installs here.
+	faultHook func(op, target string) error
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// consulted before put, append, and get operations.
+func (s *Store) SetFaultHook(h func(op, target string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faultHook = h
+}
+
+// faultLocked consults the injection hook; s.mu must be held (read or
+// write) by the caller.
+func (s *Store) faultLocked(op, bucketName, key string) error {
+	if s.faultHook == nil {
+		return nil
+	}
+	return s.faultHook(op, bucketName+"/"+key)
 }
 
 // New returns a store. If dir is non-empty, current object versions are
@@ -99,6 +125,11 @@ func Open(dir string) (*Store, error) {
 		}
 		bname := e.Name()
 		if err := s.CreateBucket(bname); err != nil {
+			return nil, err
+		}
+		// Sweep torn writes from a crash before loading: a *.tmp sibling is
+		// never valid data (atomicfile renames only after fsync).
+		if _, err := atomicfile.CleanTemps(filepath.Join(dir, bname)); err != nil {
 			return nil, err
 		}
 		files, err := os.ReadDir(filepath.Join(dir, bname))
@@ -206,6 +237,9 @@ func (s *Store) Buckets() []string {
 func (s *Store) Put(bucketName, key string, data []byte) (ObjectInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultLocked("store.put", bucketName, key); err != nil {
+		return ObjectInfo{}, err
+	}
 	return s.putLocked(bucketName, key, append([]byte(nil), data...))
 }
 
@@ -226,8 +260,10 @@ func (s *Store) putLocked(bucketName, key string, data []byte) (ObjectInfo, erro
 		obj.versions = obj.versions[len(obj.versions)-s.MaxVersions:]
 	}
 	if s.dir != "" {
+		// Crash-safe persist: a process killed mid-write must not leave a
+		// torn object file for the next Open to load as truth.
 		path := filepath.Join(s.dir, bucketName, encodeKey(key))
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 			return ObjectInfo{}, fmt.Errorf("objstore: persist: %w", err)
 		}
 	}
@@ -240,6 +276,9 @@ func (s *Store) putLocked(bucketName, key string, data []byte) (ObjectInfo, erro
 func (s *Store) Append(bucketName, key string, data []byte) (ObjectInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultLocked("store.append", bucketName, key); err != nil {
+		return ObjectInfo{}, err
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
@@ -258,6 +297,9 @@ func (s *Store) Append(bucketName, key string, data []byte) (ObjectInfo, error) 
 func (s *Store) Get(bucketName, key string) ([]byte, ObjectInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if err := s.faultLocked("store.get", bucketName, key); err != nil {
+		return nil, ObjectInfo{}, err
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)

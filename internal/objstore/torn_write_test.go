@@ -1,0 +1,52 @@
+package objstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"odakit/internal/atomicfile"
+)
+
+// TestTornWriteRecovery simulates a crash mid-persist: a *.tmp sibling
+// left behind by an interrupted atomic write must be swept on Open, and
+// the committed object versions must survive untouched.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", "k", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// A clean Put leaves no temp residue.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "b", "*"+atomicfile.TempSuffix)); len(tmps) != 0 {
+		t.Fatalf("temp files after Put: %v", tmps)
+	}
+
+	// Crash mid-rewrite of the object, plus an unrelated torn write.
+	torn := filepath.Join(dir, "b", encodeKey("k")+atomicfile.TempSuffix)
+	if err := os.WriteFile(torn, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b", "garbage"+atomicfile.TempSuffix), []byte{0xde, 0xad}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after torn write: %v", err)
+	}
+	data, _, err := s2.Get("b", "k")
+	if err != nil || !bytes.Equal(data, []byte("committed")) {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "b", "*"+atomicfile.TempSuffix)); len(tmps) != 0 {
+		t.Fatalf("torn writes not swept: %v", tmps)
+	}
+}

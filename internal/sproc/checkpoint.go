@@ -3,11 +3,13 @@ package sproc
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"odakit/internal/atomicfile"
 	"odakit/internal/schema"
 )
 
@@ -89,20 +91,23 @@ func (j *Job) checkpoint() error {
 	if err := os.MkdirAll(j.cfg.CheckpointDir, 0o755); err != nil {
 		return fmt.Errorf("sproc: checkpoint dir: %w", err)
 	}
-	tmp := j.checkpointPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Atomic write-fsync-rename so a crash mid-write never corrupts the
+	// checkpoint (a rename without fsync can survive while its data does
+	// not).
+	if err := atomicfile.WriteFile(j.checkpointPath(), data, 0o644); err != nil {
 		return fmt.Errorf("sproc: checkpoint write: %w", err)
-	}
-	// Atomic replace so a crash mid-write never corrupts the checkpoint.
-	if err := os.Rename(tmp, j.checkpointPath()); err != nil {
-		return fmt.Errorf("sproc: checkpoint rename: %w", err)
 	}
 	return nil
 }
 
 // restore loads the checkpoint if one exists, seeking the consumer to the
-// saved offsets and rebuilding open-window state.
+// saved offsets and rebuilding open-window state. Torn writes from a
+// crash (*.tmp leftovers) are swept first; the rename-based protocol
+// guarantees the checkpoint file itself is always a complete version.
 func (j *Job) restore() error {
+	if _, err := atomicfile.CleanTemps(j.cfg.CheckpointDir); err != nil && !os.IsNotExist(errors.Unwrap(err)) {
+		return err
+	}
 	data, err := os.ReadFile(j.checkpointPath())
 	if os.IsNotExist(err) {
 		return nil

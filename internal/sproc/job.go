@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/stream"
 )
@@ -32,6 +33,18 @@ type JobConfig struct {
 	// for this long from the watermark minimum, so an idle partition
 	// cannot stall window emission forever (default 500ms).
 	PartitionIdleTimeout time.Duration
+	// Retry, when non-nil, retries transient poll, sink, and dead-letter
+	// failures under this policy (jittered exponential backoff, per-call
+	// budget). nil keeps the historical single-attempt behavior.
+	Retry *resilience.Policy
+	// Breaker, when non-nil, runs the sink through a circuit breaker: a
+	// persistently failing sink trips it, and subsequent batches fail
+	// fast with a transient error instead of hammering the sink.
+	Breaker *resilience.BreakerConfig
+	// DeadLetter routes undecodable or non-conforming records to the
+	// topic's DLQ ("<Topic>.dlq") with offset and error metadata instead
+	// of only counting them in RecordsInvalid.
+	DeadLetter bool
 }
 
 // WindowSpec declares event-time windowed aggregation: tumbling by
@@ -64,6 +77,14 @@ type Metrics struct {
 	WindowsEmitted int64
 	RowsOut        int64
 	Recovered      bool
+	// Resilience counters: poison records quarantined to the DLQ, retry
+	// attempts consumed masking transient faults, supervisor restarts
+	// (filled by Pipeline for supervised jobs), and circuit-breaker state.
+	RecordsDeadLettered int64
+	Retries             int64
+	Restarts            int64
+	BreakerOpens        int64
+	BreakerOpen         bool
 }
 
 // Job is a micro-batch streaming pipeline: broker topic -> optional
@@ -95,6 +116,7 @@ type Job struct {
 
 	consumer *stream.Consumer
 	outSch   *schema.Schema
+	breaker  *resilience.Breaker
 }
 
 type winGroup struct {
@@ -119,12 +141,20 @@ func NewJob(b *stream.Broker, cfg JobConfig) (*Job, error) {
 	if cfg.PartitionIdleTimeout <= 0 {
 		cfg.PartitionIdleTimeout = 500 * time.Millisecond
 	}
-	return &Job{
+	j := &Job{
 		broker: b, cfg: cfg,
 		winState: make(map[int64]map[string]*winGroup),
 		partWM:   make(map[int]int64),
 		emitted:  -1 << 62,
-	}, nil
+	}
+	if cfg.Breaker != nil {
+		bc := *cfg.Breaker
+		if bc.Name == "" {
+			bc.Name = cfg.Name
+		}
+		j.breaker = resilience.NewBreaker(bc)
+	}
+	return j, nil
 }
 
 // Where installs a row filter applied before windowing.
@@ -157,8 +187,37 @@ func (j *Job) To(sink func(*schema.Frame) error) *Job {
 // Metrics returns a snapshot of the processing counters.
 func (j *Job) Metrics() Metrics {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.metrics
+	m := j.metrics
+	j.mu.Unlock()
+	if j.breaker != nil {
+		st := j.breaker.Stats()
+		m.BreakerOpens = st.Opens
+		m.BreakerOpen = st.State == resilience.BreakerOpen.String()
+	}
+	return m
+}
+
+// Breaker returns the job's sink circuit breaker, or nil when none is
+// configured.
+func (j *Job) Breaker() *resilience.Breaker { return j.breaker }
+
+// withRetry runs fn under the job's retry policy (a single attempt when
+// none is configured), counting consumed retries in the job metrics.
+func (j *Job) withRetry(ctx context.Context, fn func() error) error {
+	if j.cfg.Retry == nil {
+		return fn()
+	}
+	p := *j.cfg.Retry
+	user := p.OnRetry
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		j.mu.Lock()
+		j.metrics.Retries++
+		j.mu.Unlock()
+		if user != nil {
+			user(attempt, err, delay)
+		}
+	}
+	return resilience.Retry(ctx, p, fn)
 }
 
 // windowOutSchema is ts (window start), keys..., then agg columns.
@@ -262,7 +321,7 @@ func (j *Job) Drain(ctx context.Context) error {
 		}
 	}
 	// Force-flush all remaining windows.
-	if err := j.flushWindows(true); err != nil {
+	if err := j.flushWindows(ctx, true); err != nil {
 		return err
 	}
 	return j.checkpoint()
@@ -270,15 +329,20 @@ func (j *Job) Drain(ctx context.Context) error {
 
 // step consumes one micro-batch.
 func (j *Job) step(ctx context.Context) error {
-	pollCtx, cancel := context.WithTimeout(ctx, j.cfg.PollWait)
-	recs, err := j.consumer.Poll(pollCtx, j.cfg.BatchSize)
-	cancel()
+	var recs []stream.Record
+	err := j.withRetry(ctx, func() error {
+		pollCtx, cancel := context.WithTimeout(ctx, j.cfg.PollWait)
+		var perr error
+		recs, perr = j.consumer.Poll(pollCtx, j.cfg.BatchSize)
+		cancel()
+		return perr
+	})
 	if err != nil {
 		if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) && ctx.Err() == nil {
 			// Idle poll: no new data, but idle-partition exclusion may
 			// have just unblocked the watermark — try to flush.
 			if j.window != nil {
-				if ferr := j.flushWindows(false); ferr != nil {
+				if ferr := j.flushWindows(ctx, false); ferr != nil {
 					return ferr
 				}
 				return j.checkpoint()
@@ -292,12 +356,22 @@ func (j *Job) step(ctx context.Context) error {
 	if j.window != nil {
 		tIdx = j.cfg.InputSchema.MustIndex(j.window.TimeCol)
 	}
+	var dead []DeadRecord // poison records, quarantined outside j.mu
 	j.mu.Lock()
 	for _, r := range recs {
 		j.metrics.RecordsIn++
 		row, _, derr := schema.DecodeRow(r.Value)
-		if derr != nil || row.Conforms(j.cfg.InputSchema) != nil {
+		if derr == nil {
+			derr = row.Conforms(j.cfg.InputSchema)
+		}
+		if derr != nil {
 			j.metrics.RecordsInvalid++
+			if j.cfg.DeadLetter {
+				dead = append(dead, DeadRecord{
+					Topic: r.Topic, Partition: r.Partition, Offset: r.Offset,
+					Ts: r.Ts, Reason: derr.Error(), Payload: r.Value,
+				})
+			}
 			continue
 		}
 		// Every valid record advances its partition's watermark, even if
@@ -319,13 +393,27 @@ func (j *Job) step(ctx context.Context) error {
 	j.metrics.Batches++
 	j.mu.Unlock()
 
+	if len(dead) > 0 {
+		var n int
+		if derr := j.withRetry(ctx, func() error {
+			var e error
+			n, e = DeadLetter(j.broker, dead)
+			return e
+		}); derr != nil {
+			return derr
+		}
+		j.mu.Lock()
+		j.metrics.RecordsDeadLettered += int64(n)
+		j.mu.Unlock()
+	}
+
 	if j.window != nil {
 		j.absorb(batch)
-		if err := j.flushWindows(false); err != nil {
+		if err := j.flushWindows(ctx, false); err != nil {
 			return err
 		}
 	} else if batch.Len() > 0 {
-		if err := j.deliver(batch); err != nil {
+		if err := j.deliver(ctx, batch); err != nil {
 			return err
 		}
 	}
@@ -430,7 +518,7 @@ func (j *Job) watermarkLocked() (int64, bool) {
 }
 
 // flushWindows emits closed windows (or all when force), oldest first.
-func (j *Job) flushWindows(force bool) error {
+func (j *Job) flushWindows(ctx context.Context, force bool) error {
 	if j.window == nil {
 		return nil
 	}
@@ -477,15 +565,18 @@ func (j *Job) flushWindows(force bool) error {
 	j.mu.Unlock()
 
 	for _, f := range frames {
-		if err := j.deliver(f); err != nil {
+		if err := j.deliver(ctx, f); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// deliver applies MapBatch stages then the sink.
-func (j *Job) deliver(f *schema.Frame) error {
+// deliver applies MapBatch stages then the sink. The sink call runs
+// through the circuit breaker (when configured) and the retry policy, in
+// that nesting order: a retry that finds the breaker open fails fast and
+// backs off instead of re-hammering the sink.
+func (j *Job) deliver(ctx context.Context, f *schema.Frame) error {
 	var err error
 	for _, m := range j.maps {
 		f, err = m(f)
@@ -496,7 +587,12 @@ func (j *Job) deliver(f *schema.Frame) error {
 	if f.Len() == 0 {
 		return nil
 	}
-	if err := j.sink(f); err != nil {
+	sink := func() error { return j.sink(f) }
+	if j.breaker != nil {
+		inner := sink
+		sink = func() error { return j.breaker.Do(inner) }
+	}
+	if err := j.withRetry(ctx, sink); err != nil {
 		return fmt.Errorf("sproc: job %s sink: %w", j.cfg.Name, err)
 	}
 	j.mu.Lock()

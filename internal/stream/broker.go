@@ -76,6 +76,12 @@ type Broker struct {
 	closed bool
 	// now is the clock; tests may swap it for determinism.
 	now func() time.Time
+	// faultHook, when set, is consulted before fetch and publish
+	// operations ("broker.fetch" / "broker.publish" with the topic as
+	// target); a non-nil result aborts the operation before any state
+	// changes, so callers can retry without duplicating records. The
+	// chaos injector (internal/faults) installs here.
+	faultHook func(op, target string) error
 }
 
 // NewBroker returns an empty broker.
@@ -92,6 +98,26 @@ func (b *Broker) SetClock(now func() time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.now = now
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook consulted before fetch and publish operations.
+func (b *Broker) SetFaultHook(h func(op, target string) error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faultHook = h
+}
+
+// fault consults the injection hook for one operation; nil when no hook
+// is installed or the hook lets the operation proceed.
+func (b *Broker) fault(op, target string) error {
+	b.mu.RLock()
+	h := b.faultHook
+	b.mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h(op, target)
 }
 
 // CreateTopic creates a topic. It fails if the topic already exists.
@@ -187,6 +213,9 @@ func (b *Broker) Publish(topicName string, key, value []byte) (partition int, of
 	if err != nil {
 		return 0, 0, err
 	}
+	if err := b.fault("broker.publish", topicName); err != nil {
+		return 0, 0, err
+	}
 	p := t.route(key)
 	off, err := t.parts[p].append(b.nowFunc()(), key, value, t.cfg)
 	return p, off, err
@@ -199,13 +228,33 @@ type Message struct {
 	Value []byte
 }
 
+// PartialPublishError reports a PublishBatch that landed some of its
+// messages but not all: Failed holds exactly the unpublished messages,
+// so a caller can retry just those without duplicating the rest.
+// Unwrap exposes the underlying cause, so transient classification
+// (resilience.IsTransient) sees through it.
+type PartialPublishError struct {
+	Published int
+	Failed    []Message
+	Err       error
+}
+
+func (e *PartialPublishError) Error() string {
+	return fmt.Sprintf("stream: partial publish: %d published, %d failed: %v",
+		e.Published, len(e.Failed), e.Err)
+}
+
+func (e *PartialPublishError) Unwrap() error { return e.Err }
+
 // PublishBatch appends a batch of records to the topic, routing each by
 // key hash (round-robin when the key is empty). Records landing on the
 // same partition are appended under a single lock acquisition with one
 // compaction/retention pass and one consumer wake-up, so producers at
 // volume should prefer it over per-record Publish. Relative order of
 // messages sharing a partition is preserved. It returns the number of
-// records published (all of them, unless the broker closes mid-call).
+// records published; a failure affecting only some partitions (an
+// injected fault, a closed partition) surfaces as *PartialPublishError
+// carrying the unpublished remainder for retry.
 func (b *Broker) PublishBatch(topicName string, msgs []Message) (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
@@ -216,6 +265,9 @@ func (b *Broker) PublishBatch(topicName string, msgs []Message) (int, error) {
 	}
 	now := b.nowFunc()()
 	if len(t.parts) == 1 {
+		if err := b.fault("broker.publish", topicName); err != nil {
+			return 0, err
+		}
 		if _, err := t.parts[0].appendBatch(now, msgs, t.cfg); err != nil {
 			return 0, err
 		}
@@ -231,16 +283,31 @@ func (b *Broker) PublishBatch(topicName string, msgs []Message) (int, error) {
 	// mutexes.
 	start := int(t.batchRR.Add(1) % uint64(len(t.parts)))
 	published := 0
+	var failed []Message
+	var failErr error
 	for k := range byPart {
 		p := (start + k) % len(t.parts)
 		part := byPart[p]
 		if len(part) == 0 {
 			continue
 		}
-		if _, err := t.parts[p].appendBatch(now, part, t.cfg); err != nil {
-			return published, err
+		// The fault hook is consulted per partition sub-batch, before the
+		// append mutates anything — an injected failure therefore loses a
+		// whole sub-batch or nothing, and the remainder is reported back
+		// for exactly-once retry.
+		err := b.fault("broker.publish", topicName)
+		if err == nil {
+			_, err = t.parts[p].appendBatch(now, part, t.cfg)
+		}
+		if err != nil {
+			failed = append(failed, part...)
+			failErr = err
+			continue
 		}
 		published += len(part)
+	}
+	if failErr != nil {
+		return published, &PartialPublishError{Published: published, Failed: failed, Err: failErr}
 	}
 	return published, nil
 }
@@ -253,6 +320,9 @@ func (b *Broker) PublishTo(topicName string, partition int, key, value []byte) (
 	}
 	if partition < 0 || partition >= len(t.parts) {
 		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	if err := b.fault("broker.publish", topicName); err != nil {
+		return 0, err
 	}
 	return t.parts[partition].append(b.nowFunc()(), key, value, t.cfg)
 }
@@ -293,6 +363,9 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partition int, off
 	}
 	if partition < 0 || partition >= len(t.parts) {
 		return nil, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	if err := b.fault("broker.fetch", topicName); err != nil {
+		return nil, err
 	}
 	return t.parts[partition].fetch(ctx, offset, max)
 }

@@ -90,6 +90,9 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := c.broker.fault("broker.fetch", c.topic); err != nil {
+		return nil, err
+	}
 	for {
 		c.mu.Lock()
 		var out []Record

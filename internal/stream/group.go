@@ -189,6 +189,9 @@ func (m *Member) Poll(ctx context.Context, max int) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := m.broker.fault("broker.fetch", m.topic); err != nil {
+		return nil, err
+	}
 	for {
 		if err := m.syncAssignment(t); err != nil {
 			return nil, err

@@ -1,0 +1,127 @@
+// Consumer-group behavior under injected broker faults. This lives in an
+// external test package because the injector (internal/faults) imports
+// stream: the fault hook keeps the packages cycle-free, and the test
+// exercises exactly the surface chaos runs use.
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"odakit/internal/faults"
+	"odakit/internal/resilience"
+	"odakit/internal/stream"
+)
+
+// TestGroupRebalanceUnderTransientFetchFaults drives two group members
+// through a faulty broker: 30% of fetches fail with transient injected
+// errors, one member leaves mid-stream (forcing a rebalance), and the
+// survivors must still deliver every record exactly once with committed
+// offsets reaching the end of every partition.
+func TestGroupRebalanceUnderTransientFetchFaults(t *testing.T) {
+	const total = 400
+	b := stream.NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("telemetry", stream.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		if _, _, err := b.Publish("telemetry", key, []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inj := faults.New(1234)
+	inj.Set(faults.OpBrokerFetch, faults.Rates{Transient: 0.3})
+	inj.InstallBroker(b)
+
+	m1, err := b.JoinGroup("telemetry", "g", stream.StartEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.JoinGroup("telemetry", "g", stream.StartEarliest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[string]int, total)
+	// poll drains one batch from a member, masking injected faults with
+	// retries and committing after every delivered batch so a later
+	// rebalance cannot replay records.
+	poll := func(m *stream.Member) {
+		t.Helper()
+		var recs []stream.Record
+		err := resilience.Retry(context.Background(), resilience.Policy{
+			MaxAttempts: 25, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond,
+		}, func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			var perr error
+			recs, perr = m.Poll(ctx, 32)
+			if errors.Is(perr, context.DeadlineExceeded) {
+				recs = nil // idle: nothing assigned has data right now
+				return nil
+			}
+			return perr
+		})
+		if err != nil {
+			t.Fatalf("poll failed through retries (seed %d): %v", inj.Seed(), err)
+		}
+		for _, r := range recs {
+			seen[string(r.Value)]++
+		}
+		if len(recs) > 0 {
+			if err := m.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: both members consume about half the stream.
+	for i := 0; len(seen) < total/2 && i < 1000; i++ {
+		poll(m1)
+		poll(m2)
+	}
+	if len(seen) < total/2 {
+		t.Fatalf("phase 1 stalled at %d/%d records", len(seen), total)
+	}
+
+	// Phase 2: m2 leaves; the rebalance hands its partitions to m1.
+	m2.Leave()
+	for i := 0; len(seen) < total && i < 2000; i++ {
+		poll(m1)
+	}
+	if len(seen) != total {
+		t.Fatalf("consumed %d/%d records after rebalance", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %s delivered %d times", v, n)
+		}
+	}
+
+	// Progress is durable: committed offsets cover every partition end.
+	info, err := b.GroupState("g", "telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Members != 1 || info.Generation < 3 { // 2 joins + 1 leave
+		t.Fatalf("group info = %+v", info)
+	}
+	var committed int64
+	for _, off := range info.Committed {
+		committed += off
+	}
+	if committed != total {
+		t.Fatalf("committed offsets sum = %d, want %d", committed, total)
+	}
+
+	// The chaos was real: faults were injected and masked.
+	if st := inj.Stats()[faults.OpBrokerFetch]; st.Transients == 0 {
+		t.Fatalf("no faults injected: %+v", st)
+	}
+}

@@ -29,13 +29,23 @@ type queryCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[cacheKey]*list.Element
-	lru     list.List // front = most recently used
-	hits    uint64
-	misses  uint64
+	// byFP indexes the most recently stored entry per query fingerprint,
+	// ignoring the version vector — the serve-stale path used for
+	// graceful degradation: when the store is overloaded, a possibly
+	// outdated answer beats a rejected request.
+	byFP   map[string]*list.Element
+	lru    list.List // front = most recently used
+	hits   uint64
+	misses uint64
+	stale  uint64 // stale (version-ignoring) lookups served
 }
 
 func newQueryCache(capacity int) *queryCache {
-	return &queryCache{cap: capacity, entries: make(map[cacheKey]*list.Element, capacity)}
+	return &queryCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element, capacity),
+		byFP:    make(map[string]*list.Element, capacity),
+	}
 }
 
 // get returns the cached frame for key, promoting it to most recent.
@@ -53,6 +63,22 @@ func (c *queryCache) get(key cacheKey) (*schema.Frame, bool) {
 	return el.Value.(*cacheEntry).frame, true
 }
 
+// getStale returns the most recently stored frame for a fingerprint,
+// ignoring the version vector. It may be outdated relative to current
+// store contents; callers must label it as such (the HTTP API sets
+// X-ODA-Stale). Not promoted in the LRU: stale reads should not keep an
+// outdated entry alive over fresher traffic.
+func (c *queryCache) getStale(fp string) (*schema.Frame, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	c.stale++
+	return el.Value.(*cacheEntry).frame, true
+}
+
 // put stores a result, evicting the least recently used entry at cap.
 func (c *queryCache) put(key cacheKey, f *schema.Frame) {
 	c.mu.Lock()
@@ -60,14 +86,33 @@ func (c *queryCache) put(key cacheKey, f *schema.Frame) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).frame = f
 		c.lru.MoveToFront(el)
+		c.byFP[key.fp] = el
 		return
 	}
 	if c.lru.Len() >= c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		oldKey := oldest.Value.(*cacheEntry).key
+		delete(c.entries, oldKey)
+		if c.byFP[oldKey.fp] == oldest {
+			delete(c.byFP, oldKey.fp)
+		}
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, frame: f})
+	el := c.lru.PushFront(&cacheEntry{key: key, frame: f})
+	c.entries[key] = el
+	c.byFP[key.fp] = el
+}
+
+// CachedStale returns the most recently cached result for a query,
+// regardless of whether the store has changed since it was computed —
+// the graceful-degradation path an overloaded API serves instead of a
+// rejection. The second return is false when the query is invalid,
+// caching is disabled, or the query was never cached.
+func (db *DB) CachedStale(q Query) (*schema.Frame, bool) {
+	if db.cache == nil || q.validate() != nil {
+		return nil, false
+	}
+	return db.cache.getStale(q.fingerprint())
 }
 
 // CacheStats reports query-result cache effectiveness.
@@ -75,6 +120,7 @@ type CacheStats struct {
 	Entries int
 	Hits    uint64
 	Misses  uint64
+	Stale   uint64 // stale (serve-degraded) lookups served
 }
 
 // CacheStats returns current cache counters (zero value when caching is
@@ -85,5 +131,5 @@ func (db *DB) CacheStats() CacheStats {
 	}
 	db.cache.mu.Lock()
 	defer db.cache.mu.Unlock()
-	return CacheStats{Entries: db.cache.lru.Len(), Hits: db.cache.hits, Misses: db.cache.misses}
+	return CacheStats{Entries: db.cache.lru.Len(), Hits: db.cache.hits, Misses: db.cache.misses, Stale: db.cache.stale}
 }

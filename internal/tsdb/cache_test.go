@@ -95,7 +95,7 @@ func TestQueryCacheInvalidation(t *testing.T) {
 func TestRetainNoopKeepsCache(t *testing.T) {
 	db := seededDB(t)
 	runStats(t, db)
-	if db.Retain(base.Add(-100 * time.Hour)) != 0 {
+	if db.Retain(base.Add(-100*time.Hour)) != 0 {
 		t.Fatal("noop retain dropped segments")
 	}
 	if st := runStats(t, db); !st.CacheHit {

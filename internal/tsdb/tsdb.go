@@ -235,6 +235,34 @@ type DB struct {
 	// partials pools per-query partial-aggregation tables (see
 	// partialSet) so steady query traffic reuses grown slot arrays.
 	partials sync.Pool
+	// hookMu guards faultHook; a separate lock because the DB itself is
+	// striped and has no global mutex.
+	hookMu sync.RWMutex
+	// faultHook, when set, is consulted before batch inserts
+	// ("lake.insert" with the batch's source as target); a non-nil result
+	// aborts before any stripe is touched, so a retried batch cannot
+	// double-count observations. The chaos injector (internal/faults)
+	// installs here.
+	faultHook func(op, target string) error
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// consulted before InsertBatch.
+func (db *DB) SetFaultHook(h func(op, target string) error) {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	db.faultHook = h
+}
+
+// fault consults the injection hook for one operation.
+func (db *DB) fault(op, target string) error {
+	db.hookMu.RLock()
+	h := db.faultHook
+	db.hookMu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h(op, target)
 }
 
 // New returns an empty store.
@@ -335,11 +363,16 @@ func (db *DB) Insert(o schema.Observation) {
 
 // InsertBatch rolls a batch of observations into their segments, taking
 // each shard lock at most once for the whole batch — the contention-free
-// ingest path producers should prefer at volume.
-func (db *DB) InsertBatch(obs []schema.Observation) {
+// ingest path producers should prefer at volume. A non-nil error means
+// the fault hook rejected the batch before any observation landed, so
+// the caller may retry the whole batch without double-counting.
+func (db *DB) InsertBatch(obs []schema.Observation) error {
 	n := len(obs)
 	if n == 0 {
-		return
+		return nil
+	}
+	if err := db.fault("lake.insert", obs[0].Source); err != nil {
+		return err
 	}
 	// Counting-sort the batch indices by stripe so each stripe visit walks
 	// only its own records instead of rescanning the whole batch. The
@@ -414,6 +447,15 @@ func (db *DB) InsertBatch(obs []schema.Observation) {
 		sh.version.Add(1)
 		sh.mu.Unlock()
 	}
+	return nil
+}
+
+// ScanLoad reports query-engine saturation as the fraction of scan-slot
+// helpers currently in flight, in [0,1]. 1.0 means every helper slot is
+// taken and new queries are degrading toward serial scans — the signal
+// the HTTP API's load shedder watches.
+func (db *DB) ScanLoad() float64 {
+	return float64(len(db.scanSlots)) / float64(cap(db.scanSlots))
 }
 
 // InsertRow inserts a row conforming to schema.ObservationSchema.

@@ -7,6 +7,7 @@ import (
 
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
+	"odakit/internal/sproc"
 	"odakit/internal/tsdb"
 )
 
@@ -19,6 +20,9 @@ type UADashboard struct {
 	Logs *logsearch.Index
 	// Sched resolves job metadata and node lists.
 	Sched *jobsched.Schedule
+	// Pipelines, when set, adds a resilience footer: per-pipeline
+	// supervisor state, restarts, retries, dead-letters, breaker opens.
+	Pipelines *sproc.Registry
 }
 
 // JobView is the compiled diagnostic view for one job.
@@ -46,6 +50,9 @@ type JobView struct {
 	CellsScanned int64
 	CacheHits    int
 	BuildLatency time.Duration
+	// Pipelines carries the supervised pipelines' health so operators see
+	// quarantine and restart pressure next to the job data it may affect.
+	Pipelines []sproc.PipelineStatus
 }
 
 // BuildJobView compiles the dashboard for a job id.
@@ -133,6 +140,9 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 				e.Ts.Format("15:04:05"), e.Severity, e.Host, e.Message))
 		}
 	}
+	if d.Pipelines != nil {
+		v.Pipelines = d.Pipelines.Snapshot()
+	}
 	v.BuildLatency = time.Since(start)
 	return v, nil
 }
@@ -164,5 +174,13 @@ func (v *JobView) RenderText() string {
 	}
 	fmt.Fprintf(&b, "[%d backend queries, %d cells scanned, %d cache hits, %s]\n",
 		v.QueriesIssued, v.CellsScanned, v.CacheHits, v.BuildLatency.Round(time.Microsecond))
+	for _, p := range v.Pipelines {
+		line := fmt.Sprintf("pipeline %s: %s, restarts=%d retries=%d dead-lettered=%d",
+			p.Name, p.State, p.Metrics.Restarts, p.Metrics.Retries, p.Metrics.RecordsDeadLettered)
+		if p.Breaker != nil {
+			line += fmt.Sprintf(" breaker=%s opens=%d", p.Breaker.State, p.Breaker.Opens)
+		}
+		b.WriteString(line + "\n")
+	}
 	return b.String()
 }

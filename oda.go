@@ -27,12 +27,15 @@ import (
 	"time"
 
 	"odakit/internal/core"
+	"odakit/internal/faults"
 	"odakit/internal/governance"
 	"odakit/internal/httpapi"
 	"odakit/internal/jobsched"
 	"odakit/internal/medallion"
 	"odakit/internal/profiles"
+	"odakit/internal/resilience"
 	"odakit/internal/schema"
+	"odakit/internal/sproc"
 	"odakit/internal/telemetry"
 	"odakit/internal/twin"
 	"odakit/internal/viz"
@@ -188,3 +191,37 @@ func Sparkline(values []float64) string { return viz.Sparkline(values) }
 // NewHTTPHandler returns the facility's read-only JSON data portal — the
 // §V-C "web server data portal" pattern. Mount it on any http.Server.
 func NewHTTPHandler(f *Facility) http.Handler { return httpapi.New(f) }
+
+// Resilience & chaos re-exports: retries with jittered backoff, circuit
+// breakers, supervised pipelines, and the deterministic fault injector.
+type (
+	// RetryPolicy shapes retries of transient infrastructure faults
+	// (Options.RetryPolicy, SilverPipelineConfig.Retry).
+	RetryPolicy = resilience.Policy
+	// BreakerConfig tunes a sink circuit breaker
+	// (SilverPipelineConfig.Breaker).
+	BreakerConfig = resilience.BreakerConfig
+	// SupervisorConfig tunes restart damping for supervised pipelines
+	// (Facility.RunSilverSupervised).
+	SupervisorConfig = resilience.SupervisorConfig
+	// PipelineStatus is one supervised pipeline's externally visible
+	// health (Facility.Pipelines.Snapshot, /api/v1/pipelines).
+	PipelineStatus = sproc.PipelineStatus
+	// FaultInjector deterministically injects infrastructure faults.
+	FaultInjector = faults.Injector
+	// FaultRates configures injection for one operation.
+	FaultRates = faults.Rates
+	// DeadRecord is one quarantined poison record with its provenance.
+	DeadRecord = sproc.DeadRecord
+)
+
+// NewFaultInjector returns a seed-driven chaos injector; install it with
+// InstallBroker / InstallStore / InstallLake on a facility's tiers.
+func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
+
+// MarkTransient marks an error retryable; IsTransient reports whether an
+// error chain carries that marker (context errors never do).
+func MarkTransient(err error) error { return resilience.MarkTransient(err) }
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool { return resilience.IsTransient(err) }
