@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-query verify clean
+.PHONY: all build vet test race chaos bench bench-query bench-obs fuzz-smoke verify clean
 
 all: verify
 
@@ -19,7 +19,7 @@ test:
 # fan-out, columnar row-group decode), and the resilience substrate
 # (retry/breaker/supervisor, fault injector, streaming jobs).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -38,7 +38,20 @@ bench-query:
 	rm -f $(CURDIR)/BENCH_query.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_query.json $(GO) test -run xxx -bench 'TSDBQueryParallel' -cpu 16 -benchtime 30x .
 
-verify: vet build test race chaos
+# Observability-overhead grid: the batched ingest hot path with and
+# without a live metrics registry attached; rows land in BENCH_obs.json.
+# The acceptance bar is <3% ns/op regression at every batch size.
+bench-obs:
+	rm -f $(CURDIR)/BENCH_obs.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run xxx -bench 'ObsOverheadInsert' -cpu 1 -benchtime 16000000x .
+
+# Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
+# (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeRow -fuzztime 30s ./internal/schema
+	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
+
+verify: vet build test race chaos fuzz-smoke
 
 clean:
 	$(GO) clean ./...

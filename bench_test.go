@@ -27,6 +27,7 @@ import (
 	"odakit/internal/medallion"
 	"odakit/internal/mlops"
 	"odakit/internal/objstore"
+	"odakit/internal/obs"
 	"odakit/internal/profiles"
 	"odakit/internal/report"
 	"odakit/internal/schema"
@@ -1238,4 +1239,43 @@ func BenchmarkAblation_ForecastVsNaive(b *testing.B) {
 	printOnce("Ablation: KPI forecasting (Holt-Winters vs repeat-last-season)", fmt.Sprintf(
 		"  48h-ahead backtest on a daily-seasonal power KPI:\n    Holt-Winters RMSE %.0f W (MAPE %.2f%%)\n    naive seasonal RMSE %.0f W\n  => %.1fx better than the baseline any forecaster must beat",
 		rmse, mape*100, naiveRMSE, naiveRMSE/rmse))
+}
+
+// ---------------------------------------------------- observability tax
+
+// BenchmarkObsOverheadInsert measures the observability tax on the
+// batched ingest hot path: the identical InsertBatch loop with and
+// without a live metrics registry attached to the store. The DESIGN.md
+// acceptance bar is <3% ns/op regression at every batch size; `make
+// bench-obs` records the grid in BENCH_obs.json.
+func BenchmarkObsOverheadInsert(b *testing.B) {
+	for _, batch := range []int{64, 1024} {
+		for _, instrumented := range []bool{false, true} {
+			label := "off"
+			if instrumented {
+				label = "on"
+			}
+			name := fmt.Sprintf("batch=%d/instr=%s", batch, label)
+			b.Run(name, func(b *testing.B) {
+				db := tsdb.New(tsdb.Options{})
+				if instrumented {
+					db.Instrument(obs.NewRegistry())
+				}
+				pool := ingestObs(0, 4096)
+				b.ResetTimer()
+				for done := 0; done < b.N; done += batch {
+					start := done % (len(pool) - batch + 1)
+					db.InsertBatch(pool[start : start+batch])
+				}
+				b.StopTimer()
+				recordBenchRow("BenchmarkObsOverheadInsert/"+name, map[string]any{
+					"batch":           batch,
+					"instrumented":    instrumented,
+					"ns_per_op":       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					"records_per_sec": float64(b.N) / b.Elapsed().Seconds(),
+				})
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+			})
+		}
+	}
 }

@@ -7,9 +7,19 @@
 //	odaserve -addr :8080 -nodes 16 -minutes 5
 //	curl localhost:8080/healthz
 //	curl 'localhost:8080/api/v1/lake/topn?metric=node_power_w&n=5'
+//	curl localhost:8080/metrics
+//	curl localhost:8080/api/v1/traces
+//
+// With -debug-addr a second listener serves the operator surface:
+// /metrics, /api/v1/traces, and net/http/pprof profiles kept off the
+// public portal.
+//
+//	odaserve -addr :8080 -debug-addr :6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,15 +28,17 @@ import (
 
 	oda "odakit"
 	"odakit/internal/httpapi"
+	"odakit/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		nodes   = flag.Int("nodes", 16, "machine scale in nodes")
-		minutes = flag.Int("minutes", 5, "telemetry window to ingest at startup")
-		seed    = flag.Int64("seed", 1, "seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "debug listen address (pprof, metrics, traces); empty disables")
+		nodes     = flag.Int("nodes", 16, "machine scale in nodes")
+		minutes   = flag.Int("minutes", 5, "telemetry window to ingest at startup")
+		seed      = flag.Int64("seed", 1, "seed")
 	)
 	flag.Parse()
 
@@ -39,12 +51,24 @@ func main() {
 	from := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
 	to := from.Add(time.Duration(*minutes) * time.Minute)
 	log.Printf("ingesting %d minutes of telemetry at %d nodes...", *minutes, *nodes)
-	stats, err := f.IngestWindow(from, to, oda.SourcePowerTemp, oda.SourceGPU)
+	// Trace the startup ingest so /api/v1/traces has a journey to show.
+	ctx, root := f.Tracer.StartRoot(context.Background(), "startup.ingest")
+	stats, err := f.IngestWindowContext(ctx, from, to, oda.SourcePowerTemp, oda.SourceGPU)
+	root.End()
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("ingested %d records, %d events", stats.TotalRecs, stats.Events)
 
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.NewDebugMux(f.Obs, f.Tracer),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { log.Fatal(dbg.ListenAndServe()) }()
+		fmt.Printf("debug surface (pprof, /metrics, /api/v1/traces) on %s\n", *debugAddr)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpapi.New(f),

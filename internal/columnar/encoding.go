@@ -47,7 +47,9 @@ func appendIntBlock(buf []byte, vals []int64) []byte {
 
 func decodeIntBlock(buf []byte) ([]int64, int, error) {
 	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
+	// Each value costs at least one varint byte, so a count past the
+	// remaining buffer is corrupt — reject before trusting it as a cap.
+	if sz <= 0 || n > uint64(len(buf)-sz) {
 		return nil, 0, fmt.Errorf("columnar: bad int block count")
 	}
 	off := sz
@@ -81,7 +83,8 @@ func decodeFloatBlock(buf []byte) ([]float64, int, error) {
 		return nil, 0, fmt.Errorf("columnar: bad float block count")
 	}
 	off := sz
-	if uint64(len(buf)-off) < 8*n {
+	// Divide rather than multiply: 8*n overflows uint64 for hostile n.
+	if n > uint64(len(buf)-off)/8 {
 		return nil, 0, fmt.Errorf("columnar: truncated float block")
 	}
 	vals := make([]float64, n)
@@ -140,7 +143,9 @@ func decodeStringBlock(buf []byte) ([]string, int, error) {
 	off := 1
 	readStr := func() (string, error) {
 		l, sz := binary.Uvarint(buf[off:])
-		if sz <= 0 || uint64(off+sz)+l > uint64(len(buf)) {
+		// The standalone l check stops uint64(off+sz)+l wrapping around
+		// for lengths near 2^64 and slicing with a negative int(l).
+		if sz <= 0 || l > uint64(len(buf)) || uint64(off+sz)+l > uint64(len(buf)) {
 			return "", fmt.Errorf("columnar: truncated string")
 		}
 		off += sz
@@ -151,7 +156,7 @@ func decodeStringBlock(buf []byte) ([]string, int, error) {
 	switch mode {
 	case strDict:
 		dn, sz := binary.Uvarint(buf[off:])
-		if sz <= 0 {
+		if sz <= 0 || dn > uint64(len(buf)-off-sz) {
 			return nil, 0, fmt.Errorf("columnar: bad dict size")
 		}
 		off += sz
@@ -164,7 +169,7 @@ func decodeStringBlock(buf []byte) ([]string, int, error) {
 			dict[i] = s
 		}
 		n, sz := binary.Uvarint(buf[off:])
-		if sz <= 0 {
+		if sz <= 0 || n > uint64(len(buf)-off-sz) {
 			return nil, 0, fmt.Errorf("columnar: bad dict value count")
 		}
 		off += sz
@@ -180,7 +185,7 @@ func decodeStringBlock(buf []byte) ([]string, int, error) {
 		return vals, off, nil
 	case strPlain:
 		n, sz := binary.Uvarint(buf[off:])
-		if sz <= 0 {
+		if sz <= 0 || n > uint64(len(buf)-off-sz) {
 			return nil, 0, fmt.Errorf("columnar: bad string count")
 		}
 		off += sz
@@ -240,7 +245,9 @@ func decodeColumn(buf []byte) (*schema.Column, int, error) {
 	kind := schema.Kind(buf[0])
 	off := 1
 	n64, sz := binary.Uvarint(buf[off:])
-	if sz <= 0 {
+	// The null mask alone needs n/8 bytes, so anything past 8*len(buf)
+	// is corrupt; the bound also keeps int(n64) from going negative.
+	if sz <= 0 || n64 > uint64(len(buf))*8 {
 		return nil, 0, fmt.Errorf("columnar: bad column length")
 	}
 	off += sz

@@ -120,7 +120,9 @@ func NewFileReader(data []byte) (*FileReader, error) {
 		off++
 		g := &RowGroup{sch: fr.sch}
 		rows, sz := binary.Uvarint(data[off:])
-		if sz <= 0 {
+		// A row needs at least one null-mask bit per column; 8*len(data)
+		// bounds any physically representable count and keeps int() positive.
+		if sz <= 0 || rows > uint64(len(data))*8 {
 			return nil, fmt.Errorf("columnar: bad row count")
 		}
 		off += sz
@@ -143,12 +145,14 @@ func NewFileReader(data []byte) (*FileReader, error) {
 			comp := Compression(data[off])
 			off++
 			rawLen, sz := binary.Uvarint(data[off:])
-			if sz <= 0 {
+			if sz <= 0 || rawLen > maxChunkRawLen {
 				return nil, fmt.Errorf("columnar: bad raw length")
 			}
 			off += sz
 			compLen, sz := binary.Uvarint(data[off:])
-			if sz <= 0 || off+sz+int(compLen) > len(data) {
+			// Check compLen before int(): a value past 2^63 converts to a
+			// negative int and would slip through the bounds check below.
+			if sz <= 0 || compLen > uint64(len(data)) || off+sz+int(compLen) > len(data) {
 				return nil, fmt.Errorf("columnar: bad compressed length")
 			}
 			off += sz
@@ -167,14 +171,19 @@ func NewFileReader(data []byte) (*FileReader, error) {
 
 func decodeSchema(buf []byte) (*schema.Schema, int, error) {
 	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
+	// Each field costs at least two bytes (length varint + kind), so a
+	// count past half the buffer is corrupt — and unsafe as an alloc cap.
+	if sz <= 0 || n > uint64(len(buf))/2 {
 		return nil, 0, fmt.Errorf("columnar: bad schema field count")
 	}
 	off := sz
 	fields := make([]schema.Field, 0, n)
+	seen := make(map[string]bool, n)
 	for i := uint64(0); i < n; i++ {
 		l, sz := binary.Uvarint(buf[off:])
-		if sz <= 0 || uint64(off+sz)+l+1 > uint64(len(buf)) {
+		// The standalone l check stops uint64(off+sz)+l+1 wrapping around
+		// for lengths near 2^64 and slicing with a negative int(l).
+		if sz <= 0 || l > uint64(len(buf)) || uint64(off+sz)+l+1 > uint64(len(buf)) {
 			return nil, 0, fmt.Errorf("columnar: truncated schema")
 		}
 		off += sz
@@ -182,6 +191,14 @@ func decodeSchema(buf []byte) (*schema.Schema, int, error) {
 		off += int(l)
 		kind := schema.Kind(buf[off])
 		off++
+		// schema.New panics on these; a hostile stream must error instead.
+		if name == "" {
+			return nil, 0, fmt.Errorf("columnar: schema field %d has empty name", i)
+		}
+		if seen[name] {
+			return nil, 0, fmt.Errorf("columnar: schema has duplicate field %q", name)
+		}
+		seen[name] = true
 		fields = append(fields, schema.Field{Name: name, Kind: kind})
 	}
 	return schema.New(fields...), off, nil
@@ -196,16 +213,28 @@ func (fr *FileReader) NumRowGroups() int { return len(fr.groups) }
 // GroupStats returns the statistics of row group i.
 func (fr *FileReader) GroupStats(i int) []ColStats { return fr.groups[i].Stats }
 
+// maxChunkRawLen caps a chunk's declared decompressed size (1 GiB). The
+// declared length is attacker-controlled in a hostile stream; without a
+// cap it becomes an arbitrary allocation in decodeChunk.
+const maxChunkRawLen = 1 << 30
+
 // decodeChunk inflates and decodes one column chunk of a group.
 func (fr *FileReader) decodeChunk(g *RowGroup, c int) (*schema.Column, error) {
 	ch := g.chunks[c]
 	raw := ch.payload
 	if ch.comp == CompressFlate {
 		zr := flate.NewReader(bytes.NewReader(ch.payload))
-		dec := make([]byte, 0, ch.rawLen)
+		// The declared raw length is only an allocation hint, capped so a
+		// corrupt header cannot force a huge up-front make; LimitReader
+		// stops decompression bombs that inflate past their declaration.
+		dec := make([]byte, 0, min(ch.rawLen, 1<<20))
 		b := bytes.NewBuffer(dec)
-		if _, err := io.Copy(b, zr); err != nil {
+		n, err := io.Copy(b, io.LimitReader(zr, int64(ch.rawLen)+1))
+		if err != nil {
 			return nil, fmt.Errorf("columnar: inflate: %w", err)
+		}
+		if n > int64(ch.rawLen) {
+			return nil, fmt.Errorf("columnar: chunk inflates past declared %d bytes", ch.rawLen)
 		}
 		raw = b.Bytes()
 	}

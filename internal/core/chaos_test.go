@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"odakit/internal/faults"
+	"odakit/internal/obs"
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
@@ -45,6 +47,9 @@ type pipelineOutput struct {
 	profiles []byte
 	series   []byte
 	metrics  sproc.Metrics
+	trace    *obs.Span          // sampled root covering the whole run
+	counters map[string]float64 // registry samples, snapshotted before Close
+	promText string             // the /metrics exposition, ditto
 }
 
 // poisonRecord is one deliberately corrupt bronze record and where it
@@ -79,8 +84,13 @@ func runChaosPipeline(t *testing.T, inj *faults.Injector, poison [][]byte) (pipe
 		inj.InstallLake(f.Lake)
 	}
 
+	// The whole run is traced: the sampled root's span tree must cover
+	// the Bronze→Silver→Gold journey with stage latencies and chaos
+	// annotations.
+	ctx, root := f.Tracer.StartRoot(context.Background(), "pipeline")
+
 	src := telemetry.SourcePowerTemp
-	if _, err := f.IngestWindow(t0, t0.Add(2*time.Minute), src); err != nil {
+	if _, err := f.IngestWindowContext(ctx, t0, t0.Add(2*time.Minute), src); err != nil {
 		t.Fatalf("ingest under faults: %v (seed %d)", err, chaosSeed())
 	}
 	// Poison the topic: undecodable and non-conforming payloads.
@@ -100,20 +110,29 @@ func runChaosPipeline(t *testing.T, inj *faults.Injector, poison [][]byte) (pipe
 		poisoned = append(poisoned, poisonRecord{payload: p, partition: part, offset: off})
 	}
 
-	m, err := f.DrainSilver(context.Background(), SilverPipelineConfig{Source: src})
+	m, err := f.DrainSilver(ctx, SilverPipelineConfig{Source: src})
 	if err != nil {
 		t.Fatalf("drain under faults: %v (seed %d)", err, chaosSeed())
 	}
-	ga, err := f.BuildGold(src, "node_power_w", 16)
+	ga, err := f.BuildGoldContext(ctx, src, "node_power_w", 16)
 	if err != nil {
 		t.Fatalf("gold build under faults: %v (seed %d)", err, chaosSeed())
 	}
+	root.End()
 
 	// Read the persisted truth back without fault hooks in the way.
 	f.Broker.SetFaultHook(nil)
 	f.Ocean.SetFaultHook(nil)
 	f.Lake.SetFaultHook(nil)
-	out := pipelineOutput{metrics: m}
+	out := pipelineOutput{metrics: m, trace: root, counters: map[string]float64{}}
+	for _, s := range f.Obs.Gather() {
+		out.counters[s.Name] = s.Value
+	}
+	var prom bytes.Buffer
+	if err := f.Obs.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out.promText = prom.String()
 	if out.silver, _, err = f.Ocean.Get(BucketSilver, SilverObjectKey(src)); err != nil {
 		t.Fatal(err)
 	}
@@ -209,6 +228,65 @@ func TestChaosByteIdenticalPipeline(t *testing.T) {
 	}
 	if got.metrics.RecordsIn != want.metrics.RecordsIn+int64(len(poison)) {
 		t.Fatalf("records in = %d, want %d", got.metrics.RecordsIn, want.metrics.RecordsIn+int64(len(poison)))
+	}
+
+	// The sampled trace covers the full Bronze→Silver→Gold journey: each
+	// stage appears as a span with a measured duration, and the chaos is
+	// visible as retry and DLQ annotations on the stages it hit.
+	if got.trace == nil {
+		t.Fatal("chaos run produced no sampled trace")
+	}
+	spansByName := map[string]int{}
+	total := 0
+	var retried, quarantined bool
+	obs.WalkSpans(got.trace, func(s *obs.Span) {
+		spansByName[s.Name]++
+		total++
+		for _, a := range s.Attrs {
+			switch a.Key {
+			case "retry":
+				retried = true
+			case "dlq":
+				quarantined = true
+			}
+		}
+	})
+	for _, stage := range []string{
+		"pipeline", "bronze.ingest", "stream.publish", "lake.insert",
+		"silver.drain", "silver.microbatch", "silver.sink", "gold.build",
+	} {
+		if spansByName[stage] == 0 {
+			t.Fatalf("trace is missing stage %q (got %v)", stage, spansByName)
+		}
+	}
+	if total < 4 {
+		t.Fatalf("trace has %d spans, want >= 4", total)
+	}
+	if !retried {
+		t.Fatal("no retry annotation anywhere in a chaos trace")
+	}
+	if !quarantined {
+		t.Fatal("no dlq annotation despite poison records")
+	}
+	var traceJSON bytes.Buffer
+	if err := json.NewEncoder(&traceJSON).Encode(got.trace); err != nil {
+		t.Fatalf("trace does not serialize: %v", err)
+	}
+
+	// The registry saw the run: migrated counters report the chaos totals
+	// and the whole exposition is valid Prometheus text.
+	if v := got.counters["oda_sproc_dead_letters_total"]; v != float64(len(poison)) {
+		t.Fatalf("oda_sproc_dead_letters_total = %v, want %d", v, len(poison))
+	}
+	if got.counters["oda_sproc_retries_total"]+got.counters["oda_core_retries_total"] == 0 {
+		t.Fatal("no retries visible in /metrics counters after a chaos run")
+	}
+	if got.counters["oda_lake_insert_rows_total"] == 0 ||
+		got.counters[`oda_stream_published_records_total{topic="bronze.power_temp"}`] == 0 {
+		t.Fatalf("tier counters missing from registry: %v", got.counters)
+	}
+	if err := obs.ValidatePrometheus(got.promText); err != nil {
+		t.Fatalf("chaos-run /metrics not valid Prometheus text: %v", err)
 	}
 }
 

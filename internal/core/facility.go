@@ -21,6 +21,7 @@ import (
 	"odakit/internal/medallion"
 	"odakit/internal/mlops"
 	"odakit/internal/objstore"
+	"odakit/internal/obs"
 	"odakit/internal/platform"
 	"odakit/internal/report"
 	"odakit/internal/resilience"
@@ -125,6 +126,20 @@ type Facility struct {
 	// Pipelines tracks supervised streaming pipelines for health and
 	// metrics endpoints (/healthz, /api/v1/pipelines, dashboard footer).
 	Pipelines *sproc.Registry
+
+	// Obs is the facility-wide metrics registry: every tier registers
+	// its counters and collectors into it at construction, and /metrics
+	// renders it in Prometheus text format. Tracer samples end-to-end
+	// pipeline traces (Bronze→Silver→Gold span trees) served at
+	// /api/v1/traces.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+
+	// silverInstr is the shared sproc instrument set every Silver job
+	// accumulates into; retries counts facility-level infrastructure
+	// retries (publish, insert, fetch, ocean I/O).
+	silverInstr *sproc.Instruments
+	retries     *obs.Counter
 }
 
 // NewFacility builds and wires a facility.
@@ -170,7 +185,16 @@ func NewFacility(opts Options) (*Facility, error) {
 		ML:        ml,
 		Rats:      report.New(),
 		Pipelines: sproc.NewRegistry(),
+		Obs:       obs.NewRegistry(),
+		Tracer:    obs.NewTracer(0),
 	}
+	f.Lake.Instrument(f.Obs)
+	f.Broker.Instrument(f.Obs)
+	f.Ocean.Instrument(f.Obs)
+	f.Pipelines.Instrument(f.Obs)
+	f.silverInstr = sproc.NewInstruments(f.Obs)
+	f.retries = f.Obs.Counter("oda_core_retries_total",
+		"Facility-level infrastructure retries (publish, insert, fetch, ocean I/O).")
 	for _, src := range telemetry.MetricSources {
 		if err := f.Broker.EnsureTopic(BronzeTopic(src), stream.TopicConfig{
 			Partitions: opts.TopicPartitions, RetentionBytes: opts.StreamRetentionBytes,
@@ -216,6 +240,13 @@ type IngestStats struct {
 // ingest never serializes on per-record broker or lake locks. It
 // returns per-source volumes.
 func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source) (IngestStats, error) {
+	return f.IngestWindowContext(context.Background(), from, to, sources...)
+}
+
+// IngestWindowContext is IngestWindow with a caller context: when ctx
+// carries a sampled trace root, each source's ingest becomes a child
+// span with per-flush publish and insert spans under it.
+func (f *Facility) IngestWindowContext(ctx context.Context, from, to time.Time, sources ...telemetry.Source) (IngestStats, error) {
 	if len(sources) == 0 {
 		sources = telemetry.MetricSources
 	}
@@ -226,6 +257,8 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 	for _, src := range sources {
 		si := SourceIngest{Source: src}
 		topic := BronzeTopic(src)
+		sctx, ssp := obs.StartSpan(ctx, "bronze.ingest")
+		ssp.Annotate("source", "%s", src)
 		flush := func() error {
 			if len(msgs) == 0 {
 				return nil
@@ -233,10 +266,10 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 			// Retried flushes: a partial publish resumes with only the
 			// unpublished remainder, and the lake insert is all-or-nothing,
 			// so transient faults cost retries — never duplicates.
-			if err := f.publishRetry(context.Background(), topic, msgs); err != nil {
+			if err := f.publishRetry(sctx, topic, msgs); err != nil {
 				return err
 			}
-			if err := f.insertRetry(context.Background(), obsBatch); err != nil {
+			if err := f.insertRetry(sctx, obsBatch); err != nil {
 				return err
 			}
 			msgs, obsBatch = msgs[:0], obsBatch[:0]
@@ -256,6 +289,11 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 		if err == nil {
 			err = flush()
 		}
+		ssp.Annotate("records", "%d", si.Records)
+		if err != nil {
+			ssp.SetErr(err)
+		}
+		ssp.End()
 		if err != nil {
 			return stats, fmt.Errorf("core: ingest %s: %w", src, err)
 		}
@@ -270,7 +308,7 @@ func (f *Facility) IngestWindow(from, to time.Time, sources ...telemetry.Source)
 		if len(msgs) == 0 {
 			return nil
 		}
-		if err := f.publishRetry(context.Background(), BronzeTopic(telemetry.SourceSyslog), msgs); err != nil {
+		if err := f.publishRetry(ctx, BronzeTopic(telemetry.SourceSyslog), msgs); err != nil {
 			return err
 		}
 		msgs = msgs[:0]
@@ -351,7 +389,7 @@ func (f *Facility) ApplyRetention(now time.Time, lakeAge time.Duration) (Retenti
 			return st, err
 		}
 		key := "lake_rollups/" + cutoff.UTC().Format("2006-01-02T15") + ".ocf"
-		if err := f.oceanAppend(BucketSilver, key, data); err != nil {
+		if err := f.oceanAppend(context.Background(), BucketSilver, key, data); err != nil {
 			return st, err
 		}
 		st.LakeRowsOffloaded = rollups.Len()

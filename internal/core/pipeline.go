@@ -7,6 +7,7 @@ import (
 
 	"odakit/internal/columnar"
 	"odakit/internal/medallion"
+	"odakit/internal/obs"
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
@@ -27,6 +28,15 @@ import (
 // observations were replayed and how many were quarantined.
 func (f *Facility) ReplayBronzeToLake(ctx context.Context, src telemetry.Source) (replayed, quarantined int64, err error) {
 	topic := BronzeTopic(src)
+	ctx, sp := obs.StartSpan(ctx, "bronze.replay")
+	defer sp.End()
+	sp.Annotate("topic", "%s", topic)
+	defer func() {
+		sp.Annotate("replayed", "%d", replayed)
+		if quarantined > 0 {
+			sp.Annotate("dlq", "%d poison records quarantined", quarantined)
+		}
+	}()
 	parts, err := f.Broker.Partitions(topic)
 	if err != nil {
 		return 0, 0, err
@@ -119,6 +129,7 @@ func (f *Facility) NewSilverJob(cfg SilverPipelineConfig) (*sproc.Job, error) {
 		Group: cfg.Group, InputSchema: schema.ObservationSchema,
 		CheckpointDir: cfg.CheckpointDir,
 		Retry:         retry, Breaker: cfg.Breaker, DeadLetter: true,
+		Instr: f.silverInstr,
 	})
 	if err != nil {
 		return nil, err
@@ -150,20 +161,34 @@ func (f *Facility) NewSilverJob(cfg SilverPipelineConfig) (*sproc.Job, error) {
 // DrainSilver runs the streaming Silver pipeline until the bronze topic
 // is fully consumed, flushing every window (the test/backfill mode).
 func (f *Facility) DrainSilver(ctx context.Context, cfg SilverPipelineConfig) (sproc.Metrics, error) {
+	ctx, sp := obs.StartSpan(ctx, "silver.drain")
+	defer sp.End()
+	sp.Annotate("source", "%s", cfg.Source)
 	job, err := f.NewSilverJob(cfg)
 	if err != nil {
+		sp.SetErr(err)
 		return sproc.Metrics{}, err
 	}
 	if err := job.Drain(ctx); err != nil {
+		sp.SetErr(err)
 		return job.Metrics(), err
 	}
-	return job.Metrics(), nil
+	m := job.Metrics()
+	sp.Annotate("windows", "%d", m.WindowsEmitted)
+	if m.RecordsDeadLettered > 0 {
+		sp.Annotate("dlq", "%d poison records quarantined", m.RecordsDeadLettered)
+	}
+	return m, nil
 }
 
 // ReadSilver loads a source's Silver frame back from OCEAN, optionally
 // restricted to a time range via columnar predicate pushdown.
 func (f *Facility) ReadSilver(src telemetry.Source, from, to time.Time) (*schema.Frame, error) {
-	data, err := f.oceanGet(BucketSilver, SilverObjectKey(src))
+	return f.readSilver(context.Background(), src, from, to)
+}
+
+func (f *Facility) readSilver(ctx context.Context, src telemetry.Source, from, to time.Time) (*schema.Frame, error) {
+	data, err := f.oceanGet(ctx, BucketSilver, SilverObjectKey(src))
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +217,7 @@ func (f *Facility) ReadSilver(src telemetry.Source, from, to time.Time) (*schema
 // named columns (plus the window predicate column) are decoded — the
 // access path interactive views use on wide Silver objects.
 func (f *Facility) ReadSilverColumns(src telemetry.Source, columns []string, from, to time.Time) (*schema.Frame, error) {
-	data, err := f.oceanGet(BucketSilver, SilverObjectKey(src))
+	data, err := f.oceanGet(context.Background(), BucketSilver, SilverObjectKey(src))
 	if err != nil {
 		return nil, err
 	}
@@ -251,8 +276,19 @@ type GoldArtifacts struct {
 // power profiles (the Fig 10 features) and the system power series (the
 // Fig 8 left panel), both persisted to the gold bucket.
 func (f *Facility) BuildGold(src telemetry.Source, powerCol string, dim int) (*GoldArtifacts, error) {
-	silver, err := f.ReadSilver(src, time.Time{}, time.Time{})
+	return f.BuildGoldContext(context.Background(), src, powerCol, dim)
+}
+
+// BuildGoldContext is BuildGold with a caller context, so a sampled
+// trace covers the Gold distillation (silver read, profile extraction,
+// gold writes) as child spans.
+func (f *Facility) BuildGoldContext(ctx context.Context, src telemetry.Source, powerCol string, dim int) (*GoldArtifacts, error) {
+	ctx, sp := obs.StartSpan(ctx, "gold.build")
+	defer sp.End()
+	sp.Annotate("source", "%s", src)
+	silver, err := f.readSilver(ctx, src, time.Time{}, time.Time{})
 	if err != nil {
+		sp.SetErr(err)
 		return nil, fmt.Errorf("core: gold build needs silver data: %w", err)
 	}
 	profiles, err := medallion.ExtractJobProfiles(silver, powerCol, f.Sched, dim)
@@ -277,16 +313,18 @@ func (f *Facility) BuildGold(src telemetry.Source, powerCol string, dim int) (*G
 		}
 		buf = schema.AppendRow(buf, row)
 	}
-	if err := f.oceanPut(BucketGold, ga.ProfilesKey, buf); err != nil {
+	if err := f.oceanPut(ctx, BucketGold, ga.ProfilesKey, buf); err != nil {
 		return nil, err
 	}
 	seriesData, err := columnar.Encode(series, columnar.WriterOptions{})
 	if err != nil {
 		return nil, err
 	}
-	if err := f.oceanPut(BucketGold, ga.SeriesKey, seriesData); err != nil {
+	if err := f.oceanPut(ctx, BucketGold, ga.SeriesKey, seriesData); err != nil {
 		return nil, err
 	}
+	sp.Annotate("profiles", "%d", len(profiles))
+	sp.Annotate("series_rows", "%d", series.Len())
 	f.Datasets.Register(string(src)+"_gold", medallion.Gold, nil)
 	_ = f.Datasets.Record(string(src)+"_gold", int64(len(profiles)+series.Len()), int64(len(buf)+len(seriesData)), time.Now())
 	return ga, nil

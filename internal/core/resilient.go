@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
+	"odakit/internal/obs"
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
@@ -16,6 +18,10 @@ import (
 // ocean fault costs a retry instead of a pipeline. Fault hooks fire
 // before any state changes, which is what makes these retries
 // exactly-once: a failed call left nothing behind.
+//
+// Each wrapper also opens a child span when the context carries a
+// sampled trace, and annotates it with every retry consumed — the
+// per-stage latency and retry story a dumped trace tells.
 
 // retryPolicy resolves the facility's retry policy (Options.RetryPolicy,
 // or the resilience defaults).
@@ -26,12 +32,32 @@ func (f *Facility) retryPolicy() resilience.Policy {
 	return resilience.Policy{}
 }
 
+// retry runs fn under the facility retry policy, counting consumed
+// retries in the facility registry and annotating any sampled span.
+func (f *Facility) retry(ctx context.Context, op string, fn func() error) error {
+	p := f.retryPolicy()
+	user := p.OnRetry
+	sp := obs.SpanFromContext(ctx)
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		f.retries.Inc()
+		sp.Annotate("retry", "%s attempt %d: %v", op, attempt, err)
+		if user != nil {
+			user(attempt, err, delay)
+		}
+	}
+	return resilience.Retry(ctx, p, fn)
+}
+
 // publishRetry publishes a batch, retrying transient failures. A partial
 // publish (some partitions faulted) resumes with only the unpublished
 // remainder, so retries never duplicate records.
 func (f *Facility) publishRetry(ctx context.Context, topic string, msgs []stream.Message) error {
+	ctx, sp := obs.StartSpan(ctx, "stream.publish")
+	defer sp.End()
+	sp.Annotate("topic", "%s", topic)
+	sp.Annotate("records", "%d", len(msgs))
 	pending := msgs
-	return resilience.Retry(ctx, f.retryPolicy(), func() error {
+	err := f.retry(ctx, "publish "+topic, func() error {
 		_, err := f.Broker.PublishBatch(topic, pending)
 		var pp *stream.PartialPublishError
 		if errors.As(err, &pp) {
@@ -39,32 +65,52 @@ func (f *Facility) publishRetry(ctx context.Context, topic string, msgs []stream
 		}
 		return err
 	})
+	if err != nil {
+		sp.SetErr(err)
+	}
+	return err
 }
 
 // insertRetry inserts a batch into the LAKE store, retrying transient
 // failures (the insert hook rejects before any stripe is touched).
-func (f *Facility) insertRetry(ctx context.Context, obs []schema.Observation) error {
-	return resilience.Retry(ctx, f.retryPolicy(), func() error {
-		return f.Lake.InsertBatch(obs)
+func (f *Facility) insertRetry(ctx context.Context, batch []schema.Observation) error {
+	ctx, sp := obs.StartSpan(ctx, "lake.insert")
+	defer sp.End()
+	sp.Annotate("rows", "%d", len(batch))
+	err := f.retry(ctx, "lake insert", func() error {
+		return f.Lake.InsertBatch(batch)
 	})
+	if err != nil {
+		sp.SetErr(err)
+	}
+	return err
 }
 
 // fetchRetry fetches records from a bronze topic, retrying transients.
 func (f *Facility) fetchRetry(ctx context.Context, topic string, part int, off int64, max int) ([]stream.Record, error) {
+	ctx, sp := obs.StartSpan(ctx, "stream.fetch")
+	defer sp.End()
+	sp.Annotate("at", "%s/%d@%d", topic, part, off)
 	var recs []stream.Record
-	err := resilience.Retry(ctx, f.retryPolicy(), func() error {
+	err := f.retry(ctx, "fetch "+topic, func() error {
 		var ferr error
 		recs, ferr = f.Broker.Fetch(ctx, topic, part, off, max)
 		return ferr
 	})
+	if err != nil {
+		sp.SetErr(err)
+	}
 	return recs, err
 }
 
 // oceanGet / oceanPut / oceanAppend wrap the OCEAN object store with the
 // same retry discipline.
-func (f *Facility) oceanGet(bucket, key string) ([]byte, error) {
+func (f *Facility) oceanGet(ctx context.Context, bucket, key string) ([]byte, error) {
+	ctx, sp := obs.StartSpan(ctx, "ocean.get")
+	defer sp.End()
+	sp.Annotate("object", "%s/%s", bucket, key)
 	var data []byte
-	err := resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+	err := f.retry(ctx, "ocean get", func() error {
 		var gerr error
 		data, _, gerr = f.Ocean.Get(bucket, key)
 		return gerr
@@ -72,15 +118,21 @@ func (f *Facility) oceanGet(bucket, key string) ([]byte, error) {
 	return data, err
 }
 
-func (f *Facility) oceanPut(bucket, key string, data []byte) error {
-	return resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+func (f *Facility) oceanPut(ctx context.Context, bucket, key string, data []byte) error {
+	ctx, sp := obs.StartSpan(ctx, "ocean.put")
+	defer sp.End()
+	sp.Annotate("object", "%s/%s", bucket, key)
+	return f.retry(ctx, "ocean put", func() error {
 		_, perr := f.Ocean.Put(bucket, key, data)
 		return perr
 	})
 }
 
-func (f *Facility) oceanAppend(bucket, key string, data []byte) error {
-	return resilience.Retry(context.Background(), f.retryPolicy(), func() error {
+func (f *Facility) oceanAppend(ctx context.Context, bucket, key string, data []byte) error {
+	ctx, sp := obs.StartSpan(ctx, "ocean.append")
+	defer sp.End()
+	sp.Annotate("object", "%s/%s", bucket, key)
+	return f.retry(ctx, "ocean append", func() error {
 		_, aerr := f.Ocean.Append(bucket, key, data)
 		return aerr
 	})

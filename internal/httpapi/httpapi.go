@@ -13,12 +13,23 @@
 //	GET /api/v1/governance/requests
 //	GET /api/v1/jobs/{id}
 //	GET /api/v1/pipelines
+//	GET /metrics
+//	GET /api/v1/traces
 //
 // Under load the query endpoints degrade gracefully rather than pile
 // onto a saturated LAKE: when every concurrent scan slot is busy, a
 // query is answered from the stale side of the result cache (marked
 // X-ODA-Stale: true) when possible, and shed with 503 + Retry-After
 // otherwise.
+//
+// # Response headers
+//
+// Every error response carries X-ODA-Error with a machine-readable
+// category — "bad-request", "not-found", or "overloaded" — and every
+// 503 carries Retry-After. Query responses carry the X-ODA-Query-*
+// engine-cost headers and X-ODA-Stale marks a degraded (stale-cache)
+// answer. /metrics serves the facility registry in Prometheus text
+// format; /api/v1/traces dumps recently sampled pipeline trace trees.
 package httpapi
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"odakit/internal/core"
 	"odakit/internal/logsearch"
+	"odakit/internal/obs"
 	"odakit/internal/schema"
 	"odakit/internal/tsdb"
 )
@@ -47,22 +59,41 @@ type Server struct {
 	// Defaults to "all tsdb scan slots are in use"; tests override it to
 	// exercise the shed paths deterministically.
 	overloaded func() bool
+
+	shedStale  *obs.Counter
+	shedReject *obs.Counter
 }
 
 // New returns a server for the facility.
 func New(f *core.Facility) *Server {
 	s := &Server{f: f, mux: http.NewServeMux()}
 	s.overloaded = func() bool { return f.Lake.ScanLoad() >= shedLoad }
-	s.mux.HandleFunc("GET /healthz", s.health)
-	s.mux.HandleFunc("GET /api/v1/lake/query", s.lakeQuery)
-	s.mux.HandleFunc("GET /api/v1/lake/topn", s.lakeTopN)
-	s.mux.HandleFunc("GET /api/v1/logs/search", s.logsSearch)
-	s.mux.HandleFunc("GET /api/v1/rats/programs", s.ratsPrograms)
-	s.mux.HandleFunc("GET /api/v1/datasets", s.datasets)
-	s.mux.HandleFunc("GET /api/v1/governance/requests", s.governanceRequests)
-	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.job)
-	s.mux.HandleFunc("GET /api/v1/pipelines", s.pipelines)
+	s.shedStale = f.Obs.Counter("oda_http_shed_stale_total",
+		"Overloaded queries answered from the stale cache side.")
+	s.shedReject = f.Obs.Counter("oda_http_shed_rejected_total",
+		"Overloaded queries rejected with 503 + Retry-After.")
+	s.handle("GET /healthz", "healthz", s.health)
+	s.handle("GET /api/v1/lake/query", "lake_query", s.lakeQuery)
+	s.handle("GET /api/v1/lake/topn", "lake_topn", s.lakeTopN)
+	s.handle("GET /api/v1/logs/search", "logs_search", s.logsSearch)
+	s.handle("GET /api/v1/rats/programs", "rats_programs", s.ratsPrograms)
+	s.handle("GET /api/v1/datasets", "datasets", s.datasets)
+	s.handle("GET /api/v1/governance/requests", "governance_requests", s.governanceRequests)
+	s.handle("GET /api/v1/jobs/{id}", "job", s.job)
+	s.handle("GET /api/v1/pipelines", "pipelines", s.pipelines)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(f.Obs))
+	s.mux.Handle("GET /api/v1/traces", obs.TracesHandler(f.Tracer))
 	return s
+}
+
+// handle registers a route with a per-route request counter.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	c := s.f.Obs.Counter("oda_http_requests_total"+obs.Labels("route", route),
+		"HTTP requests served, per route.")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	})
 }
 
 // SetOverloadCheck replaces the overload predicate (tests and custom
@@ -82,8 +113,22 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func badRequest(w http.ResponseWriter, msg string) {
-	writeJSON(w, http.StatusBadRequest, apiError{Error: msg})
+// writeError writes a JSON error with the documented headers: X-ODA-Error
+// carries the machine-readable category ("bad-request", "not-found",
+// "overloaded"), and every 503 carries Retry-After so clients back off
+// instead of hammering a saturated lake.
+func (s *Server) writeError(w http.ResponseWriter, status int, category, msg string) {
+	w.Header().Set("X-ODA-Error", category)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.f.Obs.Counter("oda_http_errors_total"+obs.Labels("category", category),
+		"HTTP error responses, per category.").Inc()
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.writeError(w, http.StatusBadRequest, "bad-request", msg)
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
@@ -130,11 +175,12 @@ func (s *Server) shed(w http.ResponseWriter, query tsdb.Query, emit func(*schema
 	}
 	if fr, ok := s.f.Lake.CachedStale(query); ok {
 		w.Header().Set("X-ODA-Stale", "true")
+		s.shedStale.Inc()
 		emit(fr)
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "lake overloaded, retry later"})
+	s.shedReject.Inc()
+	s.writeError(w, http.StatusServiceUnavailable, "overloaded", "lake overloaded, retry later")
 	return true
 }
 
@@ -175,7 +221,7 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	from, to, err := s.parseWindow(r)
 	if err != nil {
-		badRequest(w, "bad from/to: "+err.Error())
+		s.badRequest(w, "bad from/to: "+err.Error())
 		return
 	}
 	query := tsdb.Query{From: from, To: to, Filters: map[string][]string{}}
@@ -188,7 +234,7 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	if g := q.Get("granularity"); g != "" {
 		d, err := time.ParseDuration(g)
 		if err != nil {
-			badRequest(w, "bad granularity: "+err.Error())
+			s.badRequest(w, "bad granularity: "+err.Error())
 			return
 		}
 		query.Granularity = d
@@ -196,7 +242,7 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	if a := q.Get("agg"); a != "" {
 		kind, ok := aggNames[a]
 		if !ok {
-			badRequest(w, "unknown agg "+a)
+			s.badRequest(w, "unknown agg "+a)
 			return
 		}
 		query.Agg = kind
@@ -211,7 +257,7 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	frame, stats, err := s.f.Lake.RunWithStats(query)
 	if err != nil {
-		badRequest(w, err.Error())
+		s.badRequest(w, err.Error())
 		return
 	}
 	// Engine observability (§VII dashboards watch their own query cost):
@@ -253,18 +299,18 @@ func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	from, to, err := s.parseWindow(r)
 	if err != nil {
-		badRequest(w, "bad from/to: "+err.Error())
+		s.badRequest(w, "bad from/to: "+err.Error())
 		return
 	}
 	metric := q.Get("metric")
 	if metric == "" {
-		badRequest(w, "metric is required")
+		s.badRequest(w, "metric is required")
 		return
 	}
 	n := 10
 	if v := q.Get("n"); v != "" {
 		if n, err = strconv.Atoi(v); err != nil || n <= 0 {
-			badRequest(w, "bad n")
+			s.badRequest(w, "bad n")
 			return
 		}
 	}
@@ -274,7 +320,7 @@ func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {
 		Agg:     tsdb.AggAvg,
 	}, tsdb.DimComponent, n)
 	if err != nil {
-		badRequest(w, err.Error())
+		s.badRequest(w, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, top)
@@ -291,7 +337,7 @@ func (s *Server) logsSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	from, to, err := s.parseWindow(r)
 	if err != nil {
-		badRequest(w, "bad from/to: "+err.Error())
+		s.badRequest(w, "bad from/to: "+err.Error())
 		return
 	}
 	lq := logsearch.Query{Severity: q.Get("severity"), Host: q.Get("host"), From: from, To: to}
@@ -301,7 +347,7 @@ func (s *Server) logsSearch(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			badRequest(w, "bad limit")
+			s.badRequest(w, "bad limit")
 			return
 		}
 		lq.Limit = n
@@ -317,7 +363,7 @@ func (s *Server) logsSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) ratsPrograms(w http.ResponseWriter, r *http.Request) {
 	from, to, err := s.parseWindow(r)
 	if err != nil {
-		badRequest(w, "bad from/to: "+err.Error())
+		s.badRequest(w, "bad from/to: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.f.Rats.ByProgram(from, to))
@@ -359,7 +405,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.f.Sched.Job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job " + id})
+		s.writeError(w, http.StatusNotFound, "not-found", "no such job "+id)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -1,0 +1,45 @@
+package objstore
+
+import (
+	"odakit/internal/obs"
+)
+
+// instruments are the store's live op counters; nil when uninstrumented.
+type instruments struct {
+	puts, appends, gets *obs.Counter
+	putBytes, gotBytes  *obs.Counter
+}
+
+// Instrument registers the object store with an obs registry: live
+// counters on the op paths (an OCEAN op copies whole objects, so a
+// counter add is noise) plus a scrape-time collector over per-bucket
+// footprints.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ins := &instruments{
+		puts: reg.Counter("oda_ocean_puts_total", "OCEAN Put operations."),
+		appends: reg.Counter("oda_ocean_appends_total",
+			"OCEAN Append operations (the ever-appended write path)."),
+		gets:     reg.Counter("oda_ocean_gets_total", "OCEAN Get operations."),
+		putBytes: reg.Counter("oda_ocean_put_bytes_total", "Bytes written to OCEAN."),
+		gotBytes: reg.Counter("oda_ocean_get_bytes_total", "Bytes read from OCEAN."),
+	}
+	s.mu.Lock()
+	s.instr = ins
+	s.mu.Unlock()
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		for _, name := range s.Buckets() {
+			st, err := s.Stats(name)
+			if err != nil {
+				continue
+			}
+			l := obs.Labels("bucket", name)
+			emit(obs.Sample{Name: "oda_ocean_objects" + l, Kind: obs.KindGauge,
+				Help: "Objects per OCEAN bucket.", Value: float64(st.Objects)})
+			emit(obs.Sample{Name: "oda_ocean_current_bytes" + l, Kind: obs.KindGauge,
+				Help: "Current-version bytes per OCEAN bucket.", Value: float64(st.CurrentBytes)})
+		}
+	})
+}

@@ -75,6 +75,9 @@ type Store struct {
 	// caller retrying an aborted write cannot duplicate data. The chaos
 	// injector (internal/faults) installs here.
 	faultHook func(op, target string) error
+	// instr holds the live obs counters (see instrument.go); nil — the
+	// default — costs one branch per op.
+	instr *instruments
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook
@@ -240,6 +243,10 @@ func (s *Store) Put(bucketName, key string, data []byte) (ObjectInfo, error) {
 	if err := s.faultLocked("store.put", bucketName, key); err != nil {
 		return ObjectInfo{}, err
 	}
+	if s.instr != nil {
+		s.instr.puts.Inc()
+		s.instr.putBytes.Add(int64(len(data)))
+	}
 	return s.putLocked(bucketName, key, append([]byte(nil), data...))
 }
 
@@ -279,6 +286,10 @@ func (s *Store) Append(bucketName, key string, data []byte) (ObjectInfo, error) 
 	if err := s.faultLocked("store.append", bucketName, key); err != nil {
 		return ObjectInfo{}, err
 	}
+	if s.instr != nil {
+		s.instr.appends.Inc()
+		s.instr.putBytes.Add(int64(len(data)))
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
@@ -309,6 +320,10 @@ func (s *Store) Get(bucketName, key string) ([]byte, ObjectInfo, error) {
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
 	}
 	v := obj.versions[len(obj.versions)-1]
+	if s.instr != nil {
+		s.instr.gets.Inc()
+		s.instr.gotBytes.Add(int64(len(v.data)))
+	}
 	return append([]byte(nil), v.data...), ObjectInfo{
 		Bucket: bucketName, Key: key, Version: v.id, Size: int64(len(v.data)), Modified: v.modified,
 	}, nil

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the per-counter stripe count; a power of two.
+// Parallel writers land on distinct cache lines instead of ping-ponging
+// one, which is what keeps a counter add affordable inside the batched
+// ingest hot path at high goroutine counts.
+const counterStripes = 8
+
+// stripe is a 64-byte padded atomic cell so adjacent stripes never
+// share a cache line.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripeIdx picks a stripe for the calling goroutine. Goroutine stacks
+// live in distinct allocations, so the address of a stack local is a
+// cheap, stable-per-goroutine discriminator — no TLS, no runtime hooks.
+func stripeIdx() int {
+	var x byte
+	return int(uintptr(unsafe.Pointer(&x))>>10) & (counterStripes - 1)
+}
+
+// Counter is a monotonically increasing, cache-line-striped counter.
+// All methods are safe on a nil receiver (they no-op), so components
+// can hold instrument pointers unconditionally and stay zero-cost when
+// uninstrumented.
+type Counter struct {
+	stripes [counterStripes]stripe
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.stripes[stripeIdx()].v.Add(n)
+}
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value (stored as float64 bits).
+// Methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value loads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

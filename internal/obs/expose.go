@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE pair per family, samples in deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFam string
+	for _, s := range r.Gather() {
+		fam := s.family()
+		if fam != lastFam {
+			help := s.Help
+			if help == "" {
+				help = fam
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				fam, escapeHelp(help), fam, s.Kind); err != nil {
+				return err
+			}
+			lastFam = fam
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value: integral values without a
+// fraction, everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// MetricsHandler serves the registry at GET /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the tracer's recent root traces as a JSON array
+// of span trees, oldest first.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := t.Recent()
+		if traces == nil {
+			traces = []*Span{}
+		}
+		_ = json.NewEncoder(w).Encode(traces)
+	})
+}
+
+// NewDebugMux wires the full debug surface onto one mux: /metrics,
+// /api/v1/traces, and the net/http/pprof endpoints — the mux odaserve
+// exposes on its debug listener so `go tool pprof` attaches directly.
+func NewDebugMux(r *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(r))
+	mux.Handle("GET /api/v1/traces", TracesHandler(t))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

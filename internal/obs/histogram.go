@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bound, cumulative-bucket histogram. Bucket
+// counts are atomic; the running sum is lock-striped (padded CAS cells)
+// so concurrent observers on the hot path do not serialize on one
+// float64. Bounds are fixed at construction — exponential bounds via
+// ExpBounds are the intended shape for latency distributions, whose
+// long tails a linear grid would crush. Methods are safe on a nil
+// receiver.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	buckets []stripe  // cumulative at scrape; per-bucket at observe
+	count   stripe
+	sums    [counterStripes]sumStripe
+}
+
+// sumStripe is a padded CAS cell holding float64 bits.
+type sumStripe struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// ExpBounds returns n exponentially spaced upper bounds starting at
+// start and growing by factor: the fixed grid every latency histogram
+// in the registry shares, so exposition stays byte-stable across runs.
+func ExpBounds(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencySeconds is the shared bucket grid for operation latencies:
+// 10µs up to ~40s in ×4 steps.
+func LatencySeconds() []float64 { return ExpBounds(10e-6, 4, 12) }
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: b, buckets: make([]stripe, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bound counts are small (≤ ~16) and the loop is
+	// branch-predictable; a binary search costs more in practice.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	si := stripeIdx()
+	h.buckets[i].v.Add(1)
+	h.count.v.Add(1)
+	s := &h.sums[si]
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.v.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i := range h.sums {
+		total += math.Float64frombits(h.sums[i].bits.Load())
+	}
+	return total
+}
+
+// samples expands the histogram into Prometheus-shaped samples: one
+// cumulative _bucket per bound (plus +Inf), then _sum and _count. The
+// family name for TYPE/HELP grouping is the base name.
+func (h *Histogram) samples(name, help string) []Sample {
+	base, labels := splitLabels(name)
+	fam := base
+	var out []Sample
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].v.Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		out = append(out, Sample{
+			Name: base + "_bucket" + mergeLabels(labels, `le="`+le+`"`),
+			Help: help, Kind: KindHistogram, Value: float64(cum), Family: fam,
+		})
+	}
+	out = append(out,
+		Sample{Name: base + "_sum" + labels, Help: help, Kind: KindHistogram, Value: h.Sum(), Family: fam},
+		Sample{Name: base + "_count" + labels, Help: help, Kind: KindHistogram, Value: float64(h.Count()), Family: fam},
+	)
+	return out
+}
+
+// splitLabels separates `name{...}` into name and label suffix.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabels merges a canonical label suffix with one extra pair.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest float representation.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

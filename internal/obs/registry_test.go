@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripedConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("oda_test_total", "test counter")
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// Get-or-create: same name returns the same instrument.
+	if r.Counter("oda_test_total", "") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.RegisterCollector(func(emit func(Sample)) {})
+	if r.Gather() != nil {
+		t.Fatal("nil registry gather must be empty")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("oda_gauge", "g")
+	g.Set(2.5)
+	g.Add(-1)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("gauge = %v", v)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("oda_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	samples := r.Gather()
+	// cumulative buckets: 1, 3, 4, +Inf=5, then sum, count
+	wantVals := []float64{1, 3, 4, 5, 56.05, 5}
+	if len(samples) != len(wantVals) {
+		t.Fatalf("samples = %d, want %d: %+v", len(samples), len(wantVals), samples)
+	}
+	for i, want := range wantVals {
+		if math.Abs(samples[i].Value-want) > 1e-9 {
+			t.Fatalf("sample %d (%s) = %v, want %v", i, samples[i].Name, samples[i].Value, want)
+		}
+	}
+	if samples[0].Name != `oda_lat_seconds_bucket{le="0.1"}` || samples[3].Name != `oda_lat_seconds_bucket{le="+Inf"}` {
+		t.Fatalf("bucket names: %q / %q", samples[0].Name, samples[3].Name)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", ExpBounds(0.001, 10, 4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-400) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	if got := Labels("topic", "bronze.x", "op", "publish"); got != `{op="publish",topic="bronze.x"}` {
+		t.Fatalf("labels = %s", got)
+	}
+	if Labels() != "" || Labels("odd") != "" {
+		t.Fatal("degenerate label sets must render empty")
+	}
+}
+
+func TestWritePrometheusValidAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oda_b_total", "second family").Add(2)
+	r.Counter(`oda_a_total`+Labels("k", "v1"), "first family").Add(1)
+	r.Counter(`oda_a_total`+Labels("k", "v2"), "first family").Add(3)
+	r.Gauge("oda_load", "load").Set(0.25)
+	r.Histogram("oda_lat_seconds", "lat", []float64{1}).Observe(0.5)
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "oda_collected", Help: "from collector", Kind: KindGauge, Value: 7})
+	})
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("exposition not deterministic across scrapes")
+	}
+	text := b1.String()
+	if err := ValidatePrometheus(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE oda_a_total counter",
+		`oda_a_total{k="v1"} 1`,
+		`oda_a_total{k="v2"} 3`,
+		"# TYPE oda_lat_seconds histogram",
+		`oda_lat_seconds_bucket{le="+Inf"} 1`,
+		"oda_lat_seconds_sum 0.5",
+		"oda_lat_seconds_count 1",
+		"oda_collected 7",
+		"oda_load 0.25",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE pair per family, even with two labeled children.
+	if strings.Count(text, "# TYPE oda_a_total") != 1 {
+		t.Fatalf("duplicated TYPE for labeled family:\n%s", text)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"1bad_name 3\n",
+		"# TYPE x nonsense\nx 1\n",
+		"x{le=\"1\" 3\n",
+		"x notanumber\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+	} {
+		if err := ValidatePrometheus(bad); err == nil {
+			t.Fatalf("validator accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a pipeline trace. Spans form a tree: the
+// root covers a whole Bronze→Silver→Gold journey, children cover
+// publish, fetch, micro-batch, insert, and rollup stages, and
+// annotations carry the chaos layer's retry and DLQ events. All methods
+// are safe on a nil receiver — an unsampled context yields nil spans
+// and the instrumented code path costs one nil check.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*Span
+	Err      string
+
+	mu     sync.Mutex
+	tracer *Tracer // set on roots only
+	ended  bool
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Annotate appends a formatted annotation (retry events, DLQ
+// quarantines, batch sizes). Nil-safe.
+func (s *Span) Annotate(key, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	v := format
+	if len(args) > 0 {
+		v = fmt.Sprintf(format, args...)
+	}
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
+// SetErr records a stage error on the span. Nil-safe.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Err = err.Error()
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending a root span
+// publishes the completed trace to its tracer's ring. Nil-safe and
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.Duration = time.Since(s.Start)
+	t := s.tracer
+	s.mu.Unlock()
+	if t != nil {
+		t.keep(s)
+	}
+}
+
+// child creates and attaches a child span.
+func (s *Span) child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// spanKey threads the active span through context.Context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when the context is
+// untraced — every annotation helper downstream is nil-safe, so
+// untraced paths cost one context lookup at span boundaries only.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// context carrying it. On an untraced context it returns (ctx, nil):
+// tracing is strictly opt-in per call tree.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.child(name)
+	return ContextWithSpan(ctx, c), c
+}
+
+// Tracer samples pipeline traces and retains the most recent completed
+// roots in a ring for the /api/v1/traces endpoint.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []*Span
+	next   int
+	seq    uint64
+	every  uint64
+	filled bool
+}
+
+// NewTracer returns a tracer keeping up to capacity recent traces
+// (default 64) and sampling every root (SetSampleEvery adjusts).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]*Span, capacity), every: 1}
+}
+
+// SetSampleEvery samples one root trace in n (n <= 1 restores
+// sample-everything).
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	t.every = uint64(n)
+	t.mu.Unlock()
+}
+
+// StartRoot opens a root span when the sampling gate admits it,
+// returning a context that carries it. Unsampled calls return (ctx,
+// nil) and the downstream pipeline runs fully untraced. Safe on a nil
+// tracer.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	t.mu.Lock()
+	t.seq++
+	sampled := t.seq%t.every == 0
+	t.mu.Unlock()
+	if !sampled {
+		return ctx, nil
+	}
+	s := &Span{Name: name, Start: time.Now(), tracer: t}
+	return ContextWithSpan(ctx, s), s
+}
+
+// keep stores a completed root trace in the ring.
+func (t *Tracer) keep(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the retained root traces, oldest first. Safe on a nil
+// tracer.
+func (t *Tracer) Recent() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Span
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	res := out[:0]
+	for _, s := range out {
+		if s != nil {
+			res = append(res, s)
+		}
+	}
+	return res
+}
+
+// MarshalJSON serializes the span tree (guarding the mutable fields).
+func (s *Span) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type flat struct {
+		Name       string  `json:"name"`
+		Start      string  `json:"start"`
+		DurationUS int64   `json:"duration_us"`
+		Attrs      []Attr  `json:"attrs,omitempty"`
+		Err        string  `json:"error,omitempty"`
+		Children   []*Span `json:"children,omitempty"`
+	}
+	return json.Marshal(flat{
+		Name:       s.Name,
+		Start:      s.Start.UTC().Format(time.RFC3339Nano),
+		DurationUS: s.Duration.Microseconds(),
+		Attrs:      append([]Attr(nil), s.Attrs...),
+		Err:        s.Err,
+		Children:   append([]*Span(nil), s.Children...),
+	})
+}
+
+// WalkSpans visits every span in the tree, depth first.
+func WalkSpans(root *Span, visit func(*Span)) {
+	if root == nil {
+		return
+	}
+	visit(root)
+	root.mu.Lock()
+	children := append([]*Span(nil), root.Children...)
+	root.mu.Unlock()
+	for _, c := range children {
+		WalkSpans(c, visit)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeAndRing(t *testing.T) {
+	tr := NewTracer(2)
+	ctx, root := tr.StartRoot(context.Background(), "pipeline")
+	if root == nil {
+		t.Fatal("default tracer must sample every root")
+	}
+	ctx2, pub := StartSpan(ctx, "publish")
+	pub.Annotate("records", "%d", 512)
+	pub.End()
+	_, ins := StartSpan(ctx2, "insert")
+	ins.End()
+	if len(tr.Recent()) != 0 {
+		t.Fatal("unfinished root must not be retained")
+	}
+	root.End()
+	root.End() // idempotent
+
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Name != "pipeline" {
+		t.Fatalf("recent = %+v", recent)
+	}
+	var names []string
+	WalkSpans(recent[0], func(s *Span) { names = append(names, s.Name) })
+	if strings.Join(names, ",") != "pipeline,publish,insert" {
+		t.Fatalf("span walk = %v", names)
+	}
+
+	// Ring keeps only the newest N roots.
+	for i := 0; i < 3; i++ {
+		_, r := tr.StartRoot(context.Background(), "extra")
+		r.End()
+	}
+	if got := len(tr.Recent()); got != 2 {
+		t.Fatalf("ring holds %d, want 2", got)
+	}
+}
+
+func TestUntracedContextIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("untraced context must yield nil span and unchanged ctx")
+	}
+	s.Annotate("k", "v")
+	s.SetErr(nil)
+	s.End()
+	var tr *Tracer
+	_, root := tr.StartRoot(ctx, "x")
+	if root != nil {
+		t.Fatal("nil tracer must not sample")
+	}
+	if tr.Recent() != nil {
+		t.Fatal("nil tracer recent must be empty")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetSampleEvery(3)
+	sampled := 0
+	for i := 0; i < 9; i++ {
+		if _, s := tr.StartRoot(context.Background(), "r"); s != nil {
+			sampled++
+			s.End()
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled %d of 9 with every=3", sampled)
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRoot(context.Background(), "ingest")
+	_, c := StartSpan(ctx, "publish")
+	c.Annotate("retry", "attempt 2")
+	c.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/traces", nil))
+	var out []struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name  string `json:"name"`
+			Attrs []Attr `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out) != 1 || out[0].Name != "ingest" || len(out[0].Children) != 1 ||
+		out[0].Children[0].Attrs[0].Value != "attempt 2" {
+		t.Fatalf("trace tree = %s", rec.Body.String())
+	}
+}
+
+func TestDebugMuxServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oda_up", "").Inc()
+	mux := NewDebugMux(r, NewTracer(1))
+	for _, path := range []string{"/metrics", "/api/v1/traces", "/debug/pprof/"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+	}
+}

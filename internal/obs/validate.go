@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus parses a Prometheus text-format (0.0.4) payload
+// and returns the first grammar violation found, or nil. It checks
+// metric/label name grammar, HELP/TYPE placement, value syntax, and —
+// for histogram families — that _bucket samples carry `le`, are
+// cumulative, and agree with _count. Tests use it so an exposition
+// regression fails with a parse error instead of a silent bad scrape.
+func ValidatePrometheus(text string) error {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]Kind{}
+	seenSample := map[string]bool{}
+	var bucketPrev float64
+	var bucketFam string
+	var bucketInf bool
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE needs a kind", lineNo)
+				}
+				kind := Kind(fields[3])
+				switch kind {
+				case KindCounter, KindGauge, KindHistogram, KindUntyped, "summary":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+				if seenSample[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				typed[name] = kind
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := histogramFamily(name, typed)
+		seenSample[fam] = true
+		if strings.HasSuffix(name, "_bucket") && typed[fam] == KindHistogram {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le", lineNo)
+			}
+			if bucketFam != fam+labelKeyless(labels) {
+				bucketFam = fam + labelKeyless(labels)
+				bucketPrev = 0
+				bucketInf = false
+			}
+			if value < bucketPrev {
+				return fmt.Errorf("line %d: non-cumulative bucket in %s", lineNo, fam)
+			}
+			bucketPrev = value
+			if le == "+Inf" {
+				bucketInf = true
+			}
+		}
+		if strings.HasSuffix(name, "_count") && typed[fam] == KindHistogram {
+			if !bucketInf {
+				return fmt.Errorf("line %d: histogram %s missing +Inf bucket", lineNo, fam)
+			}
+			if value != bucketPrev {
+				return fmt.Errorf("line %d: histogram %s count %v != +Inf bucket %v", lineNo, fam, value, bucketPrev)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// histogramFamily strips histogram sample suffixes when the base family
+// was TYPEd histogram.
+func histogramFamily(name string, typed map[string]Kind) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := typed[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// labelKeyless renders labels minus le, to detect bucket-series breaks.
+func labelKeyless(labels map[string]string) string {
+	var sb strings.Builder
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		fmt.Fprintf(&sb, "|%s=%s", k, v)
+	}
+	return sb.String()
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:nameEnd]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	labels := map[string]string{}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for body != "" {
+			eq := strings.IndexByte(body, '=')
+			if eq <= 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := body[:eq]
+			if !validLabelName(key) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", key)
+			}
+			// Find the closing quote, honoring escapes.
+			i := eq + 2
+			for i < len(body) && body[i] != '"' {
+				if body[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(body) {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[key] = body[eq+2 : i]
+			body = strings.TrimPrefix(body[i+1:], ",")
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	valStr := strings.Fields(rest)
+	if len(valStr) < 1 || len(valStr) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valStr[0], 64)
+	if err != nil && valStr[0] != "+Inf" && valStr[0] != "-Inf" && valStr[0] != "NaN" {
+		return "", nil, 0, fmt.Errorf("bad value %q", valStr[0])
+	}
+	return name, labels, v, nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}

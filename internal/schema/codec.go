@@ -91,7 +91,7 @@ func DecodeRow(buf []byte) (Row, int, error) {
 			row = append(row, Float(math.Float64frombits(bits)))
 		case KindString:
 			l, sz := binary.Uvarint(buf[off:])
-			if sz <= 0 || uint64(off+sz)+l > uint64(len(buf)) {
+			if sz <= 0 || l > uint64(len(buf)) || uint64(off+sz)+l > uint64(len(buf)) {
 				return nil, 0, fmt.Errorf("schema: decode row: truncated string")
 			}
 			off += sz

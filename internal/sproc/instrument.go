@@ -1,0 +1,76 @@
+package sproc
+
+import (
+	"odakit/internal/obs"
+)
+
+// Instruments are the live streaming-job counters a facility's jobs
+// share: every job configured with the same set (JobConfig.Instr)
+// accumulates into one registry-backed family, so /metrics shows
+// facility-wide sproc totals no matter how many jobs ran. Updates are
+// per micro-batch deltas, never per record.
+type Instruments struct {
+	RecordsIn      *obs.Counter
+	RecordsInvalid *obs.Counter
+	RecordsLate    *obs.Counter
+	Batches        *obs.Counter
+	WindowsEmitted *obs.Counter
+	RowsOut        *obs.Counter
+	DeadLettered   *obs.Counter
+	Retries        *obs.Counter
+	SinkLatency    *obs.Histogram
+}
+
+// NewInstruments creates (or rebinds to) the sproc instrument family in
+// a registry. Safe with a nil registry: every instrument is then nil
+// and no-ops.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	return &Instruments{
+		RecordsIn:      reg.Counter("oda_sproc_records_in_total", "Records consumed by streaming jobs."),
+		RecordsInvalid: reg.Counter("oda_sproc_records_invalid_total", "Undecodable or non-conforming records."),
+		RecordsLate:    reg.Counter("oda_sproc_records_late_total", "Records behind an already-closed window."),
+		Batches:        reg.Counter("oda_sproc_batches_total", "Micro-batches processed."),
+		WindowsEmitted: reg.Counter("oda_sproc_windows_emitted_total", "Windows closed and emitted."),
+		RowsOut:        reg.Counter("oda_sproc_rows_out_total", "Rows delivered to sinks."),
+		DeadLettered:   reg.Counter("oda_sproc_dead_letters_total", "Poison records quarantined to DLQs."),
+		Retries:        reg.Counter("oda_sproc_retries_total", "Retry attempts consumed masking transient faults."),
+		SinkLatency:    reg.Histogram("oda_sproc_sink_seconds", "Sink call wall time (incl. retries).", obs.LatencySeconds()),
+	}
+}
+
+// Instrument registers the pipeline registry with an obs registry: a
+// scrape-time collector over the supervised pipelines' health, so
+// /metrics carries per-pipeline restart pressure and breaker state next
+// to the shared job counters.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		for _, ps := range r.Snapshot() {
+			l := obs.Labels("pipeline", ps.Name)
+			healthy := 0.0
+			if ps.Healthy() {
+				healthy = 1
+			}
+			emit(obs.Sample{Name: "oda_pipeline_healthy" + l, Kind: obs.KindGauge,
+				Help: "1 when the supervised pipeline is healthy.", Value: healthy})
+			emit(obs.Sample{Name: "oda_pipeline_restarts_total" + l, Kind: obs.KindCounter,
+				Help: "Supervisor restarts per pipeline.", Value: float64(ps.Metrics.Restarts)})
+			emit(obs.Sample{Name: "oda_pipeline_retries_total" + l, Kind: obs.KindCounter,
+				Help: "Retries consumed per pipeline.", Value: float64(ps.Metrics.Retries)})
+			emit(obs.Sample{Name: "oda_pipeline_dead_letters_total" + l, Kind: obs.KindCounter,
+				Help: "Records dead-lettered per pipeline.", Value: float64(ps.Metrics.RecordsDeadLettered)})
+			if ps.Breaker != nil {
+				open := 0.0
+				if ps.Breaker.State == "open" {
+					open = 1
+				}
+				emit(obs.Sample{Name: "oda_breaker_open" + l, Kind: obs.KindGauge,
+					Help: "1 when the pipeline's sink circuit breaker is open.", Value: open})
+				emit(obs.Sample{Name: "oda_breaker_opens_total" + l, Kind: obs.KindCounter,
+					Help: "Circuit-breaker trips per pipeline.", Value: float64(ps.Breaker.Opens)})
+			}
+		}
+	})
+}

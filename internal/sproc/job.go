@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"odakit/internal/obs"
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/stream"
@@ -45,6 +46,11 @@ type JobConfig struct {
 	// topic's DLQ ("<Topic>.dlq") with offset and error metadata instead
 	// of only counting them in RecordsInvalid.
 	DeadLetter bool
+	// Instr, when non-nil, mirrors the per-job Metrics deltas into
+	// shared registry-backed instruments (one add per micro-batch, never
+	// per record). Jobs across a facility share one set so /metrics
+	// shows facility-wide totals even across job restarts.
+	Instr *Instruments
 }
 
 // WindowSpec declares event-time windowed aggregation: tumbling by
@@ -213,6 +219,10 @@ func (j *Job) withRetry(ctx context.Context, fn func() error) error {
 		j.mu.Lock()
 		j.metrics.Retries++
 		j.mu.Unlock()
+		if ins := j.cfg.Instr; ins != nil {
+			ins.Retries.Inc()
+		}
+		obs.SpanFromContext(ctx).Annotate("retry", "attempt %d: %v", attempt, err)
 		if user != nil {
 			user(attempt, err, delay)
 		}
@@ -351,12 +361,20 @@ func (j *Job) step(ctx context.Context) error {
 		}
 		return err
 	}
+	// One micro-batch span (sampled roots only; a no-op otherwise). It
+	// parents the sink spans deliver opens below.
+	ctx, sp := obs.StartSpan(ctx, "silver.microbatch")
+	defer sp.End()
+	sp.Annotate("topic", "%s", j.cfg.Topic)
+	sp.Annotate("records", "%d", len(recs))
+
 	batch := schema.NewFrame(j.cfg.InputSchema)
 	var tIdx int
 	if j.window != nil {
 		tIdx = j.cfg.InputSchema.MustIndex(j.window.TimeCol)
 	}
 	var dead []DeadRecord // poison records, quarantined outside j.mu
+	var invalid int64
 	j.mu.Lock()
 	for _, r := range recs {
 		j.metrics.RecordsIn++
@@ -366,6 +384,7 @@ func (j *Job) step(ctx context.Context) error {
 		}
 		if derr != nil {
 			j.metrics.RecordsInvalid++
+			invalid++
 			if j.cfg.DeadLetter {
 				dead = append(dead, DeadRecord{
 					Topic: r.Topic, Partition: r.Partition, Offset: r.Offset,
@@ -392,6 +411,11 @@ func (j *Job) step(ctx context.Context) error {
 	}
 	j.metrics.Batches++
 	j.mu.Unlock()
+	if ins := j.cfg.Instr; ins != nil {
+		ins.RecordsIn.Add(int64(len(recs)))
+		ins.RecordsInvalid.Add(invalid)
+		ins.Batches.Inc()
+	}
 
 	if len(dead) > 0 {
 		var n int
@@ -405,6 +429,10 @@ func (j *Job) step(ctx context.Context) error {
 		j.mu.Lock()
 		j.metrics.RecordsDeadLettered += int64(n)
 		j.mu.Unlock()
+		if ins := j.cfg.Instr; ins != nil {
+			ins.DeadLettered.Add(int64(n))
+		}
+		sp.Annotate("dlq", "%d poison records quarantined", n)
 	}
 
 	if j.window != nil {
@@ -438,6 +466,13 @@ func (j *Job) absorb(batch *schema.Frame) {
 	if slide <= 0 {
 		slide = spec.Window
 	}
+	var late, nullTS int64
+	if ins := j.cfg.Instr; ins != nil {
+		defer func() {
+			ins.RecordsLate.Add(late)
+			ins.RecordsInvalid.Add(nullTS)
+		}()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	var kb []byte
@@ -446,6 +481,7 @@ func (j *Job) absorb(batch *schema.Frame) {
 		ts := row[tIdx]
 		if ts.IsNull() {
 			j.metrics.RecordsInvalid++
+			nullTS++
 			continue
 		}
 		// The record belongs to every window whose start lies in
@@ -455,6 +491,7 @@ func (j *Job) absorb(batch *schema.Frame) {
 		latest := TumbleTime(ts.TimeVal(), slide).UnixNano()
 		if latest <= j.emitted {
 			j.metrics.RecordsLate++
+			late++
 			continue
 		}
 		kb = kb[:0]
@@ -563,6 +600,9 @@ func (j *Job) flushWindows(ctx context.Context, force bool) error {
 		j.metrics.WindowsEmitted++
 	}
 	j.mu.Unlock()
+	if ins := j.cfg.Instr; ins != nil {
+		ins.WindowsEmitted.Add(int64(len(due)))
+	}
 
 	for _, f := range frames {
 		if err := j.deliver(ctx, f); err != nil {
@@ -587,16 +627,29 @@ func (j *Job) deliver(ctx context.Context, f *schema.Frame) error {
 	if f.Len() == 0 {
 		return nil
 	}
+	ctx, sp := obs.StartSpan(ctx, "silver.sink")
+	defer sp.End()
+	sp.Annotate("rows", "%d", f.Len())
+	ins := j.cfg.Instr
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now() // sink calls copy whole frames; one clock read is noise here
+	}
 	sink := func() error { return j.sink(f) }
 	if j.breaker != nil {
 		inner := sink
 		sink = func() error { return j.breaker.Do(inner) }
 	}
 	if err := j.withRetry(ctx, sink); err != nil {
+		sp.SetErr(err)
 		return fmt.Errorf("sproc: job %s sink: %w", j.cfg.Name, err)
 	}
 	j.mu.Lock()
 	j.metrics.RowsOut += int64(f.Len())
 	j.mu.Unlock()
+	if ins != nil {
+		ins.SinkLatency.Observe(time.Since(t0).Seconds())
+		ins.RowsOut.Add(int64(f.Len()))
+	}
 	return nil
 }

@@ -16,9 +16,9 @@ func TestInsertBatchMatchesInsert(t *testing.T) {
 	var batch []schema.Observation
 	for s := 0; s < 120; s++ {
 		batch = append(batch,
-			obs(s, "node00000", "node_power_w", 1000+float64(s)),
-			obs(s, "node00001", "node_power_w", 2000+float64(s)),
-			obs(s, "node00000", "cpu_temp_c", 40),
+			ob(s, "node00000", "node_power_w", 1000+float64(s)),
+			ob(s, "node00001", "node_power_w", 2000+float64(s)),
+			ob(s, "node00000", "cpu_temp_c", 40),
 		)
 	}
 	single := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
@@ -58,7 +58,7 @@ func TestInsertBatchEmptyAndLarge(t *testing.T) {
 	// Larger than the stack-side shard-id buffer (1024).
 	var batch []schema.Observation
 	for i := 0; i < 3000; i++ {
-		batch = append(batch, obs(i%120, fmt.Sprintf("node%03d", i%7), "m", float64(i)))
+		batch = append(batch, ob(i%120, fmt.Sprintf("node%03d", i%7), "m", float64(i)))
 	}
 	db.InsertBatch(batch)
 	if got := db.Stats().RawIngested; got != 3000 {
@@ -71,8 +71,8 @@ func TestInsertBatchEmptyAndLarge(t *testing.T) {
 func TestExportIncludesLastState(t *testing.T) {
 	db := New(Options{SegmentDuration: time.Hour, RollupInterval: time.Minute})
 	// Out of order: the later timestamp must win the exported last value.
-	db.Insert(obs(30, "n", "m", 999))
-	db.Insert(obs(10, "n", "m", 111))
+	db.Insert(ob(30, "n", "m", 999))
+	db.Insert(ob(10, "n", "m", 111))
 	f, err := db.Export(base.Add(3 * time.Hour))
 	if err != nil {
 		t.Fatal(err)
@@ -100,8 +100,8 @@ func TestExportIncludesLastState(t *testing.T) {
 func TestExportImportRoundTrip(t *testing.T) {
 	src := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
 	for s := 0; s < 120; s++ {
-		src.Insert(obs(s, "node00000", "node_power_w", 1000+float64(s)))
-		src.Insert(obs(s, "node00001", "node_power_w", 2000+float64(s)))
+		src.Insert(ob(s, "node00000", "node_power_w", 1000+float64(s)))
+		src.Insert(ob(s, "node00001", "node_power_w", 2000+float64(s)))
 	}
 	exported, err := src.Export(base.Add(48 * time.Hour))
 	if err != nil {
@@ -188,7 +188,7 @@ func TestExportOrderDeterministic(t *testing.T) {
 func TestGranularityAnchoredToEpoch(t *testing.T) {
 	db := New(Options{RollupInterval: time.Second})
 	for s := 0; s < 120; s++ {
-		db.Insert(obs(s, "n", "m", float64(s)))
+		db.Insert(ob(s, "n", "m", float64(s)))
 	}
 	run := func(from time.Time) map[int64]float64 {
 		f, err := db.Run(Query{
@@ -246,7 +246,7 @@ func TestConcurrentBatchIngestQueryRetain(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				batch := make([]schema.Observation, 0, 32)
 				for j := 0; j < 32; j++ {
-					batch = append(batch, obs((i*32+j)%600, fmt.Sprintf("node%02d", w), "m", float64(j)))
+					batch = append(batch, ob((i*32+j)%600, fmt.Sprintf("node%02d", w), "m", float64(j)))
 				}
 				db.InsertBatch(batch)
 			}

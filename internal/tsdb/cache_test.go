@@ -48,9 +48,9 @@ func TestQueryCacheHitThenMiss(t *testing.T) {
 // version, so a cached entry stops matching the moment the store changes.
 func TestQueryCacheInvalidation(t *testing.T) {
 	mutations := map[string]func(db *DB){
-		"Insert": func(db *DB) { db.Insert(obs(30, "node00000", "node_power_w", 1)) },
+		"Insert": func(db *DB) { db.Insert(ob(30, "node00000", "node_power_w", 1)) },
 		"InsertBatch": func(db *DB) {
-			db.InsertBatch([]schema.Observation{obs(31, "node00001", "node_power_w", 2)})
+			db.InsertBatch([]schema.Observation{ob(31, "node00001", "node_power_w", 2)})
 		},
 		"Retain": func(db *DB) {
 			// Age a second segment in, then drop it: membership changed.
@@ -65,7 +65,7 @@ func TestQueryCacheInvalidation(t *testing.T) {
 		},
 		"ImportRollups": func(db *DB) {
 			src := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
-			src.Insert(obs(0, "node00009", "node_power_w", 7))
+			src.Insert(ob(0, "node00009", "node_power_w", 7))
 			f, err := src.Export(base.Add(48 * time.Hour))
 			if err != nil || f.Len() == 0 {
 				t.Fatalf("export: %d rows, %v", f.Len(), err)
@@ -105,7 +105,7 @@ func TestRetainNoopKeepsCache(t *testing.T) {
 
 func TestQueryCacheDisabled(t *testing.T) {
 	db := New(Options{QueryCacheSize: -1})
-	db.Insert(obs(0, "n", "m", 1))
+	db.Insert(ob(0, "n", "m", 1))
 	for i := 0; i < 2; i++ {
 		if _, st, err := db.RunWithStats(Query{From: base, To: base.Add(time.Minute)}); err != nil || st.CacheHit {
 			t.Fatalf("run %d: hit=%v err=%v with caching disabled", i, st.CacheHit, err)
@@ -118,7 +118,7 @@ func TestQueryCacheDisabled(t *testing.T) {
 
 func TestQueryCacheLRUEviction(t *testing.T) {
 	db := New(Options{QueryCacheSize: 2})
-	db.Insert(obs(0, "n", "m", 1))
+	db.Insert(ob(0, "n", "m", 1))
 	queries := []Query{
 		{From: base, To: base.Add(time.Minute)},
 		{From: base, To: base.Add(2 * time.Minute)},

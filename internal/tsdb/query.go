@@ -531,6 +531,7 @@ func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
 			st.CacheHit = true
 			st.Groups = f.Len()
 			st.TotalWall = time.Since(t0)
+			db.noteQuery(st)
 			return f, st, nil
 		}
 	}
@@ -579,7 +580,22 @@ func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
 		db.cache.put(key, out)
 	}
 	st.TotalWall = time.Since(t0)
+	db.noteQuery(st)
 	return out, st, nil
+}
+
+// noteQuery folds one execution's stats into the live obs instruments.
+// The query path is heavyweight enough (microseconds to milliseconds)
+// that a few counter adds and one histogram observation are noise.
+func (db *DB) noteQuery(st QueryStats) {
+	ins := db.instr.Load()
+	if ins == nil {
+		return
+	}
+	ins.queries.Inc()
+	ins.cellsScanned.Add(st.CellsScanned)
+	ins.cellsMatched.Add(st.CellsMatched)
+	ins.queryLatency.Observe(st.TotalWall.Seconds())
 }
 
 // RunSerial is the retained single-threaded reference implementation of

@@ -230,7 +230,7 @@ func TestTopNHeapMatchesFullSort(t *testing.T) {
 	db := New(Options{})
 	// 40 components; values collide in pairs so ties are common.
 	for c := 0; c < 40; c++ {
-		db.Insert(obs(c, fmt.Sprintf("node%05d", c), "m", float64(c/2)))
+		db.Insert(ob(c, fmt.Sprintf("node%05d", c), "m", float64(c/2)))
 	}
 	q := Query{From: base, To: base.Add(time.Hour), Agg: AggMax}
 	for _, n := range []int{0, -3, 1, 2, 5, 39, 40, 100} {
@@ -258,7 +258,7 @@ func TestTopNRandomizedAgainstReference(t *testing.T) {
 	db := New(Options{})
 	for c := 0; c < 64; c++ {
 		for s := 0; s < 8; s++ {
-			db.Insert(obs(s*15, fmt.Sprintf("node%05d", c), "m", float64(rng.Intn(21)-10)))
+			db.Insert(ob(s*15, fmt.Sprintf("node%05d", c), "m", float64(rng.Intn(21)-10)))
 		}
 	}
 	q := Query{From: base, To: base.Add(time.Hour)}

@@ -244,6 +244,9 @@ type DB struct {
 	// double-count observations. The chaos injector (internal/faults)
 	// installs here.
 	faultHook func(op, target string) error
+	// instr holds the live obs instruments (see instrument.go); nil —
+	// the default — keeps the hot path at a single load+branch.
+	instr atomic.Pointer[instruments]
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook
@@ -446,6 +449,12 @@ func (db *DB) InsertBatch(obs []schema.Observation) error {
 		}
 		sh.version.Add(1)
 		sh.mu.Unlock()
+	}
+	// Per-batch (never per-record) instrumentation: two striped counter
+	// adds, the whole hot-path observability budget.
+	if ins := db.instr.Load(); ins != nil {
+		ins.insertBatches.Inc()
+		ins.insertRows.Add(int64(n))
 	}
 	return nil
 }

@@ -13,7 +13,7 @@ import (
 
 var base = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
 
-func obs(sec int, component, metric string, v float64) schema.Observation {
+func ob(sec int, component, metric string, v float64) schema.Observation {
 	return schema.Observation{
 		Ts: base.Add(time.Duration(sec) * time.Second), System: "compass",
 		Source: "power_temp", Component: component, Metric: metric, Value: v,
@@ -24,9 +24,9 @@ func seededDB(t testing.TB) *DB {
 	db := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
 	// Two nodes, two metrics, 2 minutes of 1 Hz data.
 	for s := 0; s < 120; s++ {
-		db.Insert(obs(s, "node00000", "node_power_w", 1000+float64(s)))
-		db.Insert(obs(s, "node00001", "node_power_w", 2000+float64(s)))
-		db.Insert(obs(s, "node00000", "cpu_temp_c", 40))
+		db.Insert(ob(s, "node00000", "node_power_w", 1000+float64(s)))
+		db.Insert(ob(s, "node00001", "node_power_w", 2000+float64(s)))
+		db.Insert(ob(s, "node00000", "cpu_temp_c", 40))
 	}
 	return db
 }
@@ -94,7 +94,7 @@ func TestGranularityBuckets(t *testing.T) {
 func TestAggregations(t *testing.T) {
 	db := New(Options{})
 	for i, v := range []float64{5, 1, 3} {
-		db.Insert(obs(i, "n", "m", v))
+		db.Insert(ob(i, "n", "m", v))
 	}
 	q := Query{From: base, To: base.Add(time.Minute)}
 	cases := map[AggKind]float64{
@@ -115,8 +115,8 @@ func TestAggregations(t *testing.T) {
 func TestLastUsesLatestTimestamp(t *testing.T) {
 	db := New(Options{RollupInterval: time.Minute})
 	// Insert out of order: the later timestamp must win AggLast.
-	db.Insert(obs(30, "n", "m", 999))
-	db.Insert(obs(10, "n", "m", 111))
+	db.Insert(ob(30, "n", "m", 999))
+	db.Insert(ob(10, "n", "m", 111))
 	f, err := db.Run(Query{From: base, To: base.Add(time.Hour), Agg: AggLast})
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +175,7 @@ func TestBadQueries(t *testing.T) {
 
 func TestRetention(t *testing.T) {
 	db := New(Options{SegmentDuration: time.Hour})
-	db.Insert(obs(0, "n", "m", 1))
+	db.Insert(ob(0, "n", "m", 1))
 	db.Insert(schema.Observation{Ts: base.Add(5 * time.Hour), System: "s", Source: "x", Component: "n", Metric: "m", Value: 2})
 	if db.Stats().Segments != 2 {
 		t.Fatalf("segments = %d", db.Stats().Segments)
@@ -222,7 +222,7 @@ func TestTopN(t *testing.T) {
 
 func TestInsertRow(t *testing.T) {
 	db := New(Options{})
-	if err := db.InsertRow(obs(0, "n", "m", 5).Row()); err != nil {
+	if err := db.InsertRow(ob(0, "n", "m", 5).Row()); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.InsertRow(schema.Row{schema.Int(1)}); err == nil {
@@ -241,7 +241,7 @@ func TestConcurrentInsertAndQuery(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				db.Insert(obs(i%120, fmt.Sprintf("node%d", w), "m", float64(i)))
+				db.Insert(ob(i%120, fmt.Sprintf("node%d", w), "m", float64(i)))
 			}
 		}(w)
 	}
@@ -265,7 +265,7 @@ func TestConcurrentInsertAndQuery(t *testing.T) {
 
 func BenchmarkInsert(b *testing.B) {
 	db := New(Options{})
-	o := obs(0, "node00042", "node_power_w", 2713)
+	o := ob(0, "node00042", "node_power_w", 2713)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o.Ts = base.Add(time.Duration(i) * time.Millisecond)
@@ -277,7 +277,7 @@ func BenchmarkGroupByQuery(b *testing.B) {
 	db := New(Options{})
 	for s := 0; s < 3600; s += 5 {
 		for n := 0; n < 32; n++ {
-			db.Insert(obs(s, fmt.Sprintf("node%05d", n), "node_power_w", float64(1000+n)))
+			db.Insert(ob(s, fmt.Sprintf("node%05d", n), "node_power_w", float64(1000+n)))
 		}
 	}
 	q := Query{
@@ -294,9 +294,9 @@ func BenchmarkGroupByQuery(b *testing.B) {
 
 func TestExport(t *testing.T) {
 	db := New(Options{SegmentDuration: time.Hour, RollupInterval: 15 * time.Second})
-	db.Insert(obs(0, "node0", "power", 100))
-	db.Insert(obs(5, "node0", "power", 200))
-	db.Insert(obs(0, "node1", "temp", 40))
+	db.Insert(ob(0, "node0", "power", 100))
+	db.Insert(ob(5, "node0", "power", 200))
+	db.Insert(ob(0, "node1", "temp", 40))
 	// A fresh segment 5 hours later must not export at a 3h cutoff.
 	db.Insert(schema.Observation{Ts: base.Add(5 * time.Hour), System: "compass", Source: "power_temp", Component: "node0", Metric: "power", Value: 1})
 

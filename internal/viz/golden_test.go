@@ -1,0 +1,71 @@
+package viz
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"odakit/internal/obs"
+)
+
+// latencyRE matches the build-latency token in the dashboard footer —
+// the only nondeterministic piece of a rendered view.
+var latencyRE = regexp.MustCompile(`, [0-9.]+(?:ns|µs|ms|m|s|h)+\]`)
+
+func normalizeDashboard(out string) string {
+	return latencyRE.ReplaceAllString(out, ", <latency>]")
+}
+
+func compareGolden(t *testing.T, got, name string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if os.Getenv("ODA_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with ODA_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output diverged from %s.\nGot:\n%s\nWant:\n%s", name, got, want)
+	}
+}
+
+// TestDashboardGolden locks the full rendered dashboard — including the
+// footer's query-cost consolidation line — against a golden file, with
+// the wall-time latency normalized out.
+func TestDashboardGolden(t *testing.T) {
+	d, job := buildStack(t)
+	v, err := d.BuildJobView(job.ID, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := normalizeDashboard(v.RenderText())
+	if strings.Contains(out, "µs]") || strings.Contains(out, "ms]") {
+		t.Fatalf("latency not normalized:\n%s", out)
+	}
+	compareGolden(t, out, "dashboard.golden")
+}
+
+// TestMetricsPanelGolden locks the terminal metrics panel rendering:
+// counters and gauges line up, histograms fold to count/mean.
+func TestMetricsPanelGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("oda_demo_rows_total", "Rows.").Add(14400)
+	reg.Gauge("oda_demo_scan_load", "Load.").Set(0.25)
+	h := reg.Histogram("oda_demo_sink_seconds", "Sink.", obs.ExpBounds(0.001, 4, 4))
+	h.Observe(0.002)
+	h.Observe(0.006)
+	got := MetricsPanel(reg)
+	if !strings.Contains(got, "count=2 mean=0.004000s") {
+		t.Fatalf("histogram fold wrong:\n%s", got)
+	}
+	compareGolden(t, got, "metrics_panel.golden")
+}

@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"odakit/internal/obs"
+)
+
+// MetricsPanel renders an obs registry as a compact terminal panel — the
+// operator's at-a-glance complement to the Prometheus /metrics endpoint.
+// Counters and gauges print one aligned line each; histograms collapse
+// to count and mean rather than spraying buckets across the terminal.
+func MetricsPanel(reg *obs.Registry) string {
+	samples := reg.Gather()
+	var b strings.Builder
+	b.WriteString("== Facility metrics ==\n")
+	// Histogram families fold into one line from their _sum/_count pair.
+	type histAgg struct {
+		sum   float64
+		count float64
+	}
+	hists := map[string]*histAgg{}
+	var lines []string
+	for _, s := range samples {
+		if s.Kind == obs.KindHistogram {
+			fam := s.Family
+			if fam == "" {
+				fam = s.Name
+			}
+			h := hists[fam]
+			if h == nil {
+				h = &histAgg{}
+				hists[fam] = h
+				lines = append(lines, "\x00"+fam) // placeholder, ordered
+			}
+			switch {
+			case strings.HasPrefix(s.Name, fam+"_sum"):
+				h.sum += s.Value
+			case strings.HasPrefix(s.Name, fam+"_count"):
+				h.count += s.Value
+			}
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %-48s %v", s.Name, trimFloat(s.Value)))
+	}
+	for _, l := range lines {
+		if fam, ok := strings.CutPrefix(l, "\x00"); ok {
+			h := hists[fam]
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / h.count
+			}
+			fmt.Fprintf(&b, "  %-48s count=%v mean=%.6fs\n", fam, trimFloat(h.count), mean)
+			continue
+		}
+		b.WriteString(l + "\n")
+	}
+	return b.String()
+}
+
+// trimFloat renders integral values without a trailing ".0".
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -32,6 +32,7 @@ import (
 	"odakit/internal/httpapi"
 	"odakit/internal/jobsched"
 	"odakit/internal/medallion"
+	"odakit/internal/obs"
 	"odakit/internal/profiles"
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
@@ -225,3 +226,26 @@ func MarkTransient(err error) error { return resilience.MarkTransient(err) }
 
 // IsTransient reports whether err is worth retrying.
 func IsTransient(err error) bool { return resilience.IsTransient(err) }
+
+// Observability re-exports: the zero-dependency metrics/tracing substrate
+// every tier reports into (Facility.Obs, Facility.Tracer).
+type (
+	// MetricsRegistry holds typed metric families and renders Prometheus
+	// text exposition (served at /metrics).
+	MetricsRegistry = obs.Registry
+	// Tracer samples pipeline journeys into retained trace trees
+	// (served at /api/v1/traces).
+	Tracer = obs.Tracer
+	// TraceSpan is one stage of a sampled pipeline journey.
+	TraceSpan = obs.Span
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewDebugHandler returns the operator debug surface for a facility:
+// GET /metrics, GET /api/v1/traces, and net/http/pprof under /debug/pprof/.
+func NewDebugHandler(f *Facility) http.Handler { return obs.NewDebugMux(f.Obs, f.Tracer) }
+
+// MetricsPanel renders a registry as a compact terminal panel.
+func MetricsPanel(reg *MetricsRegistry) string { return viz.MetricsPanel(reg) }
