@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-query bench-obs fuzz-smoke verify clean
+.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate fuzz-smoke verify clean
 
 all: verify
 
@@ -16,10 +16,11 @@ test:
 # The concurrency-heavy packages get a dedicated race-detector pass: the
 # striped-lock LAKE store, the partitioned STREAM broker, the pipeline
 # that batches into both, the parallel read surfaces (log search
-# fan-out, columnar row-group decode), and the resilience substrate
-# (retry/breaker/supervisor, fault injector, streaming jobs).
+# fan-out, columnar row-group decode), the resilience substrate
+# (retry/breaker/supervisor, fault injector, streaming jobs), and the
+# tier-federation path (object store gets under offload, glacier recall).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -45,13 +46,21 @@ bench-obs:
 	rm -f $(CURDIR)/BENCH_obs.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run xxx -bench 'ObsOverheadInsert' -cpu 1 -benchtime 16000000x .
 
+# Tier-federation grid (1/4/16 queriers x 0/50/90% offload x
+# selectivity) plus the prune-vs-full-scan speedup pair at 90% offload;
+# rows land in BENCH_federation.json.
+bench-federate:
+	rm -f $(CURDIR)/BENCH_federation.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_federation.json $(GO) test -run xxx -bench 'TSDBFederate' -cpu 16 -benchtime 10x .
+
 # Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
 # (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeRow -fuzztime 30s ./internal/schema
 	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
+	$(GO) test -run xxx -fuzz FuzzColumnarExt -fuzztime 30s ./internal/columnar
 
-verify: vet build test race chaos fuzz-smoke
+verify: vet build test race chaos fuzz-smoke bench-federate
 
 clean:
 	$(GO) clean ./...

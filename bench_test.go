@@ -945,32 +945,38 @@ var (
 	queryDBWarm    *tsdb.DB
 )
 
+// loadQueryFixture inserts the shared query-grid dataset into db: 512
+// components × 4 metrics × 30 min at 15 s rollup ≈ 246k cells.
+func loadQueryFixture(db *tsdb.DB) {
+	metrics := []string{"node_power_w", "cpu_temp_c", "gpu_util_pct", "fan_rpm"}
+	batch := make([]schema.Observation, 0, 8192)
+	for s := 0; s < 30*60; s += 15 {
+		for c := 0; c < 512; c++ {
+			for m, metric := range metrics {
+				batch = append(batch, schema.Observation{
+					Ts: benchT0.Add(time.Duration(s) * time.Second), System: "compass",
+					Source: "power_temp", Component: fmt.Sprintf("node%05d", c),
+					Metric: metric, Value: float64(1000 + (s+c*7+m*13)%997),
+				})
+				if len(batch) == cap(batch) {
+					db.InsertBatch(batch)
+					batch = batch[:0]
+				}
+			}
+		}
+	}
+	db.InsertBatch(batch)
+}
+
 func queryWorld(b *testing.B) (cold, warm *tsdb.DB) {
 	b.Helper()
 	queryWorldOnce.Do(func() {
-		metrics := []string{"node_power_w", "cpu_temp_c", "gpu_util_pct", "fan_rpm"}
 		build := func(cacheSize int) *tsdb.DB {
 			db := tsdb.New(tsdb.Options{
 				SegmentDuration: 10 * time.Minute, RollupInterval: 15 * time.Second,
 				QueryCacheSize: cacheSize,
 			})
-			batch := make([]schema.Observation, 0, 8192)
-			for s := 0; s < 30*60; s += 15 {
-				for c := 0; c < 512; c++ {
-					for m, metric := range metrics {
-						batch = append(batch, schema.Observation{
-							Ts: benchT0.Add(time.Duration(s) * time.Second), System: "compass",
-							Source: "power_temp", Component: fmt.Sprintf("node%05d", c),
-							Metric: metric, Value: float64(1000 + (s+c*7+m*13)%997),
-						})
-						if len(batch) == cap(batch) {
-							db.InsertBatch(batch)
-							batch = batch[:0]
-						}
-					}
-				}
-			}
-			db.InsertBatch(batch)
+			loadQueryFixture(db)
 			return db
 		}
 		queryDBCold = build(-1)
@@ -1069,6 +1075,158 @@ func BenchmarkTSDBQueryParallel(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// ------------------------------------------------- federated query path
+
+// federatedWorld builds one LAKE store per offload fraction: the shared
+// query fixture sliced into 3-minute chunks (10 chunks over the 30-min
+// window) with an attached in-memory cold tier, then aged so 0%, 50%, or
+// 90% of the chunks live as columnar OCEAN segments. Caches are disabled
+// so every op pays the real federation cost. Offload cutoffs land one
+// second past a chunk boundary because the age predicate is strict.
+var (
+	fedWorldOnce sync.Once
+	fedWorldDBs  map[string]*tsdb.DB
+	fedWorldErr  error
+)
+
+func federatedWorld(b *testing.B) map[string]*tsdb.DB {
+	b.Helper()
+	fedWorldOnce.Do(func() {
+		fedWorldDBs = map[string]*tsdb.DB{}
+		for _, fr := range []struct {
+			label  string
+			cutoff time.Duration
+		}{
+			{"0", 0},
+			{"50", 15*time.Minute + time.Second},
+			{"90", 27*time.Minute + time.Second},
+		} {
+			db := tsdb.New(tsdb.Options{
+				SegmentDuration: 3 * time.Minute, RollupInterval: 15 * time.Second,
+				QueryCacheSize: -1,
+			})
+			loadQueryFixture(db)
+			store, err := objstore.New("")
+			if err == nil {
+				err = store.EnsureBucket("lake")
+			}
+			if err == nil {
+				_, err = db.AttachColdTier(tsdb.ColdTierConfig{
+					Store: store, Bucket: "lake", RowGroupRows: 1024,
+				})
+			}
+			if err == nil && fr.cutoff > 0 {
+				_, err = db.Offload(benchT0.Add(fr.cutoff))
+			}
+			if err != nil {
+				fedWorldErr = err
+				return
+			}
+			fedWorldDBs[fr.label] = db
+		}
+	})
+	if fedWorldErr != nil {
+		b.Fatal(fedWorldErr)
+	}
+	return fedWorldDBs
+}
+
+// BenchmarkTSDBFederate measures the tier-federated read path across the
+// grid queriers × offload fraction × selectivity, recording how much of
+// the cold tier the zone-map/bloom/dictionary pruning skipped, plus a
+// prune-vs-full-scan speedup pair at 90% offload — the ISSUE acceptance
+// number. `make bench-federate` captures the grid in BENCH_federation.json.
+func BenchmarkTSDBFederate(b *testing.B) {
+	dbs := federatedWorld(b)
+
+	for _, frac := range []string{"0", "50", "90"} {
+		for _, g := range []int{1, 4, 16} {
+			for _, sel := range []string{"all", "filtered"} {
+				db := dbs[frac]
+				q := queryForSel(sel)
+				name := fmt.Sprintf("queriers=%d/offload=%s/sel=%s", g, frac, sel)
+				b.Run(name, func(b *testing.B) {
+					quota := (b.N + g - 1) / g
+					done := g * quota
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for w := 0; w < g; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for i := 0; i < quota; i++ {
+								if _, err := db.Run(q); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					_, st, err := db.RunWithStats(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					qps := float64(done) / b.Elapsed().Seconds()
+					b.ReportMetric(qps, "queries/sec")
+					segsTotal := st.ColdSegmentsScanned + st.ColdSegmentsPruned
+					groupsTotal := st.ColdRowGroupsScanned + st.ColdRowGroupsPruned
+					recordBenchRow("BenchmarkTSDBFederate/"+name, map[string]any{
+						"queriers": g, "offload_pct": frac, "sel": sel,
+						"ns_per_op":       b.Elapsed().Nanoseconds() / int64(done),
+						"queries_per_sec": qps,
+						"cold_segments":   segsTotal, "cold_segments_pruned": st.ColdSegmentsPruned,
+						"cold_rowgroups": groupsTotal, "cold_rowgroups_pruned": st.ColdRowGroupsPruned,
+					})
+				})
+			}
+		}
+	}
+
+	// The acceptance pair: at 90% offload, the pruned federated scan vs
+	// the same tier with pruning disabled (decode every row group, match
+	// row by row) — the "scanning everything" baseline.
+	for _, sel := range []string{"all", "filtered"} {
+		db := dbs["90"]
+		q := queryForSel(sel)
+		name := fmt.Sprintf("speedup=prune-vs-scan/offload=90/sel=%s", sel)
+		b.Run(name, func(b *testing.B) {
+			ct := db.ColdTier()
+			ct.SetPruning(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			pruned := b.Elapsed() / time.Duration(b.N)
+			ct.SetPruning(false)
+			const reps = 3
+			s := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			scan := time.Since(s) / reps
+			ct.SetPruning(true)
+			speedup := float64(scan) / float64(pruned)
+			b.ReportMetric(speedup, "speedup_x")
+			recordBenchRow("BenchmarkTSDBFederate/"+name, map[string]any{
+				"offload_pct": "90", "sel": sel,
+				"pruned_ns_per_op": pruned.Nanoseconds(),
+				"scan_ns_per_op":   scan.Nanoseconds(),
+				"speedup_x":        speedup,
+			})
+			printOnce("federation "+name, fmt.Sprintf(
+				"  pruned federated query: %s\n  no-pruning full scan:   %s\n  speedup: %.1fx",
+				pruned.Round(time.Microsecond), scan.Round(time.Microsecond), speedup))
+		})
 	}
 }
 

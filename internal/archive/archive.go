@@ -101,6 +101,58 @@ func (a *Archive) Recall(key string) (ready time.Time, err error) {
 	return it.recallDone, nil
 }
 
+// RecallState is the non-blocking recall progress of an item.
+type RecallState int
+
+// Recall states, in lifecycle order.
+const (
+	// RecallNone: no recall has been issued; Read would fail.
+	RecallNone RecallState = iota
+	// RecallPending: a recall is in flight; Ready says when it lands.
+	RecallPending
+	// RecallStaged: the recall completed; Read succeeds.
+	RecallStaged
+)
+
+// String renders the state for logs and headers.
+func (s RecallState) String() string {
+	switch s {
+	case RecallPending:
+		return "pending"
+	case RecallStaged:
+		return "staged"
+	default:
+		return "none"
+	}
+}
+
+// RecallStatus is the answer to "can I read this item right now, and if
+// not, when?" — what a federated query planner needs mid-flight, where
+// blocking on a simulated multi-hour tape mount is not an option.
+type RecallStatus struct {
+	State RecallState
+	// Ready is the recall completion time; zero when State is RecallNone.
+	Ready time.Time
+}
+
+// Status reports an item's recall progress without issuing a recall or
+// blocking. It fails only when the key does not exist.
+func (a *Archive) Status(key string) (RecallStatus, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	it, ok := a.items[key]
+	if !ok {
+		return RecallStatus{}, fmt.Errorf("%w: %s", ErrNoItem, key)
+	}
+	if it.recallDone.IsZero() {
+		return RecallStatus{State: RecallNone}, nil
+	}
+	if a.now().Before(it.recallDone) {
+		return RecallStatus{State: RecallPending, Ready: it.recallDone}, nil
+	}
+	return RecallStatus{State: RecallStaged, Ready: it.recallDone}, nil
+}
+
 // Read returns the data of a recalled item. It fails with ErrNotRecalled
 // if no recall was issued, or ErrRecallAgain while the recall is pending.
 func (a *Archive) Read(key string) ([]byte, error) {

@@ -112,3 +112,35 @@ func TestListAndDelete(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+func TestStatusLifecycle(t *testing.T) {
+	a, clock := clockArchive()
+	if _, err := a.Status("missing"); !errors.Is(err, ErrNoItem) {
+		t.Fatalf("status of missing key: %v", err)
+	}
+	a.Freeze("k", []byte("x"))
+	st, err := a.Status("k")
+	if err != nil || st.State != RecallNone || !st.Ready.IsZero() {
+		t.Fatalf("fresh item status = %+v, %v", st, err)
+	}
+	ready, _ := a.Recall("k")
+	st, err = a.Status("k")
+	if err != nil || st.State != RecallPending || !st.Ready.Equal(ready) {
+		t.Fatalf("pending status = %+v, %v (ready %v)", st, err, ready)
+	}
+	// Status must not block or advance the recall.
+	if _, err := a.Read("k"); !errors.Is(err, ErrRecallAgain) {
+		t.Fatalf("read while pending: %v", err)
+	}
+	*clock = clock.Add(a.RecallLatency)
+	st, err = a.Status("k")
+	if err != nil || st.State != RecallStaged {
+		t.Fatalf("staged status = %+v, %v", st, err)
+	}
+	if st.State.String() != "staged" || RecallPending.String() != "pending" || RecallNone.String() != "none" {
+		t.Fatal("RecallState strings")
+	}
+	if _, err := a.Read("k"); err != nil {
+		t.Fatalf("read after staging: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package columnar
 
 import (
+	"bufio"
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
@@ -76,6 +77,9 @@ type RowGroup struct {
 	// chunk payload slices (compression flag, raw length, payload)
 	chunks []chunkRef
 	sch    *schema.Schema
+	// blooms are per-column split-block bloom filters from the group-ext
+	// block, aligned with the schema; nil when the writer emitted none.
+	blooms []*Bloom
 }
 
 type chunkRef struct {
@@ -113,6 +117,14 @@ func NewFileReader(data []byte) (*FileReader, error) {
 		}
 		if fr.sch == nil {
 			return nil, fmt.Errorf("columnar: missing magic header")
+		}
+		if data[off] == markerGroupExt {
+			n, err := fr.parseGroupExt(data[off+1:])
+			if err != nil {
+				return nil, err
+			}
+			off += 1 + n
+			continue
 		}
 		if data[off] != markerRowGroup {
 			return nil, fmt.Errorf("columnar: unknown block marker 0x%02x at offset %d", data[off], off)
@@ -204,6 +216,45 @@ func decodeSchema(buf []byte) (*schema.Schema, int, error) {
 	return schema.New(fields...), off, nil
 }
 
+// parseGroupExt parses a group-ext block body (bloom filters for the row
+// group that precedes it) and returns the bytes consumed.
+func (fr *FileReader) parseGroupExt(buf []byte) (int, error) {
+	if len(fr.groups) == 0 {
+		return 0, fmt.Errorf("columnar: group-ext block before any row group")
+	}
+	g := fr.groups[len(fr.groups)-1]
+	if g.blooms != nil {
+		return 0, fmt.Errorf("columnar: duplicate group-ext block")
+	}
+	ncols, sz := binary.Uvarint(buf)
+	if sz <= 0 || int(ncols) != fr.sch.Len() {
+		return 0, fmt.Errorf("columnar: group-ext has %d columns, schema has %d", ncols, fr.sch.Len())
+	}
+	off := sz
+	blooms := make([]*Bloom, ncols)
+	for c := range blooms {
+		if off >= len(buf) {
+			return 0, fmt.Errorf("columnar: truncated group-ext block")
+		}
+		flag := buf[off]
+		off++
+		switch flag {
+		case extNone:
+		case extBloom:
+			b, n, err := decodeBloom(buf[off:])
+			if err != nil {
+				return 0, err
+			}
+			off += n
+			blooms[c] = b
+		default:
+			return 0, fmt.Errorf("columnar: unknown group-ext flag 0x%02x", flag)
+		}
+	}
+	g.blooms = blooms
+	return off, nil
+}
+
 // Schema returns the stream's schema.
 func (fr *FileReader) Schema() *schema.Schema { return fr.sch }
 
@@ -284,23 +335,74 @@ type Predicate struct {
 	// unbounded on that side.
 	Min schema.Value
 	Max schema.Value
+	// In, when non-empty, additionally requires the value to equal one of
+	// the listed candidates. Equality is what the per-group bloom filters
+	// and the dictionary-id pre-pass accelerate: candidate sets that miss
+	// a group's filter or dictionary skip the group without inflating it.
+	In []schema.Value
 }
 
-// matches reports whether a row group may contain rows in the range.
-func (p Predicate) matches(sch *schema.Schema, stats []ColStats) bool {
+// matches reports whether a row group may contain satisfying rows, using
+// zone maps (column min/max) and, for equality candidates, bloom filters.
+func (p Predicate) matches(sch *schema.Schema, g *RowGroup) bool {
 	i, ok := sch.Index(p.Col)
 	if !ok {
 		return true // unknown column: cannot prune
 	}
-	st := stats[i]
+	st := g.Stats[i]
 	if st.Min.IsNull() {
-		// No non-null values: nothing can satisfy a bounded range.
-		return p.Min.IsNull() && p.Max.IsNull()
+		// No non-null values: nothing can satisfy a bounded range or an
+		// equality candidate list.
+		return p.Min.IsNull() && p.Max.IsNull() && len(p.In) == 0
 	}
 	if !p.Min.IsNull() && st.Max.Compare(p.Min) < 0 {
 		return false
 	}
 	if !p.Max.IsNull() && st.Min.Compare(p.Max) > 0 {
+		return false
+	}
+	if len(p.In) == 0 {
+		return true
+	}
+	var bl *Bloom
+	if i < len(g.blooms) {
+		bl = g.blooms[i]
+	}
+	for _, v := range p.In {
+		if v.IsNull() {
+			continue
+		}
+		// Zone-map check per candidate; only same-kind comparisons are
+		// meaningful (Compare orders mismatched kinds by kind).
+		if v.Kind() == st.Min.Kind() &&
+			(v.Compare(st.Min) < 0 || v.Compare(st.Max) > 0) {
+			continue
+		}
+		if v.Kind() == schema.KindString && !bl.MayContain(BloomHash(v.StrVal())) {
+			continue
+		}
+		return true // this candidate may be present
+	}
+	return false
+}
+
+// rowMatches reports whether one concrete value satisfies the predicate.
+func (p Predicate) rowMatches(v schema.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	if !p.Min.IsNull() && v.Compare(p.Min) < 0 {
+		return false
+	}
+	if !p.Max.IsNull() && v.Compare(p.Max) > 0 {
+		return false
+	}
+	if len(p.In) > 0 {
+		for _, w := range p.In {
+			if v.Equal(w) {
+				return true
+			}
+		}
 		return false
 	}
 	return true
@@ -311,6 +413,11 @@ type ScanResult struct {
 	Frame         *schema.Frame
 	GroupsTotal   int
 	GroupsScanned int
+	// GroupsDictSkipped counts groups that survived zone-map + bloom
+	// selection but were then eliminated by the dictionary-id pre-pass —
+	// the equality candidates missed the group's string dictionary, so
+	// nothing past the dictionary was inflated.
+	GroupsDictSkipped int
 	// ColumnsDecoded / ColumnsTotal report projection pushdown: how many
 	// column chunks were actually inflated vs what a full scan decodes.
 	ColumnsDecoded int
@@ -336,49 +443,204 @@ func scanWorkers(n int) int {
 	return w
 }
 
-// scanGroup decodes the needed chunks of one row group, applies the row
-// predicates exactly, and returns the surviving rows as a frame plus how
-// many column chunks were inflated. Row groups are independent, so this
-// is the unit of parallelism in ScanColumns.
-func (fr *FileReader) scanGroup(g *RowGroup, outSchema *schema.Schema, need map[int]bool,
-	outIdx, predIdx []int, preds []Predicate) (*schema.Frame, int, error) {
-	decoded := make(map[int]*schema.Column, len(need))
+// scanCtx is the per-ScanColumns plan shared by every row group: the
+// output projection, the set of columns that must be decoded, and the
+// predicate column mapping.
+type scanCtx struct {
+	outSchema *schema.Schema
+	need      map[int]bool // projection ∪ predicate columns
+	proj      map[int]bool // projection columns only
+	outIdx    []int
+	predIdx   []int
+	preds     []Predicate
+}
+
+// scanGroup evaluates one row group: a dictionary-id pre-pass handles
+// string-equality predicates against the encoded chunk (possibly skipping
+// the whole group), the surviving needed chunks are decoded, and the
+// remaining predicates are applied exactly. Returns the surviving rows,
+// how many column chunks were inflated, and whether the dictionary
+// pre-pass eliminated the group. Row groups are independent, so this is
+// the unit of parallelism in ScanColumns.
+func (fr *FileReader) scanGroup(g *RowGroup, sc *scanCtx) (*schema.Frame, int, bool, error) {
+	var masks [][]byte
+	handled := make([]bool, len(sc.preds))
+	skipDecode := map[int]bool{}
+	for i, p := range sc.preds {
+		c := sc.predIdx[i]
+		if c < 0 || len(p.In) == 0 || !p.Min.IsNull() || !p.Max.IsNull() ||
+			g.sch.Field(c).Kind != schema.KindString {
+			continue
+		}
+		mask, matched, err := fr.stringEqKeep(g, c, p.In)
+		if err != nil || mask == nil {
+			// Not evaluable this way (corrupt chunk, unexpected layout):
+			// fall back to exact row evaluation below, which surfaces any
+			// real decode error.
+			continue
+		}
+		if matched == 0 {
+			return nil, 0, true, nil
+		}
+		masks = append(masks, mask)
+		handled[i] = true
+		if !sc.proj[c] {
+			skipDecode[c] = true // predicate-only column fully answered
+		}
+	}
+	decoded := make(map[int]*schema.Column, len(sc.need))
 	decodedN := 0
-	for c := range need {
+	for c := range sc.need {
+		if skipDecode[c] {
+			continue
+		}
 		col, err := fr.decodeChunk(g, c)
 		if err != nil {
-			return nil, decodedN, err
+			return nil, decodedN, false, err
 		}
 		decoded[c] = col
 		decodedN++
 	}
-	f := schema.NewFrame(outSchema)
-	row := make(schema.Row, len(outIdx))
+	f := schema.NewFrame(sc.outSchema)
+	row := make(schema.Row, len(sc.outIdx))
 	for r := 0; r < g.Rows; r++ {
 		keep := true
-		for i, p := range preds {
-			if predIdx[i] < 0 {
-				continue
-			}
-			v := decoded[predIdx[i]].Value(r)
-			if v.IsNull() ||
-				(!p.Min.IsNull() && v.Compare(p.Min) < 0) ||
-				(!p.Max.IsNull() && v.Compare(p.Max) > 0) {
+		for _, m := range masks {
+			if !bitmapGet(m, r) {
 				keep = false
 				break
+			}
+		}
+		if keep {
+			for i, p := range sc.preds {
+				if handled[i] || sc.predIdx[i] < 0 {
+					continue
+				}
+				if !p.rowMatches(decoded[sc.predIdx[i]].Value(r)) {
+					keep = false
+					break
+				}
 			}
 		}
 		if !keep {
 			continue
 		}
-		for i, c := range outIdx {
+		for i, c := range sc.outIdx {
 			row[i] = decoded[c].Value(r)
 		}
 		if err := f.AppendRow(row); err != nil {
-			return nil, decodedN, err
+			return nil, decodedN, false, err
 		}
 	}
-	return f, decodedN, nil
+	return f, decodedN, false, nil
+}
+
+// stringEqKeep evaluates a string-equality candidate set against column
+// c's encoded chunk without materializing it. In dictionary mode the
+// candidates are resolved to dictionary ids first, so a dictionary miss
+// rejects the whole group after inflating only the dictionary prefix; a
+// hit streams the ids into a keep bitmap. Plain mode streams the strings.
+// A nil mask with a nil error means the chunk isn't evaluable this way
+// and the caller must fall back to exact evaluation.
+func (fr *FileReader) stringEqKeep(g *RowGroup, c int, in []schema.Value) ([]byte, int, error) {
+	ch := g.chunks[c]
+	var src io.Reader = bytes.NewReader(ch.payload)
+	if ch.comp == CompressFlate {
+		src = flate.NewReader(bytes.NewReader(ch.payload))
+	}
+	br := bufio.NewReader(io.LimitReader(src, int64(ch.rawLen)+1))
+	kind, err := br.ReadByte()
+	if err != nil || schema.Kind(kind) != schema.KindString {
+		return nil, 0, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n != uint64(g.Rows) {
+		return nil, 0, err
+	}
+	nulls := make([]byte, bitmapBytes(g.Rows))
+	if _, err := io.ReadFull(br, nulls); err != nil {
+		return nil, 0, err
+	}
+	want := make(map[string]bool, len(in))
+	for _, v := range in {
+		if !v.IsNull() && v.Kind() == schema.KindString {
+			want[v.StrVal()] = true
+		}
+	}
+	readStr := func() (string, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if l > uint64(ch.rawLen) {
+			return "", fmt.Errorf("columnar: oversized string in chunk")
+		}
+		sb := make([]byte, l)
+		if _, err := io.ReadFull(br, sb); err != nil {
+			return "", err
+		}
+		return string(sb), nil
+	}
+	mode, err := br.ReadByte()
+	if err != nil {
+		return nil, 0, err
+	}
+	mask := make([]byte, bitmapBytes(g.Rows))
+	matched := 0
+	switch mode {
+	case strDict:
+		dn, err := binary.ReadUvarint(br)
+		if err != nil || dn > uint64(ch.rawLen) {
+			return nil, 0, err
+		}
+		accept := make(map[uint64]bool, len(want))
+		for i := uint64(0); i < dn; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, 0, err
+			}
+			if want[s] {
+				accept[i] = true
+			}
+		}
+		if len(accept) == 0 {
+			// Dictionary miss: the group cannot contain any candidate.
+			// The id section is never inflated.
+			return mask, 0, nil
+		}
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil || cnt != uint64(g.Rows) {
+			return nil, 0, err
+		}
+		for i := 0; i < g.Rows; i++ {
+			id, err := binary.ReadUvarint(br)
+			if err != nil || id >= dn {
+				return nil, 0, err
+			}
+			if accept[id] && !bitmapGet(nulls, i) {
+				bitmapSet(mask, i)
+				matched++
+			}
+		}
+	case strPlain:
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil || cnt != uint64(g.Rows) {
+			return nil, 0, err
+		}
+		for i := 0; i < g.Rows; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, 0, err
+			}
+			if want[s] && !bitmapGet(nulls, i) {
+				bitmapSet(mask, i)
+				matched++
+			}
+		}
+	default:
+		return nil, 0, nil
+	}
+	return mask, matched, nil
 }
 
 // ScanColumns is Scan with projection pushdown: only the named columns
@@ -393,22 +655,28 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 		return nil, err
 	}
 	// Columns that must be decoded: projection plus predicate columns.
-	need := map[int]bool{}
-	outIdx := make([]int, len(columns))
+	sc := &scanCtx{
+		outSchema: outSchema,
+		need:      map[int]bool{},
+		proj:      map[int]bool{},
+		outIdx:    make([]int, len(columns)),
+		predIdx:   make([]int, len(preds)),
+		preds:     preds,
+	}
 	for i, c := range columns {
 		j := fr.sch.MustIndex(c)
-		outIdx[i] = j
-		need[j] = true
+		sc.outIdx[i] = j
+		sc.need[j] = true
+		sc.proj[j] = true
 	}
-	predIdx := make([]int, len(preds))
 	for i, p := range preds {
 		j, ok := fr.sch.Index(p.Col)
 		if !ok {
-			predIdx[i] = -1
+			sc.predIdx[i] = -1
 			continue
 		}
-		predIdx[i] = j
-		need[j] = true
+		sc.predIdx[i] = j
+		sc.need[j] = true
 	}
 
 	res := &ScanResult{Frame: schema.NewFrame(outSchema), GroupsTotal: len(fr.groups)}
@@ -417,7 +685,7 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 		res.ColumnsTotal += len(g.chunks)
 		skip := false
 		for _, p := range preds {
-			if !p.matches(fr.sch, g.Stats) {
+			if !p.matches(fr.sch, g) {
 				skip = true
 				break
 			}
@@ -431,11 +699,12 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 
 	frames := make([]*schema.Frame, len(selected))
 	decodedN := make([]int, len(selected))
+	dictSkip := make([]bool, len(selected))
 	errs := make([]error, len(selected))
 	workers := scanWorkers(len(selected))
 	if workers <= 1 {
 		for i, g := range selected {
-			frames[i], decodedN[i], errs[i] = fr.scanGroup(g, outSchema, need, outIdx, predIdx, preds)
+			frames[i], decodedN[i], dictSkip[i], errs[i] = fr.scanGroup(g, sc)
 		}
 	} else {
 		var next atomic.Int32
@@ -449,7 +718,7 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 					if i >= len(selected) {
 						return
 					}
-					frames[i], decodedN[i], errs[i] = fr.scanGroup(selected[i], outSchema, need, outIdx, predIdx, preds)
+					frames[i], decodedN[i], dictSkip[i], errs[i] = fr.scanGroup(selected[i], sc)
 				}
 			}()
 		}
@@ -460,6 +729,10 @@ func (fr *FileReader) ScanColumns(columns []string, preds ...Predicate) (*ScanRe
 			return nil, errs[i]
 		}
 		res.ColumnsDecoded += decodedN[i]
+		if dictSkip[i] {
+			res.GroupsDictSkipped++
+			continue
+		}
 		if err := res.Frame.AppendFrame(frames[i]); err != nil {
 			return nil, err
 		}
@@ -475,7 +748,7 @@ func (fr *FileReader) Scan(preds ...Predicate) (*ScanResult, error) {
 	for i, g := range fr.groups {
 		skip := false
 		for _, p := range preds {
-			if !p.matches(fr.sch, g.Stats) {
+			if !p.matches(fr.sch, g) {
 				skip = true
 				break
 			}
@@ -496,16 +769,7 @@ func (fr *FileReader) Scan(preds ...Predicate) (*ScanResult, error) {
 				if !ok {
 					continue
 				}
-				v := row[ci]
-				if v.IsNull() {
-					keep = false
-					break
-				}
-				if !p.Min.IsNull() && v.Compare(p.Min) < 0 {
-					keep = false
-					break
-				}
-				if !p.Max.IsNull() && v.Compare(p.Max) > 0 {
+				if !p.rowMatches(row[ci]) {
 					keep = false
 					break
 				}

@@ -16,6 +16,17 @@ var Magic = []byte("OCF1")
 // Block markers within a stream.
 const (
 	markerRowGroup byte = 0x01
+	// markerGroupExt carries optional per-row-group extensions (bloom
+	// filters) for the row group that immediately precedes it. Kept as a
+	// separate block so pre-extension readers of concatenated streams
+	// fail loudly on the unknown marker instead of misparsing.
+	markerGroupExt byte = 0x02
+)
+
+// Per-column extension flags inside a markerGroupExt block.
+const (
+	extNone  byte = 0
+	extBloom byte = 1
 )
 
 // Compression selects the per-column-chunk compression codec.
@@ -37,6 +48,12 @@ type WriterOptions struct {
 	// FlateLevel is the flate level when Compression is CompressFlate;
 	// defaults to flate.DefaultCompression.
 	FlateLevel int
+	// BloomColumns lists string columns that get a split-block bloom
+	// filter over their distinct non-null values in each row group,
+	// emitted as a group-ext block. Equality predicates on these columns
+	// can then skip row groups without inflating any chunk. Non-string
+	// and unknown names are ignored.
+	BloomColumns []string
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -177,8 +194,48 @@ func (w *Writer) flushLocked() error {
 		out = binary.AppendUvarint(out, uint64(len(payload)))
 		out = append(out, payload...)
 	}
+	out = w.appendGroupExt(out, f)
 	_, err := w.w.Write(out)
 	return err
+}
+
+// appendGroupExt emits the bloom-filter ext block for the row group just
+// encoded, when any BloomColumns resolve to string fields.
+func (w *Writer) appendGroupExt(out []byte, f *schema.Frame) []byte {
+	if len(w.opts.BloomColumns) == 0 {
+		return out
+	}
+	want := make(map[int]bool, len(w.opts.BloomColumns))
+	for _, name := range w.opts.BloomColumns {
+		if i, ok := w.sch.Index(name); ok && w.sch.Field(i).Kind == schema.KindString {
+			want[i] = true
+		}
+	}
+	if len(want) == 0 {
+		return out
+	}
+	out = append(out, markerGroupExt)
+	out = binary.AppendUvarint(out, uint64(w.sch.Len()))
+	for c := 0; c < w.sch.Len(); c++ {
+		if !want[c] {
+			out = append(out, extNone)
+			continue
+		}
+		col := f.Col(c)
+		distinct := make(map[string]struct{}, 16)
+		for i := 0; i < col.Len(); i++ {
+			if !col.IsNull(i) {
+				distinct[col.Strs()[i]] = struct{}{}
+			}
+		}
+		bl := NewBloom(len(distinct))
+		for s := range distinct {
+			bl.Insert(BloomHash(s))
+		}
+		out = append(out, extBloom)
+		out = appendBloom(out, bl)
+	}
+	return out
 }
 
 // Encode serializes a frame into a standalone OCF buffer.

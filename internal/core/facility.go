@@ -14,7 +14,6 @@ import (
 
 	"odakit/internal/archive"
 	"odakit/internal/catalog"
-	"odakit/internal/columnar"
 	"odakit/internal/governance"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
@@ -37,6 +36,12 @@ const (
 	BucketBronze = "bronze"
 	BucketSilver = "silver"
 	BucketGold   = "gold"
+	// BucketLake holds segments the LAKE time-series store has aged out:
+	// columnar objects plus the manifest the federated query planner
+	// reads. Managed by tsdb's cold tier; no lifecycle rule is set here
+	// (glacier demotion of lake segments is driven by explicit tooling,
+	// and federated queries recall on demand when they find a gap).
+	BucketLake = "lake"
 )
 
 // BronzeTopic returns the broker topic name for a source's raw stream.
@@ -160,7 +165,7 @@ func NewFacility(opts Options) (*Facility, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range []string{BucketBronze, BucketSilver, BucketGold} {
+	for _, b := range []string{BucketBronze, BucketSilver, BucketGold, BucketLake} {
 		if err := ocean.EnsureBucket(b); err != nil {
 			return nil, err
 		}
@@ -187,6 +192,15 @@ func NewFacility(opts Options) (*Facility, error) {
 		Pipelines: sproc.NewRegistry(),
 		Obs:       obs.NewRegistry(),
 		Tracer:    obs.NewTracer(0),
+	}
+	// Tiered federation: LAKE queries transparently reach segments aged
+	// into the lake bucket, with GLACIER recall for objects that migrated
+	// further down. A persisted manifest (DataDir mode) is rehydrated
+	// here, so a restarted facility still sees its history.
+	if _, err := f.Lake.AttachColdTier(tsdb.ColdTierConfig{
+		Store: ocean, Bucket: BucketLake, Glacier: f.Glacier,
+	}); err != nil {
+		return nil, err
 	}
 	f.Lake.Instrument(f.Obs)
 	f.Broker.Instrument(f.Obs)
@@ -375,26 +389,22 @@ type RetentionStats struct {
 	GlacierFrozen       int
 }
 
-// ApplyRetention enforces the Fig 5 retention ladder at `now`: aged LAKE
-// rollups are offloaded to OCEAN (the lake_rollups/ history objects),
-// then LAKE and log segments older than lakeAge are dropped; OCEAN bronze
-// objects past their lifecycle freeze into GLACIER.
+// ApplyRetention enforces the Fig 5 retention ladder at `now`: LAKE
+// segments older than lakeAge are offloaded into the lake bucket as
+// pruned columnar objects (federated queries keep answering over them),
+// log segments are dropped, and OCEAN objects past their lifecycle
+// freeze into GLACIER.
 func (f *Facility) ApplyRetention(now time.Time, lakeAge time.Duration) (RetentionStats, error) {
 	var st RetentionStats
 	cutoff := now.Add(-lakeAge)
-	// Offload before dropping: history stays queryable from OCEAN.
-	if rollups, err := f.Lake.Export(cutoff); err == nil && rollups.Len() > 0 {
-		data, err := columnar.Encode(rollups, columnar.WriterOptions{})
-		if err != nil {
-			return st, err
-		}
-		key := "lake_rollups/" + cutoff.UTC().Format("2006-01-02T15") + ".ocf"
-		if err := f.oceanAppend(context.Background(), BucketSilver, key, data); err != nil {
-			return st, err
-		}
-		st.LakeRowsOffloaded = rollups.Len()
+	// Offload instead of dropping: history stays queryable through the
+	// federated planner, now with zone-map + bloom pruning metadata.
+	off, err := f.Lake.Offload(cutoff)
+	if err != nil {
+		return st, err
 	}
-	st.LakeSegmentsDropped = f.Lake.Retain(cutoff)
+	st.LakeRowsOffloaded = int(off.Cells)
+	st.LakeSegmentsDropped = off.Segments + f.Lake.Retain(cutoff)
 	st.LogSegmentsDropped = f.Logs.Retain(cutoff)
 	expired, err := f.Ocean.ApplyLifecycle(func(info objstore.ObjectInfo, data []byte) error {
 		f.Glacier.Freeze(info.Bucket+"/"+info.Key, data)

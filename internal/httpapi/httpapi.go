@@ -273,6 +273,21 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-ODA-Query-Segments-Pruned", strconv.Itoa(stats.SegmentsPruned))
 	w.Header().Set("X-ODA-Query-Workers", strconv.Itoa(stats.Workers))
 	w.Header().Set("X-ODA-Query-Micros", strconv.FormatInt(stats.TotalWall.Microseconds(), 10))
+	// Tier federation: which storage tiers answered, and how much cold
+	// data the pruning metadata let the engine skip without decoding.
+	tier := "hot"
+	if stats.ColdSegmentsScanned+stats.ColdSegmentsPruned > 0 {
+		tier = "hot+cold"
+	}
+	if stats.GlacierSegments > 0 {
+		tier += "+glacier"
+	}
+	w.Header().Set("X-ODA-Query-Tier", tier)
+	w.Header().Set("X-ODA-Query-Cold-Segments-Scanned", strconv.Itoa(stats.ColdSegmentsScanned))
+	w.Header().Set("X-ODA-Query-Cold-Segments-Pruned", strconv.Itoa(stats.ColdSegmentsPruned))
+	w.Header().Set("X-ODA-Query-RowGroups-Pruned", strconv.Itoa(stats.ColdRowGroupsPruned))
+	w.Header().Set("X-ODA-Query-Glacier-Pending", strconv.Itoa(stats.GlacierPending))
+	w.Header().Set("X-ODA-Query-Recall-Wait-Ms", strconv.FormatInt(stats.RecallWait.Milliseconds(), 10))
 	writeJSON(w, http.StatusOK, framePoints(frame, query.GroupBy))
 }
 

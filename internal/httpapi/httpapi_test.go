@@ -91,6 +91,77 @@ func TestLakeQuery(t *testing.T) {
 	}
 }
 
+// TestLakeQueryTierHeaders drives a query before and after the lake's
+// only chunk is offloaded to the OCEAN tier and checks the federation
+// headers: tier attribution flips from hot to hot+cold, cold scan and
+// prune counts surface, and the JSON body stays identical.
+func TestLakeQueryTierHeaders(t *testing.T) {
+	srv, f := testServer(t)
+	url := fmt.Sprintf("%s/api/v1/lake/query?metric=node_power_w&agg=avg&granularity=15s&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	getHeaders := func() (http.Header, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		return resp.Header, string(body)
+	}
+	h, hotBody := getHeaders()
+	if got := h.Get("X-ODA-Query-Tier"); got != "hot" {
+		t.Fatalf("tier before offload = %q, want hot", got)
+	}
+	if h.Get("X-ODA-Query-Cold-Segments-Scanned") != "0" {
+		t.Fatalf("cold scans before offload = %q", h.Get("X-ODA-Query-Cold-Segments-Scanned"))
+	}
+
+	off, err := f.Lake.Offload(t0.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Segments == 0 {
+		t.Fatal("offload moved nothing")
+	}
+	h, coldBody := getHeaders()
+	if got := h.Get("X-ODA-Query-Tier"); got != "hot+cold" {
+		t.Fatalf("tier after offload = %q, want hot+cold", got)
+	}
+	if h.Get("X-ODA-Query-Cold-Segments-Scanned") == "0" {
+		t.Fatal("no cold segments scanned after full offload")
+	}
+	if h.Get("X-ODA-Query-Glacier-Pending") != "0" || h.Get("X-ODA-Query-Recall-Wait-Ms") != "0" {
+		t.Fatalf("unexpected glacier involvement: pending=%q wait=%q",
+			h.Get("X-ODA-Query-Glacier-Pending"), h.Get("X-ODA-Query-Recall-Wait-Ms"))
+	}
+	if coldBody != hotBody {
+		t.Fatalf("federated body diverged from hot body:\nhot:  %s\ncold: %s", hotBody, coldBody)
+	}
+
+	// A ghost metric never clears the bloom filter: the cold segment is
+	// pruned from the plan without a single object read.
+	ghost := fmt.Sprintf("%s/api/v1/lake/query?metric=no_such_metric&agg=avg&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	resp, err := http.Get(ghost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-ODA-Query-Cold-Segments-Pruned") == "0" {
+		t.Fatal("ghost metric did not prune the cold segment")
+	}
+	if resp.Header.Get("X-ODA-Query-Cold-Segments-Scanned") != "0" {
+		t.Fatal("ghost metric still read a cold segment")
+	}
+}
+
 func TestLakeQueryValidation(t *testing.T) {
 	srv, _ := testServer(t)
 	cases := []string{

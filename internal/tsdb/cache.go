@@ -11,10 +11,14 @@ import (
 // fingerprint plus the shard-version vector observed before the scan.
 // Any write to any stripe bumps that stripe's version, so entries for
 // stale data simply stop matching — invalidation is structural, no
-// eviction hooks on the write path.
+// eviction hooks on the write path. gen extends the vector to the cold
+// tier: every Offload advances the tier generation, so results computed
+// against different cold-segment sets never alias even though the
+// offloaded chunks no longer move any shard version.
 type cacheKey struct {
-	fp string
-	vv [shardCount]uint64
+	fp  string
+	vv  [shardCount]uint64
+	gen uint64
 }
 
 type cacheEntry struct {

@@ -14,6 +14,23 @@ type instruments struct {
 	cellsScanned  *obs.Counter
 	cellsMatched  *obs.Counter
 	queryLatency  *obs.Histogram
+
+	// Hot-tier chunk pruning (time-range skips during shard scans).
+	segsScanned *obs.Counter
+	segsPruned  *obs.Counter
+	// Cold-tier federation: offloaded segments and OCF row groups
+	// visited vs skipped by zone-map/bloom/dictionary evidence.
+	coldSegsScanned      *obs.Counter
+	coldSegsPruned       *obs.Counter
+	coldRowGroupsScanned *obs.Counter
+	coldRowGroupsPruned  *obs.Counter
+	// GLACIER interactions observed by federated queries.
+	glacierPending *obs.Counter
+	glacierRecalls *obs.Counter
+	// Age-based offload movements (see DB.Offload).
+	offloadSegments *obs.Counter
+	offloadCells    *obs.Counter
+	offloadBytes    *obs.Counter
 }
 
 // Instrument registers the store's metrics with an obs registry.
@@ -42,6 +59,28 @@ func (db *DB) Instrument(reg *obs.Registry) {
 			"Rollup cells that survived time range and filters."),
 		queryLatency: reg.Histogram("oda_lake_query_seconds",
 			"LAKE query wall time.", obs.LatencySeconds()),
+		segsScanned: reg.Counter("oda_tsdb_segments_scanned_total",
+			"Hot LAKE time-chunk segments visited by query scans."),
+		segsPruned: reg.Counter("oda_tsdb_segments_pruned_total",
+			"Hot LAKE time-chunk segments skipped by time-range pruning."),
+		coldSegsScanned: reg.Counter("oda_tsdb_cold_segments_scanned_total",
+			"Offloaded OCEAN segments decoded by federated queries."),
+		coldSegsPruned: reg.Counter("oda_tsdb_cold_segments_pruned_total",
+			"Offloaded OCEAN segments skipped by zone-map/bloom pruning."),
+		coldRowGroupsScanned: reg.Counter("oda_tsdb_cold_rowgroups_scanned_total",
+			"Cold OCF row groups decoded by federated queries."),
+		coldRowGroupsPruned: reg.Counter("oda_tsdb_cold_rowgroups_pruned_total",
+			"Cold OCF row groups skipped by stats/bloom/dictionary pruning."),
+		glacierPending: reg.Counter("oda_tsdb_glacier_pending_total",
+			"Cold segments a federated query could not read (recall in flight)."),
+		glacierRecalls: reg.Counter("oda_tsdb_glacier_recalls_total",
+			"GLACIER recalls initiated by federated queries."),
+		offloadSegments: reg.Counter("oda_offload_segments_total",
+			"LAKE time chunks offloaded to the OCEAN tier."),
+		offloadCells: reg.Counter("oda_offload_cells_total",
+			"Rollup cells offloaded to the OCEAN tier."),
+		offloadBytes: reg.Counter("oda_offload_bytes_total",
+			"Encoded OCF bytes written by offloads."),
 	})
 	reg.RegisterCollector(func(emit func(obs.Sample)) {
 		st := db.Stats()

@@ -176,6 +176,7 @@ type compiledQuery struct {
 	collapsedTs int64 // output ts when granN == 0
 	filters     []dimFilter
 	groupDims   []int // dimension slot per GroupBy position
+	agg         AggKind
 }
 
 func compileQuery(q Query) compiledQuery {
@@ -184,6 +185,7 @@ func compileQuery(q Query) compiledQuery {
 		toN:         clampNanos(q.To),
 		granN:       int64(q.Granularity),
 		collapsedTs: q.From.UnixNano(),
+		agg:         q.Agg,
 	}
 	for d := 0; d < len(dimNames); d++ {
 		vals, ok := q.Filters[dimNames[d]]
@@ -348,7 +350,28 @@ type QueryStats struct {
 	CellsMatched int64
 	// Groups is the output row count before truncation (TopN).
 	Groups int
-	// Per-stage wall clock: shard scans, partial merge, sort + emit.
+	// Cold-tier federation: segments are whole offloaded time chunks,
+	// row groups are the OCF groups inside the ones that survived.
+	// "Pruned" means skipped by zone-map/bloom/dictionary evidence
+	// without inflating the data.
+	ColdSegmentsScanned  int
+	ColdSegmentsPruned   int
+	ColdRowGroupsScanned int
+	ColdRowGroupsPruned  int
+	// ColdCells counts cold rollup cells folded into the result.
+	ColdCells int64
+	// GlacierSegments counts cold segments whose object had aged into
+	// the archive; GlacierPending how many were unreadable this pass
+	// (recall not complete — the answer excludes them), GlacierRecalls
+	// how many recalls this query initiated. RecallWait is the longest
+	// remaining recall wait, i.e. when re-running the query is worth it.
+	GlacierSegments int
+	GlacierPending  int
+	GlacierRecalls  int
+	RecallWait      time.Duration
+	// Per-stage wall clock: cold-tier fold, shard scans, partial merge,
+	// sort + emit.
+	ColdWall  time.Duration
 	ScanWall  time.Duration
 	MergeWall time.Duration
 	EmitWall  time.Duration
@@ -435,7 +458,20 @@ func queryWorkers() int {
 // idle store fans out across all shards; sixteen concurrent queries
 // each run near-serial instead of stampeding 256 goroutines onto the
 // scheduler.
-func (db *DB) aggregate(cq *compiledQuery, st *QueryStats) (*groupTable, *partialSet) {
+func (db *DB) aggregate(cq *compiledQuery, st *QueryStats) (*groupTable, *partialSet, error) {
+	ps := db.getPartials()
+	if ct := db.cold.Load(); ct != nil {
+		// Hold the tier shared for the cold fold AND the hot scan: an
+		// offload moving a chunk between the two halves would make the
+		// chunk invisible (or doubly visible) to this one query.
+		ct.mu.RLock()
+		defer ct.mu.RUnlock()
+		coldStart := time.Now()
+		if err := ct.scanCold(cq, st, ps); err != nil {
+			return nil, ps, err
+		}
+		st.ColdWall = time.Since(coldStart)
+	}
 	helpers := 0
 	for helpers < queryWorkers()-1 {
 		select {
@@ -447,7 +483,6 @@ func (db *DB) aggregate(cq *compiledQuery, st *QueryStats) (*groupTable, *partia
 		break
 	}
 	st.Workers = helpers + 1
-	ps := db.getPartials()
 	var stats [shardCount]scanStats
 	scanStart := time.Now()
 	var next atomic.Int32
@@ -501,7 +536,7 @@ func (db *DB) aggregate(cq *compiledQuery, st *QueryStats) (*groupTable, *partia
 		st.CellsMatched += stats[s].cellsMatched
 	}
 	st.Groups = total.n
-	return total, ps
+	return total, ps, nil
 }
 
 // Run executes the query and returns a frame sorted by (ts, dims).
@@ -526,7 +561,7 @@ func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
 	}
 	var key cacheKey
 	if db.cache != nil {
-		key = cacheKey{fp: q.fingerprint(), vv: db.versionVector()}
+		key = cacheKey{fp: q.fingerprint(), vv: db.versionVector(), gen: db.coldGeneration()}
 		if f, ok := db.cache.get(key); ok {
 			st.CacheHit = true
 			st.Groups = f.Len()
@@ -536,8 +571,11 @@ func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
 		}
 	}
 	cq := compileQuery(q)
-	total, ps := db.aggregate(&cq, &st)
+	total, ps, err := db.aggregate(&cq, &st)
 	defer db.putPartials(ps)
+	if err != nil {
+		return nil, st, err
+	}
 
 	emitStart := time.Now()
 	type kgc struct {
@@ -576,7 +614,10 @@ func (db *DB) RunWithStats(q Query) (*schema.Frame, QueryStats, error) {
 		}
 	}
 	st.EmitWall = time.Since(emitStart)
-	if db.cache != nil {
+	// A result missing glacier-pending segments is correct for "what is
+	// readable now" but not stable: the recall completes on wall clock,
+	// not on a version or generation bump, so it must never be cached.
+	if db.cache != nil && st.GlacierPending == 0 {
 		db.cache.put(key, out)
 	}
 	st.TotalWall = time.Since(t0)
@@ -595,6 +636,14 @@ func (db *DB) noteQuery(st QueryStats) {
 	ins.queries.Inc()
 	ins.cellsScanned.Add(st.CellsScanned)
 	ins.cellsMatched.Add(st.CellsMatched)
+	ins.segsScanned.Add(int64(st.SegmentsScanned))
+	ins.segsPruned.Add(int64(st.SegmentsPruned))
+	ins.coldSegsScanned.Add(int64(st.ColdSegmentsScanned))
+	ins.coldSegsPruned.Add(int64(st.ColdSegmentsPruned))
+	ins.coldRowGroupsScanned.Add(int64(st.ColdRowGroupsScanned))
+	ins.coldRowGroupsPruned.Add(int64(st.ColdRowGroupsPruned))
+	ins.glacierPending.Add(int64(st.GlacierPending))
+	ins.glacierRecalls.Add(int64(st.GlacierRecalls))
 	ins.queryLatency.Observe(st.TotalWall.Seconds())
 }
 
@@ -761,8 +810,11 @@ func (db *DB) TopN(q Query, dim string, n int) ([]TopNEntry, error) {
 	}
 	var st QueryStats
 	cq := compileQuery(q)
-	total, ps := db.aggregate(&cq, &st)
+	total, ps, err := db.aggregate(&cq, &st)
 	defer db.putPartials(ps)
+	if err != nil {
+		return nil, err
+	}
 	if n <= 0 {
 		return []TopNEntry{}, nil
 	}

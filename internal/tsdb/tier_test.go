@@ -1,0 +1,408 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odakit/internal/archive"
+	"odakit/internal/objstore"
+)
+
+// tierOptions gives short chunks so one hour of data spans six segments.
+func tierOptions() Options {
+	return Options{SegmentDuration: 10 * time.Minute, RollupInterval: 15 * time.Second}
+}
+
+// seedTier inserts one deterministic hour of data: 16 nodes × 2 metrics
+// at 5s cadence, values varying so every aggregation is discriminating.
+func seedTier(db *DB) {
+	for s := 0; s < 3600; s += 5 {
+		node := fmt.Sprintf("node%05d", s%16)
+		db.Insert(ob(s, node, "node_power_w", 1000+float64(s%97)))
+		db.Insert(ob(s, node, "cpu_temp_c", 40+float64(s%13)))
+	}
+}
+
+// attachTier wires an in-memory store tier to db.
+func attachTier(t *testing.T, db *DB, store *objstore.Store, cfg ColdTierConfig) *ColdTier {
+	t.Helper()
+	if store == nil {
+		var err error
+		store, err = objstore.New("")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.EnsureBucket("lake"); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	cfg.Bucket = "lake"
+	ct, err := db.AttachColdTier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+var tierQueries = []Query{
+	{From: base, To: base.Add(time.Hour), GroupBy: []string{DimComponent},
+		Filters: map[string][]string{DimMetric: {"node_power_w"}}, Agg: AggAvg},
+	{From: base.Add(5 * time.Minute), To: base.Add(45 * time.Minute),
+		GroupBy: []string{DimMetric}, Granularity: 10 * time.Minute, Agg: AggSum},
+	{From: base, To: base.Add(time.Hour), Agg: AggMax,
+		Filters: map[string][]string{DimComponent: {"node00003", "node00007"}}},
+	{From: base.Add(20 * time.Minute), To: base.Add(25 * time.Minute),
+		GroupBy: []string{DimComponent, DimMetric}, Agg: AggLast},
+	{From: base, To: base.Add(time.Hour), GroupBy: []string{DimComponent},
+		Granularity: 15 * time.Minute, Agg: AggCount},
+}
+
+// expectFederatedMatch asserts every probe query answers byte-identically
+// on the federated db and the all-hot twin.
+func expectFederatedMatch(t *testing.T, fed, twin *DB, label string) {
+	t.Helper()
+	for qi, q := range tierQueries {
+		got, st, err := fed.RunWithStats(q)
+		if err != nil {
+			t.Fatalf("%s query %d: %v", label, qi, err)
+		}
+		want, err := twin.RunSerial(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s query %d: federated result diverges from all-hot serial reference (%d vs %d rows)",
+				label, qi, got.Len(), want.Len())
+		}
+		if st.GlacierPending != 0 {
+			t.Fatalf("%s query %d: unexpected pending recalls", label, qi)
+		}
+	}
+}
+
+func TestOffloadPreservesResults(t *testing.T) {
+	// The age predicate is strict (chunk end before cutoff), matching
+	// Retain: a chunk ending exactly at the cutoff stays hot.
+	for _, tc := range []struct {
+		cut  time.Duration
+		want int
+	}{{0, 0}, {30 * time.Minute, 2}, {2 * time.Hour, 6}} {
+		t.Run(tc.cut.String(), func(t *testing.T) {
+			db := New(tierOptions())
+			twin := New(tierOptions())
+			seedTier(db)
+			seedTier(twin)
+			attachTier(t, db, nil, ColdTierConfig{Prefix: "lake/", RowGroupRows: 512})
+			off, err := db.Offload(base.Add(tc.cut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSegs := tc.want
+			if off.Segments != wantSegs {
+				t.Fatalf("offloaded %d chunks, want %d", off.Segments, wantSegs)
+			}
+			if wantSegs > 0 && (off.Cells == 0 || off.Rows == 0 || off.Bytes == 0) {
+				t.Fatalf("empty offload stats: %+v", off)
+			}
+			cs := db.ColdStats()
+			if cs.Segments != wantSegs || cs.Cells != off.Cells {
+				t.Fatalf("cold stats %+v disagree with offload %+v", cs, off)
+			}
+			expectFederatedMatch(t, db, twin, "offload")
+		})
+	}
+}
+
+func TestManifestReloadAcrossAttach(t *testing.T) {
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(tierOptions())
+	twin := New(tierOptions())
+	seedTier(db)
+	seedTier(twin)
+	attachTier(t, db, store, ColdTierConfig{Prefix: "lake/"})
+	if _, err := db.Offload(base.Add(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.Segments != 0 {
+		t.Fatalf("hot segments remain after full offload: %d", st.Segments)
+	}
+	// A fresh (restarted) DB attaching to the same store must see the
+	// manifest and answer identically from cold data alone.
+	db2 := New(tierOptions())
+	ct2 := attachTier(t, db2, store, ColdTierConfig{Prefix: "lake/"})
+	if ct2.Generation() == 0 {
+		t.Fatal("reloaded tier lost its generation")
+	}
+	expectFederatedMatch(t, db2, twin, "reload")
+}
+
+func TestColdPruningCounters(t *testing.T) {
+	db := New(tierOptions())
+	seedTier(db)
+	// Small row groups: each chunk holds ~240 cells, so 64-row groups give
+	// the intra-file pruning layers something to skip.
+	attachTier(t, db, nil, ColdTierConfig{Prefix: "lake/", RowGroupRows: 64})
+	if _, err := db.Offload(base.Add(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Narrow time range: only one of six cold chunks overlaps.
+	_, st, err := db.RunWithStats(Query{
+		From: base.Add(2 * time.Minute), To: base.Add(4 * time.Minute), Agg: AggAvg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColdSegmentsScanned != 1 || st.ColdSegmentsPruned != 5 {
+		t.Fatalf("time pruning: scanned=%d pruned=%d, want 1/5",
+			st.ColdSegmentsScanned, st.ColdSegmentsPruned)
+	}
+	// A metric that exists nowhere: blooms prune every segment.
+	f, st, err := db.RunWithStats(Query{
+		From: base, To: base.Add(time.Hour), Agg: AggAvg,
+		Filters: map[string][]string{DimMetric: {"no_such_metric"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("ghost metric returned %d rows", f.Len())
+	}
+	if st.ColdSegmentsPruned != 6 || st.ColdSegmentsScanned != 0 {
+		t.Fatalf("bloom pruning: scanned=%d pruned=%d, want 0/6",
+			st.ColdSegmentsScanned, st.ColdSegmentsPruned)
+	}
+	// Filtered wide query: row groups should be pruned within segments.
+	_, st, err = db.RunWithStats(tierQueries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColdRowGroupsPruned == 0 {
+		t.Fatalf("no row groups pruned for a 2-of-16-components filter: %+v", st)
+	}
+	// Pruning disabled: everything is scanned, answers unchanged.
+	db.ColdTier().SetPruning(false)
+	f2, st2, err := db.RunWithStats(tierQueries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ColdSegmentsPruned != 0 || st2.ColdRowGroupsPruned != 0 {
+		t.Fatalf("pruning disabled but counters nonzero: %+v", st2)
+	}
+	f1, _, err := db.RunWithStats(tierQueries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Equal(f1) {
+		t.Fatal("no-prune scan diverges from pruned scan")
+	}
+}
+
+func TestOffloadAdvancesCacheGeneration(t *testing.T) {
+	db := New(tierOptions())
+	seedTier(db)
+	ct := attachTier(t, db, nil, ColdTierConfig{Prefix: "lake/"})
+	q := tierQueries[0]
+	first, _, err := db.RunWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st, _ := db.RunWithStats(q); !st.CacheHit {
+		t.Fatal("warm query missed the cache")
+	}
+	gen := ct.Generation()
+	if _, err := db.Offload(base.Add(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Generation() <= gen {
+		t.Fatal("offload did not advance the tier generation")
+	}
+	f, st, err := db.RunWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("cache served a pre-offload entry after the tier changed")
+	}
+	if !f.Equal(first) {
+		t.Fatal("post-offload result differs from pre-offload result")
+	}
+}
+
+func TestGlacierRecallFlow(t *testing.T) {
+	var mu sync.Mutex
+	now := base.Add(2 * time.Hour)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	glacier := archive.New()
+	glacier.SetClock(clock)
+	db := New(tierOptions())
+	twin := New(tierOptions())
+	seedTier(db)
+	seedTier(twin)
+	attachTier(t, db, store, ColdTierConfig{Prefix: "lake/", Glacier: glacier, Now: clock})
+	if _, err := db.Offload(base.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Lifecycle ages one object out of OCEAN into GLACIER.
+	objs, err := store.List("lake", "lake/segments/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := objs[0].Key
+	data, _, err := store.Get("lake", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glacier.Freeze("lake/"+victim, data)
+	if err := store.Delete("lake", victim); err != nil {
+		t.Fatal(err)
+	}
+
+	q := tierQueries[0]
+	partial, st, err := db.RunWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GlacierSegments != 1 || st.GlacierRecalls != 1 || st.GlacierPending != 1 {
+		t.Fatalf("first touch: %+v, want one pending recall", st)
+	}
+	if st.RecallWait <= 0 {
+		t.Fatalf("recall wait not surfaced: %v", st.RecallWait)
+	}
+	full, err := twin.RunSerial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Equal(full) {
+		t.Fatal("answer with a glacier-pending segment should be partial")
+	}
+	// Mid-recall: observed, not re-issued, never cached.
+	_, st, err = db.RunWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("partial (glacier-pending) answer was cached")
+	}
+	if st.GlacierRecalls != 0 || st.GlacierPending != 1 {
+		t.Fatalf("mid-recall: %+v, want pending without a new recall", st)
+	}
+	// Recall completes: the same query is whole again.
+	advance(glacier.RecallLatency + time.Minute)
+	got, st, err := db.RunWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GlacierPending != 0 || st.GlacierSegments != 1 {
+		t.Fatalf("post-recall: %+v, want staged read", st)
+	}
+	if !got.Equal(full) {
+		t.Fatal("post-recall federated answer diverges from reference")
+	}
+}
+
+func TestOffloadRollbackOnPutFailure(t *testing.T) {
+	db := New(tierOptions())
+	twin := New(tierOptions())
+	seedTier(db)
+	seedTier(twin)
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachTier(t, db, store, ColdTierConfig{Prefix: "lake/"})
+	// Every put fails hard (not transient, so retries can't mask it).
+	var failPuts atomic.Bool
+	failPuts.Store(true)
+	store.SetFaultHook(func(op, target string) error {
+		if op == "store.put" && failPuts.Load() {
+			return errors.New("injected: store down")
+		}
+		return nil
+	})
+	if _, err := db.Offload(base.Add(2 * time.Hour)); err == nil {
+		t.Fatal("offload succeeded through a failing store")
+	}
+	// The failed chunk must be back in the hot tier, fully queryable.
+	if st := db.Stats(); st.Segments == 0 {
+		t.Fatal("rollback lost the hot segments")
+	}
+	expectFederatedMatch(t, db, twin, "rollback")
+	// Clearing the fault lets the same offload complete.
+	failPuts.Store(false)
+	off, err := db.Offload(base.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Segments != 6 {
+		t.Fatalf("retried offload moved %d chunks, want 6", off.Segments)
+	}
+	expectFederatedMatch(t, db, twin, "retried offload")
+}
+
+func TestLateDataReOffload(t *testing.T) {
+	db := New(tierOptions())
+	twin := New(tierOptions())
+	seedTier(db)
+	seedTier(twin)
+	attachTier(t, db, nil, ColdTierConfig{Prefix: "lake/"})
+	if _, err := db.Offload(base.Add(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Late data lands in an already-offloaded chunk: it opens a fresh hot
+	// segment, and a second offload writes a second object for the chunk.
+	late := func(d *DB) {
+		for s := 0; s < 300; s += 15 {
+			d.Insert(ob(s, "node99999", "node_power_w", 9000+float64(s)))
+		}
+	}
+	late(db)
+	late(twin)
+	expectFederatedMatch(t, db, twin, "late hot")
+	off, err := db.Offload(base.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Segments != 1 {
+		t.Fatalf("re-offload moved %d chunks, want 1", off.Segments)
+	}
+	if db.ColdStats().Segments != 3 {
+		t.Fatalf("cold segments = %d, want 2 + 1 re-offloaded", db.ColdStats().Segments)
+	}
+	expectFederatedMatch(t, db, twin, "late re-offloaded")
+}
+
+func TestOffloadWithoutTierErrors(t *testing.T) {
+	db := New(tierOptions())
+	if _, err := db.Offload(base); err == nil {
+		t.Fatal("offload without an attached tier must error")
+	}
+}
+
+func TestAttachColdTierValidation(t *testing.T) {
+	db := New(tierOptions())
+	if _, err := db.AttachColdTier(ColdTierConfig{}); err == nil {
+		t.Fatal("attach without store accepted")
+	}
+	store, err := objstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing bucket: manifest load must surface the store error.
+	if _, err := db.AttachColdTier(ColdTierConfig{Store: store, Bucket: "ghost"}); !errors.Is(err, objstore.ErrNoBucket) {
+		t.Fatalf("attach to missing bucket: %v", err)
+	}
+}

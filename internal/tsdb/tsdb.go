@@ -247,6 +247,9 @@ type DB struct {
 	// instr holds the live obs instruments (see instrument.go); nil —
 	// the default — keeps the hot path at a single load+branch.
 	instr atomic.Pointer[instruments]
+	// cold is the attached OCEAN/GLACIER tier (see tier.go); nil — the
+	// default — keeps un-federated queries at a single load+branch.
+	cold atomic.Pointer[ColdTier]
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook

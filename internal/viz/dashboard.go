@@ -49,7 +49,16 @@ type JobView struct {
 	// and how much the query-result cache absorbed on refresh.
 	CellsScanned int64
 	CacheHits    int
-	BuildLatency time.Duration
+	// Tier-federation cost: how many offloaded OCEAN segments the view's
+	// queries touched vs skipped via zone-map/bloom pruning, row groups
+	// pruned inside scanned segments, segments waiting on GLACIER recall,
+	// and total recall wait folded into the build.
+	ColdSegmentsScanned int
+	ColdSegmentsPruned  int
+	ColdRowGroupsPruned int
+	GlacierPending      int
+	RecallWait          time.Duration
+	BuildLatency        time.Duration
 	// Pipelines carries the supervised pipelines' health so operators see
 	// quarantine and restart pressure next to the job data it may affect.
 	Pipelines []sproc.PipelineStatus
@@ -153,6 +162,11 @@ func (v *JobView) noteStats(st tsdb.QueryStats) {
 	if st.CacheHit {
 		v.CacheHits++
 	}
+	v.ColdSegmentsScanned += st.ColdSegmentsScanned
+	v.ColdSegmentsPruned += st.ColdSegmentsPruned
+	v.ColdRowGroupsPruned += st.ColdRowGroupsPruned
+	v.GlacierPending += st.GlacierPending
+	v.RecallWait += st.RecallWait
 }
 
 // RenderText draws the job view as a terminal dashboard.
@@ -172,8 +186,13 @@ func (v *JobView) RenderText() string {
 	for _, e := range v.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
-	fmt.Fprintf(&b, "[%d backend queries, %d cells scanned, %d cache hits, %s]\n",
-		v.QueriesIssued, v.CellsScanned, v.CacheHits, v.BuildLatency.Round(time.Microsecond))
+	tier := fmt.Sprintf("cold %d/%d", v.ColdSegmentsScanned, v.ColdSegmentsScanned+v.ColdSegmentsPruned)
+	if v.GlacierPending > 0 {
+		tier += fmt.Sprintf(" glacier-pending %d (recall %s)",
+			v.GlacierPending, v.RecallWait.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "[%d backend queries, %d cells scanned, %s, %d cache hits, %s]\n",
+		v.QueriesIssued, v.CellsScanned, tier, v.CacheHits, v.BuildLatency.Round(time.Microsecond))
 	for _, p := range v.Pipelines {
 		line := fmt.Sprintf("pipeline %s: %s, restarts=%d retries=%d dead-lettered=%d",
 			p.Name, p.State, p.Metrics.Restarts, p.Metrics.Retries, p.Metrics.RecordsDeadLettered)

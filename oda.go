@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"time"
 
+	"odakit/internal/archive"
 	"odakit/internal/core"
 	"odakit/internal/faults"
 	"odakit/internal/governance"
@@ -38,6 +39,7 @@ import (
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
 	"odakit/internal/telemetry"
+	"odakit/internal/tsdb"
 	"odakit/internal/twin"
 	"odakit/internal/viz"
 )
@@ -249,3 +251,30 @@ func NewDebugHandler(f *Facility) http.Handler { return obs.NewDebugMux(f.Obs, f
 
 // MetricsPanel renders a registry as a compact terminal panel.
 func MetricsPanel(reg *MetricsRegistry) string { return viz.MetricsPanel(reg) }
+
+// Tier-federation re-exports: the LAKE store's age-based offload into
+// OCEAN columnar segments and the transparent hot+cold+glacier query
+// path (Facility.Lake.Offload / AttachColdTier / ColdStats).
+type (
+	// ColdTierConfig wires a LAKE store to an OCEAN bucket (and
+	// optionally a GLACIER archive) for segment offload and federation.
+	ColdTierConfig = tsdb.ColdTierConfig
+	// ColdTier is an attached cold tier; exposes Stats and SetPruning.
+	ColdTier = tsdb.ColdTier
+	// OffloadStats summarizes one Offload sweep.
+	OffloadStats = tsdb.OffloadStats
+	// ColdStats describes the resident cold tier (segment/row counts).
+	ColdStats = tsdb.ColdStats
+	// QueryStats carries per-query engine costs, including cold-segment
+	// scan/prune counts and GLACIER recall latency.
+	QueryStats = tsdb.QueryStats
+	// RecallState is a GLACIER object's recall lifecycle position.
+	RecallState = archive.RecallState
+)
+
+// Recall states reported by Facility.Glacier.Status.
+const (
+	RecallNone    = archive.RecallNone
+	RecallPending = archive.RecallPending
+	RecallStaged  = archive.RecallStaged
+)
