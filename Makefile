@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate fuzz-smoke verify clean
+.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate bench-serve fuzz-smoke verify clean
 
 all: verify
 
@@ -17,10 +17,12 @@ test:
 # striped-lock LAKE store, the partitioned STREAM broker, the pipeline
 # that batches into both, the parallel read surfaces (log search
 # fan-out, columnar row-group decode), the resilience substrate
-# (retry/breaker/supervisor, fault injector, streaming jobs), and the
-# tier-federation path (object store gets under offload, glacier recall).
+# (retry/breaker/supervisor, fault injector, streaming jobs), the
+# tier-federation path (object store gets under offload, glacier recall),
+# and the serving layer (gateway token buckets + priority admission,
+# httpapi handlers + prepared-query registry).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -53,6 +55,14 @@ bench-federate:
 	rm -f $(CURDIR)/BENCH_federation.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_federation.json $(GO) test -run xxx -bench 'TSDBFederate' -cpu 16 -benchtime 10x .
 
+# Multi-tenant serving-gateway scenarios (>= 10k simulated concurrent
+# clients each): uniform interactive fleet, mixed-priority contention,
+# open-loop surge (shed demo), and quota noisy-neighbor isolation; rows
+# with p50/p95/p99 + 429/503 rates land in BENCH_serve.json.
+bench-serve:
+	rm -f $(CURDIR)/BENCH_serve.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run xxx -bench 'GatewayServe' -benchtime 1x -timeout 600s .
+
 # Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
 # (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
 fuzz-smoke:
@@ -60,7 +70,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
 	$(GO) test -run xxx -fuzz FuzzColumnarExt -fuzztime 30s ./internal/columnar
 
-verify: vet build test race chaos fuzz-smoke bench-federate
+verify: vet build test race chaos fuzz-smoke bench-federate bench-serve
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	oda "odakit"
+	"odakit/internal/gateway"
 	"odakit/internal/httpapi"
 	"odakit/internal/obs"
 )
@@ -39,6 +40,7 @@ func main() {
 		nodes     = flag.Int("nodes", 16, "machine scale in nodes")
 		minutes   = flag.Int("minutes", 5, "telemetry window to ingest at startup")
 		seed      = flag.Int64("seed", 1, "seed")
+		withGW    = flag.Bool("gateway", false, "front the portal with the multi-tenant gateway (demo tenants)")
 	)
 	flag.Parse()
 
@@ -69,9 +71,31 @@ func main() {
 		go func() { log.Fatal(dbg.ListenAndServe()) }()
 		fmt.Printf("debug surface (pprof, /metrics, /api/v1/traces) on %s\n", *debugAddr)
 	}
+	var handler http.Handler = httpapi.New(f)
+	if *withGW {
+		g := gateway.New(handler, gateway.Options{
+			Platform: f.Apps, Registry: f.Obs, Slots: f.Lake.ScanSlotCap(),
+		})
+		// Demo tenant mix: interactive dashboards, a batch analytics
+		// project, and an urgent on-call lane. Keys double as docs.
+		for _, tc := range []gateway.TenantConfig{
+			{Name: "dashboards", Priority: gateway.PriorityInteractive,
+				RatePerSec: 200, ScanCellsPerSec: 2e6, APIKeys: []string{"demo-dash"}},
+			{Name: "batch-analytics", Priority: gateway.PriorityBatch,
+				RatePerSec: 50, ScanCellsPerSec: 5e6, APIKeys: []string{"demo-batch"}},
+			{Name: "oncall", Priority: gateway.PriorityUrgent,
+				RatePerSec: 100, ScanCellsPerSec: 2e6, APIKeys: []string{"demo-oncall"}},
+		} {
+			if err := g.RegisterTenant(tc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		handler = g
+		fmt.Println("gateway enabled; send X-ODA-Tenant: dashboards (or Bearer demo-dash)")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(f),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving the ODA data portal on %s\n", *addr)

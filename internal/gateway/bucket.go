@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket with continuous refill. The clock is
+// injectable so tests can drive refill deterministically. Two buckets
+// back every tenant: a request bucket (one token per admitted request)
+// and a scan-cost bucket debited post-paid with the cells a query
+// actually scanned — a tenant can overdraw one expensive query into a
+// negative balance and then waits out the debt.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second
+	burst  float64 // cap; also the initial level
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newBucket(rate, burst float64, now func() time.Time) *bucket {
+	if now == nil {
+		now = time.Now
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+func (b *bucket) refillLocked() {
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = t
+}
+
+// take removes n tokens if at least n are available.
+func (b *bucket) take(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// debit removes n tokens unconditionally; the balance may go negative
+// (post-paid cost accounting — the overdraft throttles future requests
+// until refill pays it back).
+func (b *bucket) debit(n float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens -= n
+}
+
+// level returns the current balance.
+func (b *bucket) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+// retryAfter reports how long until the balance reaches n — the
+// Retry-After a 429 should carry. Zero when already affordable.
+func (b *bucket) retryAfter(n float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= n {
+		return 0
+	}
+	if b.rate <= 0 {
+		return time.Hour // effectively never; rateless buckets only drain
+	}
+	return time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+}

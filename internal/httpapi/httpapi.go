@@ -4,9 +4,11 @@
 // datasets, and governance state, plus a liveness probe; the dashboards
 // of §VII consume exactly these queries.
 //
-//	GET /healthz
-//	GET /api/v1/lake/query?metric=&component=&from=&to=&agg=&granularity=
-//	GET /api/v1/lake/topn?metric=&n=&from=&to=
+//	GET  /healthz
+//	GET  /api/v1/lake/query?metric=&component=&from=&to=&agg=&granularity=
+//	POST /api/v1/prepare?metric=&component=&agg=&granularity=&groupby=&from=&to=
+//	GET  /api/v1/query?prep=<handle>&from=&to=
+//	GET  /api/v1/lake/topn?metric=&n=&from=&to=
 //	GET /api/v1/logs/search?q=&severity=&host=&limit=
 //	GET /api/v1/rats/programs?from=&to=
 //	GET /api/v1/datasets
@@ -25,16 +27,25 @@
 // # Response headers
 //
 // Every error response carries X-ODA-Error with a machine-readable
-// category — "bad-request", "not-found", or "overloaded" — and every
-// 503 carries Retry-After. Query responses carry the X-ODA-Query-*
-// engine-cost headers and X-ODA-Stale marks a degraded (stale-cache)
-// answer. /metrics serves the facility registry in Prometheus text
-// format; /api/v1/traces dumps recently sampled pipeline trace trees.
+// category — "bad-request", "not-found", "overloaded", or (behind the
+// gateway) "quota" — and every 503 carries Retry-After. Query responses
+// carry the X-ODA-Query-* engine-cost headers and X-ODA-Stale marks a
+// degraded (stale-cache) answer. /metrics serves the facility registry
+// in Prometheus text format; /api/v1/traces dumps recently sampled
+// pipeline trace trees.
+//
+// When served behind the multi-tenant gateway (internal/gateway), every
+// response additionally carries the per-tenant quota headers
+// X-ODA-Quota-Limit, X-ODA-Quota-Remaining, and X-ODA-Quota-Scan-Budget,
+// and exhausted tenants receive 429 + Retry-After + X-ODA-Error: quota
+// instead of reaching these handlers at all.
 package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -60,13 +71,16 @@ type Server struct {
 	// exercise the shed paths deterministically.
 	overloaded func() bool
 
+	// prepared holds registered parameterized queries (see prepared.go).
+	prepared *preparedRegistry
+
 	shedStale  *obs.Counter
 	shedReject *obs.Counter
 }
 
 // New returns a server for the facility.
 func New(f *core.Facility) *Server {
-	s := &Server{f: f, mux: http.NewServeMux()}
+	s := &Server{f: f, mux: http.NewServeMux(), prepared: newPreparedRegistry()}
 	s.overloaded = func() bool { return f.Lake.ScanLoad() >= shedLoad }
 	s.shedStale = f.Obs.Counter("oda_http_shed_stale_total",
 		"Overloaded queries answered from the stale cache side.")
@@ -74,6 +88,8 @@ func New(f *core.Facility) *Server {
 		"Overloaded queries rejected with 503 + Retry-After.")
 	s.handle("GET /healthz", "healthz", s.health)
 	s.handle("GET /api/v1/lake/query", "lake_query", s.lakeQuery)
+	s.handle("POST /api/v1/prepare", "prepare", s.prepare)
+	s.handle("GET /api/v1/query", "prepared_query", s.preparedRun)
 	s.handle("GET /api/v1/lake/topn", "lake_topn", s.lakeTopN)
 	s.handle("GET /api/v1/logs/search", "logs_search", s.logsSearch)
 	s.handle("GET /api/v1/rats/programs", "rats_programs", s.ratsPrograms)
@@ -185,9 +201,19 @@ func (s *Server) shed(w http.ResponseWriter, query tsdb.Query, emit func(*schema
 }
 
 // parseWindow reads from/to query params (RFC3339); a missing pair
-// defaults to the facility's schedule window.
+// defaults to the facility's schedule window. An inverted or empty
+// window (from >= to) is rejected here, once, for every windowed route:
+// letting it through used to silently produce an empty result set
+// (or, on the shed path, a spurious 503) instead of telling the client
+// its request can never match anything.
 func (s *Server) parseWindow(r *http.Request) (time.Time, time.Time, error) {
-	from, to := s.f.Opts.ScheduleFrom, s.f.Opts.ScheduleTo
+	return windowParams(r, s.f.Opts.ScheduleFrom, s.f.Opts.ScheduleTo)
+}
+
+// windowParams overlays from/to request params on the given defaults and
+// enforces the ordered-window contract. The prepared-query path reuses it
+// with the window bound at prepare time as the default.
+func windowParams(r *http.Request, from, to time.Time) (time.Time, time.Time, error) {
 	if v := r.URL.Query().Get("from"); v != "" {
 		t, err := time.Parse(time.RFC3339, v)
 		if err != nil {
@@ -202,8 +228,58 @@ func (s *Server) parseWindow(r *http.Request) (time.Time, time.Time, error) {
 		}
 		to = t
 	}
+	if !to.After(from) {
+		return from, to, fmt.Errorf("bad window: from %s is not before to %s",
+			from.Format(time.RFC3339), to.Format(time.RFC3339))
+	}
 	return from, to, nil
 }
+
+// dimList splits a comma-separated dimension-value list, dropping empty
+// elements (trailing or doubled commas). A non-empty parameter that
+// yields no usable values is an error: the old behavior kept the empty
+// strings as filter values that can never match, silently emptying the
+// result set.
+func dimList(param, v string) ([]string, error) {
+	parts := strings.Split(v, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bad %s: no usable values in %q", param, v)
+	}
+	return out, nil
+}
+
+// uniqueParam returns the single value of a query parameter, rejecting
+// conflicting duplicates (?agg=avg&agg=sum): Get silently taking the
+// first one makes the request mean something the client didn't ask for.
+// Repeating the same value is harmless and allowed.
+func uniqueParam(q url.Values, name string) (string, error) {
+	vals := q[name]
+	if len(vals) == 0 {
+		return "", nil
+	}
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			return "", fmt.Errorf("conflicting %s parameters: %q vs %q", name, vals[0], v)
+		}
+	}
+	return vals[0], nil
+}
+
+// Bounds on accepted-but-absurd parameter values: a granularity that
+// would cut the window into more than maxQueryBuckets time buckets, a
+// log limit or top-n beyond any dashboard's appetite. Each is a client
+// error worth a 400, not a request worth executing.
+const (
+	maxQueryBuckets = 1_000_000
+	maxLogLimit     = 100_000
+	maxTopN         = 100_000
+)
 
 var aggNames = map[string]tsdb.AggKind{
 	"avg": tsdb.AggAvg, "sum": tsdb.AggSum, "min": tsdb.AggMin,
@@ -217,52 +293,81 @@ type seriesPoint struct {
 	Value float64           `json:"value"`
 }
 
-func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
+// parseLakeQuery builds a tsdb.Query from lake-query request params,
+// applying the full 400-contract: inverted windows, empty filter values,
+// non-positive or window-exploding granularities, unknown aggregations,
+// and conflicting duplicate parameters are all rejected here.
+func (s *Server) parseLakeQuery(r *http.Request) (tsdb.Query, error) {
 	q := r.URL.Query()
 	from, to, err := s.parseWindow(r)
 	if err != nil {
-		s.badRequest(w, "bad from/to: "+err.Error())
-		return
+		return tsdb.Query{}, fmt.Errorf("bad from/to: %w", err)
 	}
 	query := tsdb.Query{From: from, To: to, Filters: map[string][]string{}}
-	if m := q.Get("metric"); m != "" {
-		query.Filters[tsdb.DimMetric] = strings.Split(m, ",")
+	for _, p := range []struct{ param, dim string }{
+		{"metric", tsdb.DimMetric}, {"component", tsdb.DimComponent},
+	} {
+		v, err := uniqueParam(q, p.param)
+		if err != nil {
+			return tsdb.Query{}, err
+		}
+		if v == "" {
+			continue
+		}
+		vals, err := dimList(p.param, v)
+		if err != nil {
+			return tsdb.Query{}, err
+		}
+		query.Filters[p.dim] = vals
 	}
-	if c := q.Get("component"); c != "" {
-		query.Filters[tsdb.DimComponent] = strings.Split(c, ",")
+	g, err := uniqueParam(q, "granularity")
+	if err != nil {
+		return tsdb.Query{}, err
 	}
-	if g := q.Get("granularity"); g != "" {
+	if g != "" {
 		d, err := time.ParseDuration(g)
 		if err != nil {
-			s.badRequest(w, "bad granularity: "+err.Error())
-			return
+			return tsdb.Query{}, fmt.Errorf("bad granularity: %w", err)
+		}
+		if d <= 0 {
+			return tsdb.Query{}, fmt.Errorf("bad granularity: %s is not positive", d)
+		}
+		if buckets := to.Sub(from) / d; buckets > maxQueryBuckets {
+			return tsdb.Query{}, fmt.Errorf("bad granularity: %s cuts the window into %d buckets (max %d)",
+				d, buckets, maxQueryBuckets)
 		}
 		query.Granularity = d
 	}
-	if a := q.Get("agg"); a != "" {
+	a, err := uniqueParam(q, "agg")
+	if err != nil {
+		return tsdb.Query{}, err
+	}
+	if a != "" {
 		kind, ok := aggNames[a]
 		if !ok {
-			s.badRequest(w, "unknown agg "+a)
-			return
+			return tsdb.Query{}, fmt.Errorf("unknown agg %s", a)
 		}
 		query.Agg = kind
 	}
-	if g := q.Get("groupby"); g != "" {
-		query.GroupBy = strings.Split(g, ",")
-	}
-	if s.shed(w, query, func(fr *schema.Frame) {
-		writeJSON(w, http.StatusOK, framePoints(fr, query.GroupBy))
-	}) {
-		return
-	}
-	frame, stats, err := s.f.Lake.RunWithStats(query)
+	gb, err := uniqueParam(q, "groupby")
 	if err != nil {
-		s.badRequest(w, err.Error())
-		return
+		return tsdb.Query{}, err
 	}
-	// Engine observability (§VII dashboards watch their own query cost):
-	// cache state, scan volume, and wall time ride along as headers so
-	// the JSON body stays stable for existing clients.
+	if gb != "" {
+		dims, err := dimList("groupby", gb)
+		if err != nil {
+			return tsdb.Query{}, err
+		}
+		query.GroupBy = dims
+	}
+	return query, nil
+}
+
+// writeQueryStatHeaders attaches the engine-cost headers shared by the
+// ad-hoc and prepared query paths (§VII dashboards watch their own query
+// cost): cache state, scan volume, wall time, and tier federation ride
+// along as headers so the JSON body stays stable for existing clients.
+func writeQueryStatHeaders(w http.ResponseWriter, stats tsdb.QueryStats) {
 	cache := "miss"
 	if stats.CacheHit {
 		cache = "hit"
@@ -288,6 +393,25 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-ODA-Query-RowGroups-Pruned", strconv.Itoa(stats.ColdRowGroupsPruned))
 	w.Header().Set("X-ODA-Query-Glacier-Pending", strconv.Itoa(stats.GlacierPending))
 	w.Header().Set("X-ODA-Query-Recall-Wait-Ms", strconv.FormatInt(stats.RecallWait.Milliseconds(), 10))
+}
+
+func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
+	query, err := s.parseLakeQuery(r)
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	if s.shed(w, query, func(fr *schema.Frame) {
+		writeJSON(w, http.StatusOK, framePoints(fr, query.GroupBy))
+	}) {
+		return
+	}
+	frame, stats, err := s.f.Lake.RunWithStats(query)
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	writeQueryStatHeaders(w, stats)
 	writeJSON(w, http.StatusOK, framePoints(frame, query.GroupBy))
 }
 
@@ -324,8 +448,8 @@ func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 10
 	if v := q.Get("n"); v != "" {
-		if n, err = strconv.Atoi(v); err != nil || n <= 0 {
-			s.badRequest(w, "bad n")
+		if n, err = strconv.Atoi(v); err != nil || n <= 0 || n > maxTopN {
+			s.badRequest(w, "bad n: want an integer in [1,"+strconv.Itoa(maxTopN)+"]")
 			return
 		}
 	}
@@ -361,8 +485,8 @@ func (s *Server) logsSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			s.badRequest(w, "bad limit")
+		if err != nil || n <= 0 || n > maxLogLimit {
+			s.badRequest(w, "bad limit: want an integer in [1,"+strconv.Itoa(maxLogLimit)+"]")
 			return
 		}
 		lq.Limit = n

@@ -42,6 +42,11 @@ type queryCache struct {
 	hits   uint64
 	misses uint64
 	stale  uint64 // stale (version-ignoring) lookups served
+	// staleMisses counts stale lookups that found nothing — the degraded
+	// path's rejections. Without it the stale-hit ratio the dashboard
+	// derives from CacheStats overstates how much shedding the cache
+	// absorbed.
+	staleMisses uint64
 }
 
 func newQueryCache(capacity int) *queryCache {
@@ -77,6 +82,7 @@ func (c *queryCache) getStale(fp string) (*schema.Frame, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byFP[fp]
 	if !ok {
+		c.staleMisses++
 		return nil, false
 	}
 	c.stale++
@@ -125,6 +131,10 @@ type CacheStats struct {
 	Hits    uint64
 	Misses  uint64
 	Stale   uint64 // stale (serve-degraded) lookups served
+	// StaleMisses counts degraded-path lookups that found no entry for
+	// the fingerprint — the overloaded queries the cache could NOT
+	// absorb, which were shed with 503 instead.
+	StaleMisses uint64
 }
 
 // CacheStats returns current cache counters (zero value when caching is
@@ -135,5 +145,8 @@ func (db *DB) CacheStats() CacheStats {
 	}
 	db.cache.mu.Lock()
 	defer db.cache.mu.Unlock()
-	return CacheStats{Entries: db.cache.lru.Len(), Hits: db.cache.hits, Misses: db.cache.misses, Stale: db.cache.stale}
+	return CacheStats{
+		Entries: db.cache.lru.Len(), Hits: db.cache.hits, Misses: db.cache.misses,
+		Stale: db.cache.stale, StaleMisses: db.cache.staleMisses,
+	}
 }

@@ -103,6 +103,36 @@ func TestRetainNoopKeepsCache(t *testing.T) {
 	}
 }
 
+// TestCachedStaleCountsMisses is the regression test for the degraded
+// path's bookkeeping: a stale lookup that finds nothing must count as a
+// stale miss, so CacheStats reflects the shed traffic the cache could
+// not absorb (the dashboard's stale-hit ratio depends on it).
+func TestCachedStaleCountsMisses(t *testing.T) {
+	db := seededDB(t)
+	if _, ok := db.CachedStale(cacheQ); ok {
+		t.Fatal("stale lookup hit on an empty cache")
+	}
+	if cs := db.CacheStats(); cs.StaleMisses != 1 || cs.Stale != 0 {
+		t.Fatalf("after stale miss: stats = %+v, want StaleMisses=1 Stale=0", cs)
+	}
+	runStats(t, db) // populate the fingerprint's entry
+	if _, ok := db.CachedStale(cacheQ); !ok {
+		t.Fatal("stale lookup missed a populated entry")
+	}
+	cs := db.CacheStats()
+	if cs.Stale != 1 || cs.StaleMisses != 1 {
+		t.Fatalf("after stale hit: stats = %+v, want Stale=1 StaleMisses=1", cs)
+	}
+	// Invalid queries are rejected before the cache; they are neither
+	// stale hits nor stale misses.
+	if _, ok := db.CachedStale(Query{From: base, To: base}); ok {
+		t.Fatal("invalid query served from stale cache")
+	}
+	if cs := db.CacheStats(); cs.StaleMisses != 1 {
+		t.Fatalf("invalid query counted as stale miss: %+v", cs)
+	}
+}
+
 func TestQueryCacheDisabled(t *testing.T) {
 	db := New(Options{QueryCacheSize: -1})
 	db.Insert(ob(0, "n", "m", 1))

@@ -99,6 +99,8 @@ func (db *DB) Instrument(reg *obs.Registry) {
 			Help: "LAKE query-result cache misses.", Value: float64(cs.Misses)})
 		emit(obs.Sample{Name: "oda_lake_query_cache_stale_total", Kind: obs.KindCounter,
 			Help: "Stale (degraded-mode) cache answers served.", Value: float64(cs.Stale)})
+		emit(obs.Sample{Name: "oda_lake_query_cache_stale_misses_total", Kind: obs.KindCounter,
+			Help: "Degraded-mode lookups with no cached entry (shed instead).", Value: float64(cs.StaleMisses)})
 		emit(obs.Sample{Name: "oda_lake_query_cache_entries", Kind: obs.KindGauge,
 			Help: "Entries resident in the query-result cache.", Value: float64(cs.Entries)})
 	})

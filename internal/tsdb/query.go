@@ -863,6 +863,13 @@ func (db *DB) TopN(q Query, dim string, n int) ([]TopNEntry, error) {
 	return heap, nil
 }
 
+// Fingerprint returns the query's canonical identity string: semantically
+// equal queries (same window, filters, group-by, aggregation, and
+// granularity, regardless of value order) share a fingerprint. The result
+// cache keys on it; the HTTP prepared-statement registry derives
+// content-addressed handles from it.
+func (q Query) Fingerprint() string { return q.fingerprint() }
+
 // fingerprint canonicalizes a query for the result cache: filter values
 // are length-prefixed and sorted per dimension so semantically equal
 // queries share an entry regardless of map iteration or value order.

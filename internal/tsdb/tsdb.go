@@ -470,6 +470,13 @@ func (db *DB) ScanLoad() float64 {
 	return float64(len(db.scanSlots)) / float64(cap(db.scanSlots))
 }
 
+// ScanSlotCap reports the DB-wide scan-slot budget — the maximum number
+// of helper goroutines the query engine will ever run at once. The
+// serving gateway's priority admission control sizes its concurrency
+// window from this, so the number of admitted queries tracks what the
+// engine can actually fan out instead of an unrelated constant.
+func (db *DB) ScanSlotCap() int { return cap(db.scanSlots) }
+
 // InsertRow inserts a row conforming to schema.ObservationSchema.
 func (db *DB) InsertRow(r schema.Row) error {
 	if err := r.Conforms(schema.ObservationSchema); err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"odakit/internal/gateway"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
 	"odakit/internal/sproc"
@@ -23,6 +24,10 @@ type UADashboard struct {
 	// Pipelines, when set, adds a resilience footer: per-pipeline
 	// supervisor state, restarts, retries, dead-letters, breaker opens.
 	Pipelines *sproc.Registry
+	// Gateway, when set, adds a serving footer: per-tenant request and
+	// throttle counters plus the admission queue depth, so operators see
+	// who is saturating the portal next to the job data it slows down.
+	Gateway *gateway.Gateway
 }
 
 // JobView is the compiled diagnostic view for one job.
@@ -62,6 +67,8 @@ type JobView struct {
 	// Pipelines carries the supervised pipelines' health so operators see
 	// quarantine and restart pressure next to the job data it may affect.
 	Pipelines []sproc.PipelineStatus
+	// Gateway, when present, carries the serving layer's tenant snapshot.
+	Gateway *gateway.Snapshot
 }
 
 // BuildJobView compiles the dashboard for a job id.
@@ -152,6 +159,10 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 	if d.Pipelines != nil {
 		v.Pipelines = d.Pipelines.Snapshot()
 	}
+	if d.Gateway != nil {
+		snap := d.Gateway.Stats()
+		v.Gateway = &snap
+	}
 	v.BuildLatency = time.Since(start)
 	return v, nil
 }
@@ -200,6 +211,13 @@ func (v *JobView) RenderText() string {
 			line += fmt.Sprintf(" breaker=%s opens=%d", p.Breaker.State, p.Breaker.Opens)
 		}
 		b.WriteString(line + "\n")
+	}
+	if v.Gateway != nil {
+		fmt.Fprintf(&b, "gateway: %d tenants, %d queued\n", len(v.Gateway.Tenants), v.Gateway.Queued)
+		for _, t := range v.Gateway.Tenants {
+			fmt.Fprintf(&b, "  tenant %-12s %-11s reqs=%d throttled=%d\n",
+				t.Name, t.Priority, t.Requests, t.Throttled)
+		}
 	}
 	return b.String()
 }

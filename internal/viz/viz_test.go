@@ -2,10 +2,13 @@ package viz
 
 import (
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"odakit/internal/gateway"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
 	"odakit/internal/medallion"
@@ -175,6 +178,35 @@ func TestUADashboardBuildJobView(t *testing.T) {
 	}
 	if _, err := d.BuildJobView("ghost", 5); err == nil {
 		t.Fatal("ghost job accepted")
+	}
+}
+
+// TestUADashboardGatewayFooter: with a gateway attached, the rendered
+// view carries the serving footer — tenant counters and queue depth.
+func TestUADashboardGatewayFooter(t *testing.T) {
+	d, job := buildStack(t)
+	g := gateway.New(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), gateway.Options{})
+	if err := g.RegisterTenant(gateway.TenantConfig{
+		Name: "dashboards", Priority: gateway.PriorityInteractive, RatePerSec: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-ODA-Tenant", "dashboards")
+	g.ServeHTTP(httptest.NewRecorder(), req)
+
+	d.Gateway = g
+	v, err := d.BuildJobView(job.ID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.RenderText()
+	for _, want := range []string{"gateway: 1 tenants, 0 queued", "tenant dashboards", "reqs=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
 	}
 }
 

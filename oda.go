@@ -29,6 +29,7 @@ import (
 	"odakit/internal/archive"
 	"odakit/internal/core"
 	"odakit/internal/faults"
+	"odakit/internal/gateway"
 	"odakit/internal/governance"
 	"odakit/internal/httpapi"
 	"odakit/internal/jobsched"
@@ -278,3 +279,37 @@ const (
 	RecallPending = archive.RecallPending
 	RecallStaged  = archive.RecallStaged
 )
+
+// Multi-tenant serving-gateway re-exports: the quota/admission front end
+// for the data portal (§V-C self-service serving at facility scale).
+type (
+	// Gateway fronts an http.Handler with tenant resolution, token-bucket
+	// rate/scan quotas, and priority-aware admission control.
+	Gateway = gateway.Gateway
+	// GatewayOptions wires the gateway to a platform (capacity-backed
+	// tenant registration) and a metrics registry.
+	GatewayOptions = gateway.Options
+	// TenantConfig declares one tenant's identity, priority, and quotas.
+	TenantConfig = gateway.TenantConfig
+	// TenantPriority orders tenants at the admission gate.
+	TenantPriority = gateway.Priority
+	// LoadScenario describes one load-harness run against the gateway.
+	LoadScenario = gateway.Scenario
+	// LoadResult is a load run's aggregate latency/throttle/shed outcome.
+	LoadResult = gateway.Result
+)
+
+// Tenant priorities, lowest to highest.
+const (
+	PriorityBatch       = gateway.PriorityBatch
+	PriorityInteractive = gateway.PriorityInteractive
+	PriorityUrgent      = gateway.PriorityUrgent
+)
+
+// NewGateway fronts a handler (usually NewHTTPHandler's portal) with the
+// multi-tenant serving gateway.
+func NewGateway(next http.Handler, opts GatewayOptions) *Gateway { return gateway.New(next, opts) }
+
+// RunLoad drives a handler with a simulated open/closed-loop client
+// population and reports per-tenant p50/p95/p99 and 429/503 rates.
+func RunLoad(h http.Handler, sc LoadScenario) LoadResult { return gateway.RunLoad(h, sc) }
