@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate bench-serve fuzz-smoke verify clean
+.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate bench-serve bench-cq fuzz-smoke verify clean
 
 all: verify
 
@@ -19,10 +19,11 @@ test:
 # fan-out, columnar row-group decode), the resilience substrate
 # (retry/breaker/supervisor, fault injector, streaming jobs), the
 # tier-federation path (object store gets under offload, glacier recall),
-# and the serving layer (gateway token buckets + priority admission,
-# httpapi handlers + prepared-query registry).
+# the serving layer (gateway token buckets + priority admission,
+# httpapi handlers + prepared-query registry), and the continuous-query
+# engine (concurrent Apply/Read/Subscribe/checkpoint under a live pump).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi ./internal/cq
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -63,6 +64,19 @@ bench-serve:
 	rm -f $(CURDIR)/BENCH_serve.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run xxx -bench 'GatewayServe' -benchtime 1x -timeout 600s .
 
+# Continuous-query serving path: view read at the current generation
+# (the dashboard-refresh hot path) vs a full window re-fold vs the
+# equivalent cold batch scan, plus the publish-throughput overhead pair
+# with and without a pump attached; rows land in BENCH_cq.json. The
+# acceptance bars are speedup_vs_cold >= 100x and overhead_pct <= 10.
+# The publish pair runs in its own process so the read fixtures'
+# half-million resident cells don't distort its GC behaviour; the rows
+# merge into one file.
+bench-cq:
+	rm -f $(CURDIR)/BENCH_cq.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_cq.json $(GO) test -run xxx -bench 'CQServe/read' -benchtime 1s -timeout 600s .
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_cq.json $(GO) test -run xxx -bench 'CQServe/publish' -benchtime 2000000x -timeout 600s .
+
 # Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
 # (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
 fuzz-smoke:
@@ -70,7 +84,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
 	$(GO) test -run xxx -fuzz FuzzColumnarExt -fuzztime 30s ./internal/columnar
 
-verify: vet build test race chaos fuzz-smoke bench-federate bench-serve
+verify: vet build test race chaos fuzz-smoke bench-federate bench-serve bench-cq
 
 clean:
 	$(GO) clean ./...

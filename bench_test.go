@@ -915,6 +915,19 @@ func recordBenchRow(name string, row map[string]any) {
 	defer benchJSON.mu.Unlock()
 	if benchJSON.rows == nil {
 		benchJSON.rows = map[string]map[string]any{}
+		// Seed from an existing file so a make target may split one
+		// table across several test invocations (bench-cq isolates its
+		// publish pair in a fresh process to keep GC noise out).
+		if data, err := os.ReadFile(path); err == nil {
+			var prev []map[string]any
+			if json.Unmarshal(data, &prev) == nil {
+				for _, r := range prev {
+					if n, ok := r["bench"].(string); ok {
+						benchJSON.rows[n] = r
+					}
+				}
+			}
+		}
 	}
 	row["bench"] = name
 	benchJSON.rows[name] = row

@@ -16,6 +16,13 @@
 //
 //	odaserve -addr :8080 -debug-addr :6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
+//
+// With -cq a demo continuous query is registered and a pump drains the
+// bronze topics into it; reads and SSE watches never touch the LAKE:
+//
+//	odaserve -addr :8080 -cq
+//	curl localhost:8080/api/v1/cq
+//	curl -N -H 'Accept: text/event-stream' 'localhost:8080/api/v1/cq/<id>/watch?count=3'
 package main
 
 import (
@@ -41,6 +48,8 @@ func main() {
 		minutes   = flag.Int("minutes", 5, "telemetry window to ingest at startup")
 		seed      = flag.Int64("seed", 1, "seed")
 		withGW    = flag.Bool("gateway", false, "front the portal with the multi-tenant gateway (demo tenants)")
+		withCQ    = flag.Bool("cq", false, "register a demo continuous query and pump the bronze topics into it")
+		cqDir     = flag.String("cq-checkpoint-dir", "", "CQ pump checkpoint directory (crash-consistent restore); empty disables")
 	)
 	flag.Parse()
 
@@ -62,6 +71,31 @@ func main() {
 	}
 	log.Printf("ingested %d records, %d events", stats.TotalRecs, stats.Events)
 
+	if *withCQ {
+		// A demo standing query: per-node average power over a sliding
+		// 5-minute window at the rollup granularity, with a generous
+		// threshold alert. Clients can register more via POST /api/v1/cq.
+		above := 10_000.0
+		v, err := f.CQ.Register(oda.CQSpec{
+			Name:        "node-power-5m",
+			Filters:     map[string][]string{"metric": {"node_power_w"}},
+			GroupBy:     []string{"component"},
+			Granularity: 15 * time.Second,
+			Window:      5 * time.Minute,
+			Alert:       &oda.CQAlertSpec{Above: &above, MaxScore: 4},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pump, err := f.NewCQPump(*cqDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go pump.Run(context.Background())
+		fmt.Printf("continuous query %s registered; try:\n", v.ID)
+		fmt.Printf("  curl localhost%s/api/v1/cq/%s\n", *addr, v.ID)
+		fmt.Printf("  curl -N -H 'Accept: text/event-stream' 'localhost%s/api/v1/cq/%s/watch?count=3'\n", *addr, v.ID)
+	}
 	if *debugAddr != "" {
 		dbg := &http.Server{
 			Addr:              *debugAddr,

@@ -14,6 +14,7 @@ import (
 
 	"odakit/internal/archive"
 	"odakit/internal/catalog"
+	"odakit/internal/cq"
 	"odakit/internal/governance"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
@@ -132,6 +133,13 @@ type Facility struct {
 	// metrics endpoints (/healthz, /api/v1/pipelines, dashboard footer).
 	Pipelines *sproc.Registry
 
+	// CQ maintains standing continuous queries as incremental
+	// materialized views over the bronze streams, answered at memory
+	// speed without touching the LAKE. Its cell geometry mirrors the
+	// Lake's (same rollup interval and segment duration) so view reads
+	// are byte-identical to the equivalent Lake batch query.
+	CQ *cq.Engine
+
 	// Obs is the facility-wide metrics registry: every tier registers
 	// its counters and collectors into it at construction, and /metrics
 	// renders it in Prometheus text format. Tracer samples end-to-end
@@ -202,6 +210,9 @@ func NewFacility(opts Options) (*Facility, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// The CQ engine's cell geometry must match the Lake's: same rollup
+	// interval (SilverWindow) and tsdb's default segment duration.
+	f.CQ = cq.NewEngine(cq.Config{RollupInterval: opts.SilverWindow, Registry: f.Obs})
 	f.Lake.Instrument(f.Obs)
 	f.Broker.Instrument(f.Obs)
 	f.Ocean.Instrument(f.Obs)
@@ -229,6 +240,21 @@ func NewFacility(opts Options) (*Facility, error) {
 
 // Close shuts down facility services.
 func (f *Facility) Close() { f.Broker.Close() }
+
+// NewCQPump builds a continuous-query pump draining the facility's
+// bronze metric topics (all telemetry.MetricSources when none are
+// named) into f.CQ. checkpointDir enables crash-consistent
+// exactly-once recovery; "" runs without checkpoints.
+func (f *Facility) NewCQPump(checkpointDir string, sources ...telemetry.Source) (*cq.Pump, error) {
+	if len(sources) == 0 {
+		sources = telemetry.MetricSources
+	}
+	topics := make([]string, 0, len(sources))
+	for _, src := range sources {
+		topics = append(topics, BronzeTopic(src))
+	}
+	return cq.NewPump(f.CQ, f.Broker, cq.PumpConfig{Topics: topics, CheckpointDir: checkpointDir})
+}
 
 // SourceIngest summarizes one source's ingest volume.
 type SourceIngest struct {

@@ -1,0 +1,314 @@
+package cq
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odakit/internal/obs"
+	"odakit/internal/schema"
+	"odakit/internal/stream"
+	"odakit/internal/tsdb"
+)
+
+func testEngine() *Engine {
+	return NewEngine(Config{RollupInterval: 15 * time.Second, SegmentDuration: time.Minute})
+}
+
+func obsAt(ts time.Time, comp, metric string, v float64) schema.Observation {
+	return schema.Observation{Ts: ts, System: "sys", Source: "alpha", Component: comp, Metric: metric, Value: v}
+}
+
+var unitT0 = time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSpecValidate(t *testing.T) {
+	base := Spec{Window: time.Minute}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		ok   bool
+	}{
+		{"minimal", func(s *Spec) {}, true},
+		{"no window", func(s *Spec) { s.Window = 0 }, false},
+		{"negative granularity", func(s *Spec) { s.Granularity = -time.Second }, false},
+		{"granularity over window", func(s *Spec) { s.Granularity = 2 * time.Minute }, false},
+		{"bad group dim", func(s *Spec) { s.GroupBy = []string{"host"} }, false},
+		{"dup group dim", func(s *Spec) { s.GroupBy = []string{"metric", "metric"} }, false},
+		{"all dims", func(s *Spec) { s.GroupBy = []string{"system", "source", "component", "metric"} }, true},
+		{"bad filter dim", func(s *Spec) { s.Filters = map[string][]string{"rack": {"r1"}} }, false},
+		{"bad kind", func(s *Spec) { s.Kind = WindowKind(9) }, false},
+		{"alert season one", func(s *Spec) { s.Alert = &AlertSpec{Season: 1} }, false},
+		{"alert negative score", func(s *Spec) { s.Alert = &AlertSpec{MaxScore: -1} }, false},
+		{"alert ok", func(s *Spec) { s.Alert = &AlertSpec{MaxScore: 3, Season: 4} }, true},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mut(&s)
+		err := s.validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRegisterIsContentAddressedAndIdempotent(t *testing.T) {
+	e := testEngine()
+	v1, err := e.Register(Spec{Name: "a", Window: time.Minute, GroupBy: []string{"metric"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, different name: same view, state shared.
+	v2, err := e.Register(Spec{Name: "b", Window: time.Minute, GroupBy: []string{"metric"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("same-shape specs resolved to distinct views %s vs %s", v1.ID, v2.ID)
+	}
+	v3, err := e.Register(Spec{Name: "a", Window: 2 * time.Minute, GroupBy: []string{"metric"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 == v1 {
+		t.Fatalf("different windows resolved to the same view")
+	}
+	if len(e.Views()) != 2 {
+		t.Fatalf("want 2 views, got %d", len(e.Views()))
+	}
+	if !e.Unregister(v3.ID) || e.Unregister(v3.ID) {
+		t.Fatalf("unregister semantics broken")
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	e := testEngine()
+	sliding, _ := e.Register(Spec{Window: time.Minute})
+	tumbling, _ := e.Register(Spec{Window: time.Minute, Kind: WindowTumbling})
+
+	wm := unitT0.Add(95 * time.Second).UnixNano() // 00:01:35
+	from, to, ok := sliding.windowBounds(wm)
+	if !ok {
+		t.Fatal("no bounds")
+	}
+	// Sliding: to = wm rounded up to the next rollup edge (00:01:45).
+	if want := unitT0.Add(105 * time.Second).UnixNano(); to != want {
+		t.Fatalf("sliding to = %d, want %d", to, want)
+	}
+	if to-from != int64(time.Minute) {
+		t.Fatalf("sliding width = %d", to-from)
+	}
+	from, to, _ = tumbling.windowBounds(wm)
+	if want := unitT0.Add(time.Minute).UnixNano(); from != want {
+		t.Fatalf("tumbling from = %d, want %d", from, want)
+	}
+	if to-from != int64(time.Minute) {
+		t.Fatalf("tumbling width = %d", to-from)
+	}
+	if _, _, ok := sliding.windowBounds(minWatermark); ok {
+		t.Fatal("bounds before any data")
+	}
+}
+
+func TestEvictionAndLateDrops(t *testing.T) {
+	e := testEngine()
+	v, _ := e.Register(Spec{Window: time.Minute}) // segment 1m, window 1m
+	// Fill three segments; the window end moves to 00:03:00-ish.
+	for i := 0; i < 12; i++ {
+		e.Apply("bronze.alpha", 0, []schema.Observation{
+			obsAt(unitT0.Add(time.Duration(i)*15*time.Second), "n1", "cpu", float64(i)),
+		})
+	}
+	st := v.Stats()
+	if st.Applied != 12 || st.Late != 0 {
+		t.Fatalf("applied=%d late=%d", st.Applied, st.Late)
+	}
+	// Early chunks (wholly before the window start) must be evicted.
+	if st.Cells >= 12 {
+		t.Fatalf("no eviction: %d cells live", st.Cells)
+	}
+	// A record below the eviction horizon is dropped and counted late.
+	e.Apply("bronze.alpha", 0, []schema.Observation{obsAt(unitT0, "n1", "cpu", 1)})
+	if st = v.Stats(); st.Late != 1 {
+		t.Fatalf("late=%d, want 1", st.Late)
+	}
+}
+
+func TestReadGenerationCache(t *testing.T) {
+	e := testEngine()
+	v, _ := e.Register(Spec{Window: time.Minute})
+	e.Apply("bronze.alpha", 0, []schema.Observation{obsAt(unitT0, "n1", "cpu", 42)})
+	f1, info1 := v.Read()
+	if info1.CacheHit {
+		t.Fatal("first read cannot hit")
+	}
+	f2, info2 := v.Read()
+	if !info2.CacheHit || f1 != f2 {
+		t.Fatal("second read at same gen must return the cached frame")
+	}
+	e.Apply("bronze.alpha", 0, []schema.Observation{obsAt(unitT0.Add(time.Second), "n1", "cpu", 43)})
+	_, info3 := v.Read()
+	if info3.CacheHit {
+		t.Fatal("read after update must re-fold")
+	}
+	v.Invalidate()
+	_, info4 := v.Read()
+	if info4.CacheHit {
+		t.Fatal("read after Invalidate must re-fold")
+	}
+}
+
+func TestSubscribeNotifies(t *testing.T) {
+	e := testEngine()
+	v, _ := e.Register(Spec{Window: time.Minute})
+	ch, cancel := v.Subscribe()
+	defer cancel()
+	if v.Stats().Watchers != 1 {
+		t.Fatal("watcher not counted")
+	}
+	gen := v.Gen()
+	e.Apply("bronze.alpha", 0, []schema.Observation{obsAt(unitT0, "n1", "cpu", 1)})
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("no wakeup after apply")
+	}
+	if v.Gen() == gen {
+		t.Fatal("generation did not advance")
+	}
+	cancel()
+	if v.Stats().Watchers != 0 {
+		t.Fatal("cancel did not drop watcher")
+	}
+}
+
+func TestFiltersLimitState(t *testing.T) {
+	e := testEngine()
+	v, _ := e.Register(Spec{
+		Window:  time.Minute,
+		Filters: map[string][]string{"metric": {"cpu"}},
+		GroupBy: []string{"component"},
+	})
+	e.Apply("bronze.alpha", 0, []schema.Observation{
+		obsAt(unitT0, "n1", "cpu", 1),
+		obsAt(unitT0, "n1", "mem", 2), // filtered: never stored
+	})
+	if st := v.Stats(); st.Cells != 1 {
+		t.Fatalf("filtered record was stored: %d cells", st.Cells)
+	}
+	f, _ := v.Read()
+	rows := f.Rows()
+	if len(rows) != 1 || rows[0][1].StrVal() != "n1" || rows[0][2].FloatVal() != 1 {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}
+
+func TestThresholdAndAnomalyAlerts(t *testing.T) {
+	e := testEngine()
+	above := 100.0
+	v, _ := e.Register(Spec{
+		Window:  2 * time.Minute,
+		GroupBy: []string{"component"},
+		Alert:   &AlertSpec{Above: &above, MaxScore: 3},
+	})
+	// Steady series, then a spike; buckets close as the watermark passes.
+	for i := 0; i < 10; i++ {
+		val := 50.0
+		if i == 8 {
+			val = 500 // crosses Above AND is a z-score outlier
+		}
+		e.Apply("bronze.alpha", 0, []schema.Observation{
+			obsAt(unitT0.Add(time.Duration(i)*15*time.Second), "n1", "cpu", val),
+		})
+	}
+	alerts := v.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts fired")
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Value == 500 && a.Dims["component"] == "n1" {
+			found = true
+			if a.Reason == "" {
+				t.Fatal("alert without reason")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("spike alert missing: %+v", alerts)
+	}
+	if v.Stats().Alerts != int64(len(alerts)) {
+		t.Fatal("stats alert count mismatch")
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngine(Config{RollupInterval: 15 * time.Second, SegmentDuration: time.Minute, Registry: reg})
+	v, _ := e.Register(Spec{Window: time.Minute})
+	e.Apply("bronze.alpha", 0, []schema.Observation{obsAt(unitT0, "n1", "cpu", 1)})
+	v.Read()
+	v.Read()
+	want := map[string]float64{
+		"oda_cq_views":                 1,
+		"oda_cq_updates_total":         1,
+		"oda_cq_reads_total":           2,
+		"oda_cq_read_cache_hits_total": 1,
+		"oda_cq_observations_total":    1,
+	}
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		got[s.Name] = s.Value
+	}
+	for name, val := range want {
+		if got[name] != val {
+			t.Errorf("%s = %v, want %v", name, got[name], val)
+		}
+	}
+}
+
+func TestPumpSkipsBadRecords(t *testing.T) {
+	b := stream.NewBroker()
+	defer b.Close()
+	if err := b.CreateTopic("bronze.alpha", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e := testEngine()
+	v, _ := e.Register(Spec{Window: time.Minute})
+	good := obsAt(unitT0, "n1", "cpu", 7)
+	if _, _, err := b.Publish("bronze.alpha", []byte("n1"), schema.EncodeRow(good.Row())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Publish("bronze.alpha", []byte("n1"), []byte("not a row")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPump(e, b, PumpConfig{Topics: []string{"bronze.alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics()
+	if m.Bad != 1 || m.Applied != 1 {
+		t.Fatalf("bad=%d applied=%d", m.Bad, m.Applied)
+	}
+	if st := v.Stats(); st.Applied != 1 {
+		t.Fatalf("view applied=%d", st.Applied)
+	}
+}
+
+func TestViewIDStableAcrossFilterOrder(t *testing.T) {
+	a := Spec{Window: time.Minute, Filters: map[string][]string{"metric": {"cpu", "mem"}, "component": {"n1"}}}
+	b := Spec{Window: time.Minute, Filters: map[string][]string{"component": {"n1"}, "metric": {"mem", "cpu"}}}
+	if viewID(a) != viewID(b) {
+		t.Fatal("fingerprint depends on map/slice order")
+	}
+	c := a
+	c.Agg = tsdb.AggSum
+	if viewID(a) == viewID(c) {
+		t.Fatal("fingerprint ignores agg")
+	}
+}

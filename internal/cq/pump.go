@@ -1,0 +1,306 @@
+package cq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"odakit/internal/atomicfile"
+	"odakit/internal/schema"
+	"odakit/internal/stream"
+)
+
+// PumpConfig wires a Pump to the broker.
+type PumpConfig struct {
+	// Name names the checkpoint file (default "cq").
+	Name string
+	// Topics are the bronze topics to drain. Fold order is topic-name
+	// ascending, matching ReplayBronzeToLake's replay order.
+	Topics []string
+	// Group is the consumer-group prefix (default "cq").
+	Group string
+	// BatchSize caps records per poll (default 512).
+	BatchSize int
+	// CheckpointDir enables crash consistency; "" disables it.
+	CheckpointDir string
+	// CheckpointEvery checkpoints after every N applied batches
+	// (default 1 — checkpoint after every batch, exactly-once with the
+	// tightest replay suffix).
+	CheckpointEvery int
+}
+
+func (c PumpConfig) withDefaults() PumpConfig {
+	if c.Name == "" {
+		c.Name = "cq"
+	}
+	if c.Group == "" {
+		c.Group = "cq"
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	return c
+}
+
+// PumpMetrics counts a pump's lifetime work.
+type PumpMetrics struct {
+	Polled      int64 // records polled
+	Applied     int64 // records decoded and fanned out
+	Bad         int64 // records dropped (decode/schema failure)
+	Checkpoints int64
+	Recovered   bool // restore found a checkpoint
+}
+
+// Pump drains bronze topics into an Engine, checkpointing offsets and
+// view state atomically. One Pump owns its engine's apply path; do not
+// run two pumps against the same engine.
+type Pump struct {
+	engine    *Engine
+	broker    *stream.Broker
+	cfg       PumpConfig
+	topics    []string // sorted
+	consumers map[string]*stream.Consumer
+
+	// Decode scratch: one reused row and an interner for the dimension
+	// vocabulary, so the drain loop's per-record decode is allocation-
+	// free at steady state and ingest never stalls on pump-driven GC.
+	decRow  schema.Row
+	intern  *schema.Interner
+	scratch []schema.Observation
+
+	sinceCkpt int
+	metrics   PumpMetrics
+}
+
+// NewPump subscribes to every topic and restores from the checkpoint
+// when one exists: specs are re-registered, view state is rebuilt
+// cell-for-cell, and consumers seek to the checkpointed offsets.
+func NewPump(engine *Engine, broker *stream.Broker, cfg PumpConfig) (*Pump, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Topics) == 0 {
+		return nil, fmt.Errorf("cq: pump needs at least one topic")
+	}
+	p := &Pump{
+		engine: engine, broker: broker, cfg: cfg,
+		topics:    append([]string(nil), cfg.Topics...),
+		consumers: make(map[string]*stream.Consumer, len(cfg.Topics)),
+		intern:    schema.NewInterner(),
+	}
+	sort.Strings(p.topics)
+	for _, t := range p.topics {
+		c, err := broker.Subscribe(t, cfg.Group+"-"+cfg.Name, stream.StartEarliest)
+		if err != nil {
+			return nil, fmt.Errorf("cq: subscribe %s: %w", t, err)
+		}
+		p.consumers[t] = c
+	}
+	if err := p.restore(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Metrics snapshots the pump's counters. Not synchronized with a
+// running Run loop; call between steps or after Drain.
+func (p *Pump) Metrics() PumpMetrics { return p.metrics }
+
+// step polls every topic once and applies what arrived, preserving
+// per-partition record order. Returns records applied.
+func (p *Pump) step(ctx context.Context) (int, error) {
+	total := 0
+	for _, t := range p.topics {
+		// Bounded wait so one idle topic cannot stall the others.
+		pctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+		recs, err := p.consumers[t].Poll(pctx, p.cfg.BatchSize)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				continue
+			}
+			return total, fmt.Errorf("cq: poll %s: %w", t, err)
+		}
+		p.metrics.Polled += int64(len(recs))
+		total += len(recs)
+		p.applyRecords(t, recs)
+	}
+	if total > 0 {
+		p.sinceCkpt++
+		if p.sinceCkpt >= p.cfg.CheckpointEvery {
+			if err := p.Checkpoint(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// applyRecords splits a poll batch into per-partition runs (Poll emits
+// each partition's records contiguously and in offset order) and fans
+// each run out to the engine.
+func (p *Pump) applyRecords(topic string, recs []stream.Record) {
+	run := p.scratch[:0]
+	runPart := -1
+	flush := func() {
+		if len(run) > 0 {
+			p.engine.Apply(topic, runPart, run)
+			p.metrics.Applied += int64(len(run))
+			run = run[:0]
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Partition != runPart {
+			flush()
+			runPart = r.Partition
+		}
+		// Alloc-free decode: the row scratch is reused record to record
+		// and dimension strings come interned, so draining a saturated
+		// broker does not generate GC pressure that would throttle the
+		// producers publishing to it.
+		row, _, err := schema.DecodeRowTo(p.decRow, r.Value, p.intern)
+		if err == nil {
+			err = row.Conforms(schema.ObservationSchema)
+		}
+		if err != nil {
+			p.metrics.Bad++
+			continue
+		}
+		p.decRow = row[:0]
+		run = append(run, schema.ObservationFromRow(row))
+	}
+	flush()
+	p.scratch = run[:0]
+}
+
+// Run pumps until ctx is done. Poll blocking keeps the loop quiescent
+// on an idle broker.
+func (p *Pump) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := p.step(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain pumps until every topic's lag is zero, then checkpoints.
+// Tests and benchmarks use it to reach a known-synchronized state.
+func (p *Pump) Drain(ctx context.Context) error {
+	for {
+		n, err := p.step(ctx)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			continue
+		}
+		caughtUp := true
+		for _, t := range p.topics {
+			lags, err := p.consumers[t].Lag()
+			if err != nil {
+				return fmt.Errorf("cq: lag %s: %w", t, err)
+			}
+			for _, l := range lags {
+				if l > 0 {
+					caughtUp = false
+				}
+			}
+		}
+		if caughtUp {
+			return p.Checkpoint()
+		}
+	}
+}
+
+func (p *Pump) checkpointPath() string {
+	return filepath.Join(p.cfg.CheckpointDir, p.cfg.Name+".ckpt.json")
+}
+
+// Checkpoint atomically persists consumer offsets plus every view's
+// full state. A no-op without a checkpoint dir.
+func (p *Pump) Checkpoint() error {
+	p.sinceCkpt = 0
+	if p.cfg.CheckpointDir == "" {
+		return nil
+	}
+	ck := ckptFile{Name: p.cfg.Name, Offsets: make(map[string][]int64, len(p.topics))}
+	for _, t := range p.topics {
+		ck.Offsets[t] = p.consumers[t].Position()
+	}
+	for _, v := range p.engine.Views() {
+		ck.Views = append(ck.Views, v.snapshot())
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("cq: checkpoint marshal: %w", err)
+	}
+	if err := os.MkdirAll(p.cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("cq: checkpoint dir: %w", err)
+	}
+	if err := atomicfile.WriteFile(p.checkpointPath(), data, 0o644); err != nil {
+		return fmt.Errorf("cq: checkpoint write: %w", err)
+	}
+	p.metrics.Checkpoints++
+	p.engine.mCheckpoints.Inc()
+	return nil
+}
+
+// restore loads the checkpoint if present: torn temp files are swept,
+// specs re-registered, cell state rebuilt in insertion order, and
+// consumers sought to the saved offsets so the un-checkpointed suffix
+// replays into pre-suffix state.
+func (p *Pump) restore() error {
+	if p.cfg.CheckpointDir == "" {
+		return nil
+	}
+	if _, err := atomicfile.CleanTemps(p.cfg.CheckpointDir); err != nil && !os.IsNotExist(errors.Unwrap(err)) {
+		return err
+	}
+	data, err := os.ReadFile(p.checkpointPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cq: checkpoint read: %w", err)
+	}
+	var ck ckptFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("cq: checkpoint parse: %w", err)
+	}
+	for _, cv := range ck.Views {
+		v, err := p.engine.Register(cv.Spec.spec())
+		if err != nil {
+			return fmt.Errorf("cq: checkpoint spec %s: %w", cv.ID, err)
+		}
+		if v.ID != cv.ID {
+			return fmt.Errorf("cq: checkpoint view %s re-registered as %s", cv.ID, v.ID)
+		}
+		if err := v.restoreInto(cv); err != nil {
+			return err
+		}
+		v.bump()
+	}
+	for t, offs := range ck.Offsets {
+		c := p.consumers[t]
+		if c == nil {
+			continue // topic no longer pumped
+		}
+		for part, off := range offs {
+			if err := c.Seek(part, off); err != nil {
+				return fmt.Errorf("cq: checkpoint seek %s/%d: %w", t, part, err)
+			}
+		}
+	}
+	p.metrics.Recovered = true
+	return nil
+}

@@ -1,0 +1,642 @@
+package cq
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odakit/internal/schema"
+	"odakit/internal/tsdb"
+)
+
+// cellKey mirrors tsdb's rollupKey: one rollup cell per (bucket ts,
+// series). Comparable, so it keys the per-chunk index map directly.
+type cellKey struct {
+	ts                                int64
+	system, source, component, metric string
+}
+
+func (k *cellKey) dimAt(idx int) string {
+	switch idx {
+	case 0:
+		return k.system
+	case 1:
+		return k.source
+	case 2:
+		return k.component
+	default:
+		return k.metric
+	}
+}
+
+// cell mirrors tsdb's aggCell bit-for-bit: same fields, same add and
+// merge sequences, so a view cell fed the per-partition record order
+// holds exactly the state the LAKE's cell would after a partition-major
+// replay.
+type cell struct {
+	count    int64
+	sum      float64
+	min, max float64
+	lastTs   int64
+	last     float64
+}
+
+func (c *cell) add(tsNanos int64, v float64) {
+	if c.count == 0 || v < c.min {
+		c.min = v
+	}
+	if c.count == 0 || v > c.max {
+		c.max = v
+	}
+	c.count++
+	c.sum += v
+	if tsNanos >= c.lastTs {
+		c.lastTs, c.last = tsNanos, v
+	}
+}
+
+func (c *cell) merge(o cell) {
+	if o.count == 0 {
+		return
+	}
+	if c.count == 0 || o.min < c.min {
+		c.min = o.min
+	}
+	if c.count == 0 || o.max > c.max {
+		c.max = o.max
+	}
+	c.count += o.count
+	c.sum += o.sum
+	if o.lastTs >= c.lastTs {
+		c.lastTs, c.last = o.lastTs, o.last
+	}
+}
+
+func aggValue(kind tsdb.AggKind, c *cell) float64 {
+	switch kind {
+	case tsdb.AggSum:
+		return c.sum
+	case tsdb.AggMin:
+		return c.min
+	case tsdb.AggMax:
+		return c.max
+	case tsdb.AggCount:
+		return float64(c.count)
+	case tsdb.AggLast:
+		return c.last
+	default: // AggAvg
+		if c.count == 0 {
+			return 0
+		}
+		return c.sum / float64(c.count)
+	}
+}
+
+// chunkCells is one (stripe, topic, partition, time chunk)'s cells in
+// dense insertion order — the same first-touch enumeration a tsdb
+// segment's cellTable keeps.
+type chunkCells struct {
+	index map[cellKey]int32
+	keys  []cellKey
+	cells []cell
+}
+
+func (cc *chunkCells) cell(key cellKey) *cell {
+	if i, ok := cc.index[key]; ok {
+		return &cc.cells[i]
+	}
+	cc.index[key] = int32(len(cc.keys))
+	cc.keys = append(cc.keys, key)
+	cc.cells = append(cc.cells, cell{})
+	return &cc.cells[len(cc.cells)-1]
+}
+
+// topicPart identifies one partition's slice of view state. The read
+// fold visits these in (topic asc, partition asc) order — the replay
+// order of ReplayBronzeToLake.
+type topicPart struct {
+	topic string
+	part  int
+}
+
+// partChunks is one partition's cells, chunked by segment start.
+type partChunks struct {
+	chunks map[int64]*chunkCells
+}
+
+// groupPair accumulates one output group's partial per stripe.
+type groupPair struct {
+	key  groupKey
+	cell cell
+}
+
+type groupKey struct {
+	ts   int64
+	dims [4]string
+}
+
+// compiledSpec is the per-read execution plan, mirroring tsdb's
+// compiledQuery over the view's own cell layout.
+type compiledSpec struct {
+	filters   []specFilter
+	groupDims []int
+	agg       tsdb.AggKind
+	granN     int64
+}
+
+type specFilter struct {
+	dim    int
+	single string
+	set    map[string]struct{}
+}
+
+func compileSpec(s Spec) compiledSpec {
+	cs := compiledSpec{agg: s.Agg, granN: int64(s.Granularity)}
+	for d, name := range []string{tsdb.DimSystem, tsdb.DimSource, tsdb.DimComponent, tsdb.DimMetric} {
+		vals, ok := s.Filters[name]
+		if !ok {
+			continue
+		}
+		f := specFilter{dim: d}
+		if len(vals) == 1 {
+			f.single = vals[0]
+		} else {
+			f.set = make(map[string]struct{}, len(vals))
+			for _, v := range vals {
+				f.set[v] = struct{}{}
+			}
+		}
+		cs.filters = append(cs.filters, f)
+	}
+	cs.groupDims = make([]int, len(s.GroupBy))
+	for i, dim := range s.GroupBy {
+		switch dim {
+		case tsdb.DimSystem:
+			cs.groupDims[i] = 0
+		case tsdb.DimSource:
+			cs.groupDims[i] = 1
+		case tsdb.DimComponent:
+			cs.groupDims[i] = 2
+		default:
+			cs.groupDims[i] = 3
+		}
+	}
+	return cs
+}
+
+func (cs *compiledSpec) match(k *cellKey) bool {
+	for i := range cs.filters {
+		f := &cs.filters[i]
+		v := k.dimAt(f.dim)
+		if f.set == nil {
+			if v != f.single {
+				return false
+			}
+		} else if _, ok := f.set[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowInfo describes the window a Read answered for.
+type WindowInfo struct {
+	From, To  time.Time
+	Watermark time.Time
+	Gen       uint64
+	Cells     int64 // live cells folded (0 on a generation-cache hit)
+	CacheHit  bool
+}
+
+// View is one standing query's materialized state. All mutation goes
+// through the owning Engine's Apply; reads are safe for concurrent use.
+type View struct {
+	ID   string
+	Spec Spec
+
+	rollupN int64
+	segN    int64
+	windowN int64 // Window rounded up to whole rollup intervals
+	cs      compiledSpec
+
+	mu sync.Mutex
+	// stripes × (topic, partition) × chunk, in tsdb's exact geometry.
+	stripes [tsdb.NumStripes]map[topicPart]*partChunks
+	// sorted (topic, partition) fold order, rebuilt when a partition
+	// first appears. Shared by all stripes.
+	tps       []topicPart
+	watermark int64 // max event ts seen (nanos); minInt64 until data
+	// evictedBefore is the high-water eviction mark: every chunk with
+	// end <= evictedBefore has been dropped, and records landing below
+	// it are counted late and discarded rather than resurrecting state
+	// the window has passed.
+	evictedBefore int64
+	applied       int64
+	late          int64
+
+	gen        atomic.Uint64
+	cachedGen  uint64
+	cachedAt   WindowInfo
+	cached     *schema.Frame
+	subs       map[int]chan struct{}
+	nextSub    int
+	alerts     *alertState
+	watchCount atomic.Int64
+
+	engine *Engine
+}
+
+const minWatermark = -1 << 62
+
+func newView(e *Engine, spec Spec) *View {
+	v := &View{
+		ID:      viewID(spec),
+		Spec:    spec,
+		rollupN: int64(e.cfg.RollupInterval),
+		segN:    int64(e.cfg.SegmentDuration),
+		cs:      compileSpec(spec),
+		subs:    make(map[int]chan struct{}),
+
+		watermark:     minWatermark,
+		evictedBefore: minWatermark,
+		engine:        e,
+	}
+	v.windowN = ceilMul(int64(spec.Window), v.rollupN)
+	for i := range v.stripes {
+		v.stripes[i] = make(map[topicPart]*partChunks)
+	}
+	if spec.Alert != nil {
+		v.alerts = newAlertState(spec, v.rollupN)
+	}
+	return v
+}
+
+// windowBounds computes the live window for a watermark: the half-open
+// [from, to) a Read folds and the equivalent batch query would use.
+func (v *View) windowBounds(wm int64) (fromN, toN int64, ok bool) {
+	if wm == minWatermark {
+		return 0, 0, false
+	}
+	if v.Spec.Kind == WindowTumbling {
+		fromN = wm - floorMod(wm, v.windowN)
+		return fromN, fromN + v.windowN, true
+	}
+	toN = wm - floorMod(wm, v.rollupN) + v.rollupN
+	return toN - v.windowN, toN, true
+}
+
+// apply folds one partition-ordered run of observations into the view
+// and reports how many were applied and how many dropped late. Caller
+// is the engine, which fans a poll batch out per (topic, partition) run
+// so per-partition order is preserved.
+func (v *View) apply(topic string, part int, obs []schema.Observation) (appliedN, lateN int64) {
+	v.mu.Lock()
+	applied0, late0 := v.applied, v.late
+	tp := topicPart{topic: topic, part: part}
+	for i := range obs {
+		o := &obs[i]
+		tsn := o.Ts.UnixNano()
+		if tsn > v.watermark {
+			v.watermark = tsn
+		}
+		key := cellKey{
+			ts:     tsn - floorMod(tsn, v.rollupN),
+			system: o.System, source: o.Source, component: o.Component, metric: o.Metric,
+		}
+		if !v.cs.match(&key) {
+			continue
+		}
+		chunkN := tsn - floorMod(tsn, v.segN)
+		if chunkN+v.segN <= v.evictedBefore {
+			// Late record below the eviction horizon: its chunk is gone
+			// and the window can never include it again. The batch
+			// reference excludes it the same way (bucket ts < from).
+			v.late++
+			continue
+		}
+		stripe := tsdb.StripeFor(o.Component, o.Metric)
+		pc := v.stripes[stripe][tp]
+		if pc == nil {
+			pc = &partChunks{chunks: make(map[int64]*chunkCells)}
+			v.stripes[stripe][tp] = pc
+			v.noteTPLocked(tp)
+		}
+		cc := pc.chunks[chunkN]
+		if cc == nil {
+			cc = &chunkCells{index: make(map[cellKey]int32)}
+			pc.chunks[chunkN] = cc
+		}
+		cc.cell(key).add(tsn, o.Value)
+		v.applied++
+	}
+	v.evictLocked()
+	var closed []closedBucket
+	if v.alerts != nil {
+		closed = v.alerts.closeBuckets(v)
+	}
+	appliedN, lateN = v.applied-applied0, v.late-late0
+	v.mu.Unlock()
+	v.bump()
+	if len(closed) > 0 {
+		if fired := v.alerts.scoreAndAlert(v, closed); fired > 0 && v.engine != nil {
+			v.engine.noteAlerts(fired)
+		}
+	}
+	return appliedN, lateN
+}
+
+// noteTPLocked records a newly seen (topic, partition) in fold order.
+func (v *View) noteTPLocked(tp topicPart) {
+	for _, have := range v.tps {
+		if have == tp {
+			return
+		}
+	}
+	v.tps = append(v.tps, tp)
+	sort.Slice(v.tps, func(i, j int) bool {
+		if v.tps[i].topic != v.tps[j].topic {
+			return v.tps[i].topic < v.tps[j].topic
+		}
+		return v.tps[i].part < v.tps[j].part
+	})
+}
+
+// evictLocked drops whole chunks the window has moved past. Only chunks
+// wholly before the window start go: the read path time-filters at cell
+// granularity, so a chunk straddling the window edge stays until the
+// edge passes its end.
+func (v *View) evictLocked() {
+	fromN, _, ok := v.windowBounds(v.watermark)
+	if !ok {
+		return
+	}
+	for s := range v.stripes {
+		for _, pc := range v.stripes[s] {
+			for chunkN := range pc.chunks {
+				if chunkN+v.segN <= fromN {
+					delete(pc.chunks, chunkN)
+				}
+			}
+		}
+	}
+	if fromN > v.evictedBefore {
+		v.evictedBefore = fromN
+	}
+}
+
+// bump advances the view generation and pokes watchers.
+func (v *View) bump() {
+	v.gen.Add(1)
+	v.mu.Lock()
+	for _, ch := range v.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a wakeup pending
+		}
+	}
+	v.mu.Unlock()
+	if v.engine != nil {
+		v.engine.mUpdates.Inc()
+	}
+}
+
+// Gen returns the view's current generation (bumped on every applied
+// batch). Watchers long-poll against it.
+func (v *View) Gen() uint64 { return v.gen.Load() }
+
+// Invalidate forces the next Read to re-fold instead of answering from
+// the generation cache. Benchmarks use it to measure the fold path.
+func (v *View) Invalidate() { v.gen.Add(1) }
+
+// Subscribe registers a watcher; the channel receives (coalesced)
+// wakeups on every view update. Unsubscribe with the returned cancel.
+func (v *View) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	v.mu.Lock()
+	id := v.nextSub
+	v.nextSub++
+	v.subs[id] = ch
+	v.mu.Unlock()
+	v.watchCount.Add(1)
+	return ch, func() {
+		v.mu.Lock()
+		delete(v.subs, id)
+		v.mu.Unlock()
+		v.watchCount.Add(-1)
+	}
+}
+
+// Read folds the live window into a result frame with tsdb.Run's exact
+// fold order and output shape. Repeated reads at an unchanged
+// generation are free (the previous frame is returned); treat returned
+// frames as read-only.
+func (v *View) Read() (*schema.Frame, WindowInfo) {
+	gen := v.gen.Load()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cached != nil && v.cachedGen == gen {
+		info := v.cachedAt
+		info.CacheHit = true
+		if v.engine != nil {
+			v.engine.mReads.Inc()
+			v.engine.mReadHits.Inc()
+		}
+		return v.cached, info
+	}
+	frame, info := v.foldLocked()
+	info.Gen = gen
+	v.cached, v.cachedGen, v.cachedAt = frame, gen, info
+	if v.engine != nil {
+		v.engine.mReads.Inc()
+	}
+	return frame, info
+}
+
+// resultSchema mirrors tsdb.Query.ResultSchema.
+func (v *View) resultSchema() *schema.Schema {
+	fields := []schema.Field{{Name: "ts", Kind: schema.KindTime}}
+	for _, d := range v.Spec.GroupBy {
+		fields = append(fields, schema.Field{Name: d, Kind: schema.KindString})
+	}
+	fields = append(fields, schema.Field{Name: "value", Kind: schema.KindFloat})
+	return schema.New(fields...)
+}
+
+// foldLocked is the canonical fold: stripe asc → chunk asc → (topic,
+// partition) asc → insertion order, per-stripe partials merged in
+// stripe order, rows sorted by (ts, dims) — tsdb.Run's exact float
+// accumulation order over a partition-major-replayed store.
+func (v *View) foldLocked() (*schema.Frame, WindowInfo) {
+	fromN, toN, ok := v.windowBounds(v.watermark)
+	info := WindowInfo{}
+	if ok {
+		info.From = time.Unix(0, fromN).UTC()
+		info.To = time.Unix(0, toN).UTC()
+		info.Watermark = time.Unix(0, v.watermark).UTC()
+	}
+	var order []groupPair
+	if ok {
+		order, info.Cells = v.foldRangeLocked(fromN, toN, v.cs.granN)
+	}
+	nDims := len(v.Spec.GroupBy)
+	sortGroups(order, nDims)
+	out := schema.NewFrame(v.resultSchema())
+	row := make(schema.Row, 0, nDims+2)
+	for i := range order {
+		row = row[:0]
+		row = append(row, schema.TimeNanos(order[i].key.ts))
+		for d := 0; d < nDims; d++ {
+			row = append(row, schema.Str(order[i].key.dims[d]))
+		}
+		row = append(row, schema.Float(aggValue(v.cs.agg, &order[i].cell)))
+		if err := out.AppendRow(row); err != nil {
+			// Row was built from the frame's own schema; unreachable.
+			panic(err)
+		}
+	}
+	return out, info
+}
+
+// foldRangeLocked folds [fromN, toN) at granN into per-group partials
+// in the canonical order: stripe asc → chunk asc → (topic, partition)
+// asc → insertion order, per-stripe partials merged into the total in
+// stripe order. granN 0 collapses the range into one bucket at fromN.
+// Output order is accumulation order; callers sort for emission.
+func (v *View) foldRangeLocked(fromN, toN, granN int64) ([]groupPair, int64) {
+	var cellsScanned int64
+	total := make(map[groupKey]int)
+	var order []groupPair
+	stripeGroups := make(map[groupKey]int)
+	var stripeOrder []groupPair
+	for s := 0; s < tsdb.NumStripes; s++ {
+		byTP := v.stripes[s]
+		if len(byTP) == 0 {
+			continue
+		}
+		// Union of chunk starts across this stripe's partitions,
+		// ascending — tsdb folds a stripe's segments in chunk order.
+		chunkSet := make(map[int64]struct{})
+		for _, pc := range byTP {
+			for chunkN := range pc.chunks {
+				if chunkN >= toN || chunkN+v.segN <= fromN {
+					continue
+				}
+				chunkSet[chunkN] = struct{}{}
+			}
+		}
+		if len(chunkSet) == 0 {
+			continue
+		}
+		chunks := make([]int64, 0, len(chunkSet))
+		for c := range chunkSet {
+			chunks = append(chunks, c)
+		}
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+		clear(stripeGroups)
+		stripeOrder = stripeOrder[:0]
+		for _, chunkN := range chunks {
+			contained := chunkN >= fromN && chunkN+v.segN <= toN
+			for _, tp := range v.tps {
+				pc := byTP[tp]
+				if pc == nil {
+					continue
+				}
+				cc := pc.chunks[chunkN]
+				if cc == nil {
+					continue
+				}
+				cellsScanned += int64(len(cc.keys))
+				for i := range cc.keys {
+					key := &cc.keys[i]
+					if !contained && (key.ts < fromN || key.ts >= toN) {
+						continue
+					}
+					gk := groupKey{ts: fromN}
+					if granN > 0 {
+						gk.ts = key.ts - floorMod(key.ts, granN)
+					}
+					for gi, d := range v.cs.groupDims {
+						gk.dims[gi] = key.dimAt(d)
+					}
+					gi, seen := stripeGroups[gk]
+					if !seen {
+						gi = len(stripeOrder)
+						stripeGroups[gk] = gi
+						stripeOrder = append(stripeOrder, groupPair{key: gk})
+					}
+					stripeOrder[gi].cell.merge(cc.cells[i])
+				}
+			}
+		}
+		// Merge this stripe's partial into the running total in stripe
+		// order — Run's deterministic stripe-order merge.
+		for gi := range stripeOrder {
+			p := &stripeOrder[gi]
+			ti, seen := total[p.key]
+			if !seen {
+				ti = len(order)
+				total[p.key] = ti
+				order = append(order, groupPair{key: p.key})
+			}
+			order[ti].cell.merge(p.cell)
+		}
+	}
+	return order, cellsScanned
+}
+
+// sortGroups orders emission rows by (ts, dims) — tsdb.Run's output
+// order. Keys are unique, so the comparator never ties.
+func sortGroups(order []groupPair, nDims int) {
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].key.ts != order[j].key.ts {
+			return order[i].key.ts < order[j].key.ts
+		}
+		for d := 0; d < nDims; d++ {
+			if order[i].key.dims[d] != order[j].key.dims[d] {
+				return order[i].key.dims[d] < order[j].key.dims[d]
+			}
+		}
+		return false
+	})
+}
+
+// ViewStats is a view's live state summary.
+type ViewStats struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name"`
+	Window    time.Duration `json:"window"`
+	Kind      string        `json:"kind"`
+	Gen       uint64        `json:"gen"`
+	Applied   int64         `json:"applied"`
+	Late      int64         `json:"late"`
+	Cells     int64         `json:"cells"`
+	Watchers  int64         `json:"watchers"`
+	Alerts    int64         `json:"alerts"`
+	Watermark time.Time     `json:"watermark"`
+}
+
+// Stats snapshots the view's counters.
+func (v *View) Stats() ViewStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := ViewStats{
+		ID: v.ID, Name: v.Spec.Name, Window: v.Spec.Window,
+		Kind: v.Spec.Kind.String(), Gen: v.gen.Load(),
+		Applied: v.applied, Late: v.late, Watchers: v.watchCount.Load(),
+	}
+	if v.watermark != minWatermark {
+		st.Watermark = time.Unix(0, v.watermark).UTC()
+	}
+	for s := range v.stripes {
+		for _, pc := range v.stripes[s] {
+			for _, cc := range pc.chunks {
+				st.Cells += int64(len(cc.keys))
+			}
+		}
+	}
+	if v.alerts != nil {
+		st.Alerts = v.alerts.count()
+	}
+	return st
+}

@@ -32,6 +32,7 @@ var (
 	ErrNotFitted = errors.New("forecast: model not fitted")
 	ErrBadConfig = errors.New("forecast: bad configuration")
 	ErrShortData = errors.New("forecast: need at least two full seasons")
+	ErrBadData   = errors.New("forecast: non-finite value in series")
 )
 
 // NewHoltWinters returns a model with the given smoothing factors.
@@ -46,11 +47,19 @@ func NewHoltWinters(alpha, beta, gamma float64, seasonLength int) (*HoltWinters,
 }
 
 // Fit estimates level, trend, and seasonal components from history,
-// which must cover at least two full seasons.
+// which must cover at least two full seasons of finite values. A NaN or
+// Inf anywhere in the history is rejected up front: the smoothing
+// recursion propagates a single non-finite sample into every later
+// level, trend, and seasonal slot, silently poisoning all forecasts.
 func (h *HoltWinters) Fit(series []float64) error {
 	m := h.SeasonLength
 	if len(series) < 2*m {
 		return ErrShortData
+	}
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrBadData
+		}
 	}
 	// Initial level: mean of the first season. Initial trend: mean
 	// per-step change between the first two seasons.
@@ -78,8 +87,10 @@ func (h *HoltWinters) Fit(series []float64) error {
 
 // Update folds one new observation into the model state. idx is the
 // observation's position in the series (it selects the seasonal slot).
+// Non-finite values are ignored — one glitched sensor reading must not
+// poison the model state for the rest of its life.
 func (h *HoltWinters) Update(value float64, idx int) {
-	if !h.fitted {
+	if !h.fitted || math.IsNaN(value) || math.IsInf(value, 0) {
 		return
 	}
 	m := h.SeasonLength

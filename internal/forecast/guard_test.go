@@ -1,0 +1,109 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Guard tests: operational series are routinely constant (flatlined
+// sensors) or carry NaN/Inf from upstream glitches; the model must
+// reject or ignore them instead of silently poisoning its state.
+
+func finite(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFitRejectsNonFiniteSeries(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []float64
+	}{
+		{"nan head", []float64{math.NaN(), 1, 2, 3, 4, 5, 6, 7}},
+		{"nan tail", []float64{1, 2, 3, 4, 5, 6, 7, math.NaN()}},
+		{"pos inf", []float64{1, 2, math.Inf(1), 4, 5, 6, 7, 8}},
+		{"neg inf", []float64{1, 2, math.Inf(-1), 4, 5, 6, 7, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewHoltWinters(0.5, 0.1, 0.1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Fit(tc.series); !errors.Is(err, ErrBadData) {
+				t.Fatalf("Fit = %v, want ErrBadData", err)
+			}
+			if _, err := h.Forecast(7, 2); !errors.Is(err, ErrNotFitted) {
+				t.Fatalf("model fitted despite bad data")
+			}
+		})
+	}
+}
+
+func TestFitConstantSeriesForecastsConstant(t *testing.T) {
+	h, err := NewHoltWinters(0.5, 0.1, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([]float64, 12)
+	for i := range series {
+		series[i] = 42
+	}
+	if err := h.Fit(series); err != nil {
+		t.Fatalf("constant series must fit: %v", err)
+	}
+	pred, err := h.Forecast(len(series)-1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pred {
+		if math.Abs(p-42) > 1e-9 {
+			t.Fatalf("pred[%d] = %v, want 42", i, p)
+		}
+	}
+}
+
+func TestUpdateIgnoresNonFinite(t *testing.T) {
+	h, err := NewHoltWinters(0.5, 0.1, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := []float64{1, 2, 3, 4, 1.1, 2.1, 3.1, 4.1}
+	if err := h.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	before, err := h.Forecast(len(series)-1, 4)
+	if err != nil || !finite(before) {
+		t.Fatalf("baseline forecast bad: %v %v", before, err)
+	}
+	// A glitched sample mid-stream must leave the model state untouched.
+	h.Update(math.NaN(), len(series))
+	h.Update(math.Inf(1), len(series))
+	after, err := h.Forecast(len(series)-1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("non-finite Update changed state: %v vs %v", after, before)
+		}
+	}
+	// And a finite sample afterwards still works normally.
+	h.Update(5, len(series))
+	post, err := h.Forecast(len(series), 4)
+	if err != nil || !finite(post) {
+		t.Fatalf("model poisoned after recovery: %v %v", post, err)
+	}
+}
+
+func TestBacktestRejectsBadData(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 1, math.NaN(), 3, 4, 1, 2, 3, 4}
+	if _, _, err := Backtest(series, 2, 0.5, 0.1, 0.1, 4); !errors.Is(err, ErrBadData) {
+		t.Fatalf("Backtest = %v, want ErrBadData", err)
+	}
+}

@@ -130,7 +130,7 @@ func New(next http.Handler, opts Options) *Gateway {
 			"Time heavy queries spent queued at the admission gate.", obs.LatencySeconds())
 		reg.RegisterCollector(func(emit func(obs.Sample)) {
 			emit(obs.Sample{Name: "oda_gateway_queue_depth", Kind: obs.KindGauge,
-				Help: "Heavy queries currently waiting at the admission gate.",
+				Help:  "Heavy queries currently waiting at the admission gate.",
 				Value: float64(g.admit.Queued())})
 			emit(obs.Sample{Name: "oda_gateway_tenants", Kind: obs.KindGauge,
 				Help: "Registered tenants.", Value: float64(g.TenantCount())})
@@ -231,7 +231,11 @@ func (g *Gateway) resolve(r *http.Request) *tenant {
 
 // heavyPath reports whether a route passes the admission gate and is
 // debited scan cost: the LAKE-scanning query endpoints. Cheap metadata
-// routes only pay a request token.
+// routes only pay a request token. Continuous-query routes
+// (/api/v1/cq...) are deliberately NOT heavy: a CQ read is an in-memory
+// fold over a standing view — it scans zero LAKE cells — so it bypasses
+// scan-slot admission and scan-budget refusal entirely, and stays fast
+// even for tenants whose batch-query budget is exhausted.
 func heavyPath(p string) bool {
 	switch {
 	case len(p) >= 13 && p[:13] == "/api/v1/lake/":
@@ -262,15 +266,29 @@ func quotaError(w http.ResponseWriter, status int, category, msg string, retry t
 // quotaWriter injects the per-tenant X-ODA-Quota-* balance headers just
 // before the wrapped handler commits its status, so the values reflect
 // this request's token. It forwards Flush for the streaming path.
+//
+// It also snapshots X-ODA-Query-Cells-Scanned at commit time: streaming
+// handlers flush every streamFlushEvery points, and once the first
+// chunk is on the wire the header map no longer reflects what the
+// client saw — a value set (or cleared) after the first flush is
+// silently lost. Debiting from the committed snapshot instead of the
+// post-handler header map makes the scan charge match the headers the
+// engine actually sent, however long the body streamed afterwards.
 type quotaWriter struct {
 	http.ResponseWriter
-	t     *tenant
-	wrote bool
+	t         *tenant
+	wrote     bool
+	scanCells float64 // X-ODA-Query-Cells-Scanned at commit
 }
 
 func (qw *quotaWriter) WriteHeader(code int) {
 	if !qw.wrote {
 		qw.wrote = true
+		if v := qw.Header().Get("X-ODA-Query-Cells-Scanned"); v != "" {
+			if cells, err := strconv.ParseFloat(v, 64); err == nil {
+				qw.scanCells = cells
+			}
+		}
 		setQuotaHeaders(qw.Header(), qw.t)
 	}
 	qw.ResponseWriter.WriteHeader(code)
@@ -350,12 +368,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	qw := &quotaWriter{ResponseWriter: w, t: t}
 	g.next.ServeHTTP(qw, r)
-	if t.scan != nil && heavyPath(r.URL.Path) {
-		if v := qw.Header().Get("X-ODA-Query-Cells-Scanned"); v != "" {
-			if cells, err := strconv.ParseFloat(v, 64); err == nil && cells > 0 {
-				t.scan.debit(cells)
-			}
-		}
+	if t.scan != nil && heavyPath(r.URL.Path) && qw.scanCells > 0 {
+		t.scan.debit(qw.scanCells)
 	}
 }
 

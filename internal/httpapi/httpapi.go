@@ -15,6 +15,12 @@
 //	GET /api/v1/governance/requests
 //	GET /api/v1/jobs/{id}
 //	GET /api/v1/pipelines
+//	POST /api/v1/cq?window=&metric=&groupby=&agg=&granularity=&kind=&above=&maxscore=
+//	GET /api/v1/cq
+//	GET /api/v1/cq/{id}
+//	GET /api/v1/cq/{id}/watch
+//	GET /api/v1/cq/{id}/alerts
+//	DELETE /api/v1/cq/{id}
 //	GET /metrics
 //	GET /api/v1/traces
 //
@@ -97,6 +103,12 @@ func New(f *core.Facility) *Server {
 	s.handle("GET /api/v1/governance/requests", "governance_requests", s.governanceRequests)
 	s.handle("GET /api/v1/jobs/{id}", "job", s.job)
 	s.handle("GET /api/v1/pipelines", "pipelines", s.pipelines)
+	s.handle("POST /api/v1/cq", "cq_register", s.cqRegister)
+	s.handle("GET /api/v1/cq", "cq_list", s.cqList)
+	s.handle("GET /api/v1/cq/{id}", "cq_read", s.cqRead)
+	s.handle("GET /api/v1/cq/{id}/watch", "cq_watch", s.cqWatch)
+	s.handle("GET /api/v1/cq/{id}/alerts", "cq_alerts", s.cqAlerts)
+	s.handle("DELETE /api/v1/cq/{id}", "cq_unregister", s.cqUnregister)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(f.Obs))
 	s.mux.Handle("GET /api/v1/traces", obs.TracesHandler(f.Tracer))
 	return s

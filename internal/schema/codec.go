@@ -44,9 +44,53 @@ func AppendRow(buf []byte, r Row) []byte {
 // EncodeRow encodes r into a fresh buffer.
 func EncodeRow(r Row) []byte { return AppendRow(make([]byte, 0, 16*len(r)+4), r) }
 
+// Interner deduplicates the strings a decode stream produces. ODA wire
+// rows repeat a tiny dimension vocabulary (system, source, component,
+// metric names) millions of times, and decoding every occurrence to a
+// fresh string is pure allocator churn; an Interner hands back one
+// canonical string per distinct byte sequence, and the map probe keyed
+// by string(b) compiles to a zero-allocation lookup, so a steady-state
+// decode stream stops allocating strings entirely. Not safe for
+// concurrent use; give each decoding goroutine its own.
+type Interner struct {
+	strings map[string]string
+}
+
+// internerCap bounds resident entries so an adversarial or high-
+// cardinality stream cannot grow the table without limit; on overflow
+// the table is dropped and rebuilt from the live vocabulary.
+const internerCap = 1 << 16
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{strings: make(map[string]string)}
+}
+
+// Bytes returns the canonical string for b.
+func (in *Interner) Bytes(b []byte) string {
+	if s, ok := in.strings[string(b)]; ok {
+		return s
+	}
+	if len(in.strings) >= internerCap {
+		in.strings = make(map[string]string)
+	}
+	s := string(b)
+	in.strings[s] = s
+	return s
+}
+
 // DecodeRow decodes one row from buf, returning the row and the number of
 // bytes consumed.
 func DecodeRow(buf []byte) (Row, int, error) {
+	return DecodeRowTo(nil, buf, nil)
+}
+
+// DecodeRowTo decodes one row from buf into dst (grown as needed and
+// returned re-sliced, so a caller looping over records can reuse one
+// backing array), interning string payloads through in when non-nil.
+// This is the broker-drain hot path: with a reused dst and an interner
+// a steady-state stream decodes with no per-record allocations at all.
+func DecodeRowTo(dst Row, buf []byte, in *Interner) (Row, int, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("schema: decode row: bad field count")
@@ -55,7 +99,10 @@ func DecodeRow(buf []byte) (Row, int, error) {
 		return nil, 0, fmt.Errorf("schema: decode row: field count %d exceeds buffer", n)
 	}
 	off := sz
-	row := make(Row, 0, n)
+	row := dst[:0]
+	if cap(row) < int(n) {
+		row = make(Row, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		if off >= len(buf) {
 			return nil, 0, fmt.Errorf("schema: decode row: truncated at field %d", i)
@@ -95,7 +142,11 @@ func DecodeRow(buf []byte) (Row, int, error) {
 				return nil, 0, fmt.Errorf("schema: decode row: truncated string")
 			}
 			off += sz
-			row = append(row, Str(string(buf[off:off+int(l)])))
+			if in != nil {
+				row = append(row, Str(in.Bytes(buf[off:off+int(l)])))
+			} else {
+				row = append(row, Str(string(buf[off:off+int(l)])))
+			}
 			off += int(l)
 		default:
 			return nil, 0, fmt.Errorf("schema: decode row: unknown kind %d", kind)

@@ -1,11 +1,13 @@
 package schema
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func TestCodecRoundTrip(t *testing.T) {
@@ -132,5 +134,73 @@ func BenchmarkDecodeObservationRow(b *testing.B) {
 		if _, _, err := DecodeRow(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestDecodeRowToReuseAndIntern(t *testing.T) {
+	rows := []Row{
+		{Time(time.Unix(100, 0).UTC()), Str("sys"), Str("src"), Str("node00001"), Str("node_power_w"), Float(101)},
+		{Time(time.Unix(115, 0).UTC()), Str("sys"), Str("src"), Str("node00002"), Str("node_power_w"), Float(102)},
+		{Time(time.Unix(130, 0).UTC()), Str("sys"), Str("src"), Str("node00001"), Str("node_power_w"), Float(103)},
+	}
+	var bufs [][]byte
+	for _, r := range rows {
+		bufs = append(bufs, EncodeRow(r))
+	}
+	in := NewInterner()
+	var scratch Row
+	var metrics []string
+	for i, buf := range bufs {
+		got, n, err := DecodeRowTo(scratch, buf, in)
+		if err != nil {
+			t.Fatalf("decode row %d: %v", i, err)
+		}
+		if n != len(bufs[i]) {
+			t.Fatalf("row %d consumed %d of %d bytes", i, n, len(bufs[i]))
+		}
+		if !got.Equal(rows[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got, rows[i])
+		}
+		metrics = append(metrics, got[4].StrVal())
+		scratch = got[:0]
+	}
+	// Interning must hand back one canonical string: every occurrence of
+	// the repeated vocabulary shares backing storage.
+	if unsafe.StringData(metrics[0]) != unsafe.StringData(metrics[1]) ||
+		unsafe.StringData(metrics[0]) != unsafe.StringData(metrics[2]) {
+		t.Fatal("repeated metric name was not interned to one canonical string")
+	}
+	// Steady state (vocabulary warm, scratch sized): zero allocations.
+	buf := bufs[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := DecodeRowTo(scratch, buf, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeRowTo allocates %v per run, want 0", allocs)
+	}
+	// Errors still surface through the reuse path.
+	if _, _, err := DecodeRowTo(scratch, buf[:3], in); err == nil {
+		t.Fatal("truncated row decoded without error")
+	}
+}
+
+func TestInternerOverflowResets(t *testing.T) {
+	in := NewInterner()
+	key := []byte("survivor")
+	first := in.Bytes(key)
+	var b [8]byte
+	for i := 0; i < internerCap+10; i++ {
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		in.Bytes(b[:])
+	}
+	// The table must have been bounded (reset), and re-interning after
+	// the reset still works and yields equal content.
+	if len(in.strings) > internerCap {
+		t.Fatalf("interner grew to %d entries, cap is %d", len(in.strings), internerCap)
+	}
+	if again := in.Bytes(key); again != first {
+		t.Fatalf("post-reset intern = %q, want %q", again, first)
 	}
 }

@@ -1,0 +1,127 @@
+package telemetry
+
+import "math"
+
+// Detector is the online anomaly scorer the continuous-query engine
+// wires onto live series (ROADMAP: "online anomaly scores ... wire in
+// internal/telemetry's anomaly detector"): a streaming z-score over a
+// Welford mean/variance accumulator. It is deliberately boring — the
+// paper's §VII detectors run at facility scale on exactly this kind of
+// rolling statistic — and deliberately guarded: operational series are
+// routinely constant (a flatlined sensor has zero variance) or carry
+// NaN/Inf from upstream sensor glitches, and an unguarded z-score
+// divides by a zero stddev or poisons the accumulator forever.
+//
+// The zero value is ready to use. Not safe for concurrent use; callers
+// (one Detector per view group, under the view lock) serialize access.
+type Detector struct {
+	n     int64
+	mean  float64
+	m2    float64
+	skips int64 // non-finite samples ignored
+}
+
+// DetectorMaxScore caps the reported score. A fresh value diverging
+// from a zero-variance history is infinitely surprising in z-score
+// terms; reporting a large finite cap keeps downstream math (alert
+// thresholds, JSON encoding) well-defined.
+const DetectorMaxScore = 1e6
+
+// detectorMinSamples is how much history a score needs before it is
+// meaningful; below it Score reports 0 rather than reacting to noise.
+const detectorMinSamples = 3
+
+// Observe folds one sample into the running statistics. Non-finite
+// samples (NaN, ±Inf) are counted and ignored: one glitched sensor
+// reading must not poison the mean and variance for the rest of the
+// series' life.
+func (d *Detector) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		d.skips++
+		return
+	}
+	d.n++
+	delta := v - d.mean
+	d.mean += delta / float64(d.n)
+	d.m2 += delta * (v - d.mean)
+}
+
+// Score reports |z| of v against the observed history, guarded:
+//
+//   - a non-finite v scores 0 (it is a data-quality problem, not an
+//     anomaly in the measured quantity, and is separately countable
+//     via Skipped);
+//   - fewer than 3 observed samples score 0 (no meaningful baseline);
+//   - a zero-variance (constant) history scores 0 when v equals the
+//     constant and DetectorMaxScore when it deviates — the flatlined
+//     series breaking its flatline is the most anomalous thing it can
+//     do, but the score stays finite.
+//
+// Score does not fold v into the statistics; call Observe separately
+// (score-then-observe gives leave-one-out semantics per bucket).
+func (d *Detector) Score(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	if d.n < detectorMinSamples {
+		return 0
+	}
+	variance := d.m2 / float64(d.n)
+	if variance <= 0 {
+		if v == d.mean {
+			return 0
+		}
+		return DetectorMaxScore
+	}
+	z := math.Abs(v-d.mean) / math.Sqrt(variance)
+	if z > DetectorMaxScore {
+		return DetectorMaxScore
+	}
+	return z
+}
+
+// Count reports how many finite samples have been observed.
+func (d *Detector) Count() int64 { return d.n }
+
+// Skipped reports how many non-finite samples were ignored.
+func (d *Detector) Skipped() int64 { return d.skips }
+
+// Mean reports the running mean of the observed samples.
+func (d *Detector) Mean() float64 { return d.mean }
+
+// StdDev reports the running population standard deviation.
+func (d *Detector) StdDev() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	v := d.m2 / float64(d.n)
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// DetectorState is the serializable snapshot of a Detector — the
+// continuous-query checkpoint persists it so anomaly baselines survive
+// a crash. Float fields are IEEE-754 bit patterns (uint64) so the JSON
+// round trip is exact and NaN-safe.
+type DetectorState struct {
+	N     int64  `json:"n"`
+	Mean  uint64 `json:"mean"`
+	M2    uint64 `json:"m2"`
+	Skips int64  `json:"skips"`
+}
+
+// State snapshots the detector.
+func (d *Detector) State() DetectorState {
+	return DetectorState{
+		N: d.n, Mean: math.Float64bits(d.mean), M2: math.Float64bits(d.m2), Skips: d.skips,
+	}
+}
+
+// RestoreDetector rebuilds a detector from a snapshot.
+func RestoreDetector(st DetectorState) *Detector {
+	return &Detector{
+		n: st.N, mean: math.Float64frombits(st.Mean), m2: math.Float64frombits(st.M2), skips: st.Skips,
+	}
+}

@@ -321,6 +321,20 @@ func shardIndex(component, metric string) uint32 {
 	return seriesHash(component, metric) % shardCount
 }
 
+// NumStripes is the number of lock stripes (and the fixed fold order
+// width) of every DB. Exported for mirrors of the deterministic fold —
+// the continuous-query engine (internal/cq) keeps its view state in the
+// same stripe geometry so incremental reads replay Run's exact float
+// accumulation order.
+const NumStripes = shardCount
+
+// StripeFor maps a series onto its lock stripe — the same FNV-1a hash
+// the ingest and query paths use. Exported so external mirrors of the
+// fold order (internal/cq) cannot drift from the store's own striping.
+func StripeFor(component, metric string) int {
+	return int(shardIndex(component, metric))
+}
+
 // insertLocked rolls one observation into seg; the owning shard's mu
 // must be held. h is the record's seriesHash and bucketN its
 // epoch-anchored rollup bucket in nanos.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"odakit/internal/cq"
 	"odakit/internal/gateway"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
@@ -28,6 +29,11 @@ type UADashboard struct {
 	// throttle counters plus the admission queue depth, so operators see
 	// who is saturating the portal next to the job data it slows down.
 	Gateway *gateway.Gateway
+	// CQ, when set, adds a continuous-query panel: each standing view's
+	// position (generation, watermark), live cell count, watcher count,
+	// and alerts fired — the views answering dashboard refreshes without
+	// the LAKE scans counted in the footer above.
+	CQ *cq.Engine
 }
 
 // JobView is the compiled diagnostic view for one job.
@@ -69,6 +75,8 @@ type JobView struct {
 	Pipelines []sproc.PipelineStatus
 	// Gateway, when present, carries the serving layer's tenant snapshot.
 	Gateway *gateway.Snapshot
+	// CQViews, when present, carries the standing continuous queries.
+	CQViews []cq.ViewStats
 }
 
 // BuildJobView compiles the dashboard for a job id.
@@ -163,6 +171,9 @@ func (d *UADashboard) BuildJobView(jobID string, maxEvents int) (*JobView, error
 		snap := d.Gateway.Stats()
 		v.Gateway = &snap
 	}
+	if d.CQ != nil {
+		v.CQViews = d.CQ.Stats()
+	}
 	v.BuildLatency = time.Since(start)
 	return v, nil
 }
@@ -217,6 +228,21 @@ func (v *JobView) RenderText() string {
 		for _, t := range v.Gateway.Tenants {
 			fmt.Fprintf(&b, "  tenant %-12s %-11s reqs=%d throttled=%d\n",
 				t.Name, t.Priority, t.Requests, t.Throttled)
+		}
+	}
+	if len(v.CQViews) > 0 {
+		fmt.Fprintf(&b, "continuous queries: %d standing\n", len(v.CQViews))
+		for _, s := range v.CQViews {
+			name := s.Name
+			if name == "" {
+				name = s.ID
+			}
+			line := fmt.Sprintf("  cq %-12s %s/%s gen=%d cells=%d watchers=%d alerts=%d",
+				name, s.Kind, s.Window, s.Gen, s.Cells, s.Watchers, s.Alerts)
+			if !s.Watermark.IsZero() {
+				line += " wm=" + s.Watermark.Format("15:04:05")
+			}
+			b.WriteString(line + "\n")
 		}
 	}
 	return b.String()

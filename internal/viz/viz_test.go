@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"odakit/internal/cq"
 	"odakit/internal/gateway"
 	"odakit/internal/jobsched"
 	"odakit/internal/logsearch"
@@ -204,6 +205,34 @@ func TestUADashboardGatewayFooter(t *testing.T) {
 	}
 	out := v.RenderText()
 	for _, want := range []string{"gateway: 1 tenants, 0 queued", "tenant dashboards", "reqs=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUADashboardCQPanel: with a CQ engine attached, the rendered view
+// carries the continuous-query panel — view position, cells, alerts.
+func TestUADashboardCQPanel(t *testing.T) {
+	d, job := buildStack(t)
+	e := cq.NewEngine(cq.Config{RollupInterval: 15 * time.Second})
+	if _, err := e.Register(cq.Spec{Name: "power", Window: 5 * time.Minute, GroupBy: []string{"component"}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Apply("bronze.power_temp", 0, []schema.Observation{{
+		Ts: t0, System: "sys", Source: "power_temp",
+		Component: "n1", Metric: "node_power_w", Value: 100,
+	}})
+	d.CQ = e
+	v, err := d.BuildJobView(job.ID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.CQViews) != 1 || v.CQViews[0].Applied != 1 {
+		t.Fatalf("cq views = %+v", v.CQViews)
+	}
+	out := v.RenderText()
+	for _, want := range []string{"continuous queries: 1 standing", "cq power", "sliding/5m0s", "cells=1"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}

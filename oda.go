@@ -28,6 +28,7 @@ import (
 
 	"odakit/internal/archive"
 	"odakit/internal/core"
+	"odakit/internal/cq"
 	"odakit/internal/faults"
 	"odakit/internal/gateway"
 	"odakit/internal/governance"
@@ -39,6 +40,7 @@ import (
 	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/sproc"
+	"odakit/internal/stream"
 	"odakit/internal/telemetry"
 	"odakit/internal/tsdb"
 	"odakit/internal/twin"
@@ -313,3 +315,42 @@ func NewGateway(next http.Handler, opts GatewayOptions) *Gateway { return gatewa
 // RunLoad drives a handler with a simulated open/closed-loop client
 // population and reports per-tenant p50/p95/p99 and 429/503 rates.
 func RunLoad(h http.Handler, sc LoadScenario) LoadResult { return gateway.RunLoad(h, sc) }
+
+// Continuous-query re-exports: standing queries maintained incrementally
+// as records flow through STREAM, served at memory speed (no LAKE scan).
+type (
+	// CQEngine owns registered continuous-query views and fans published
+	// records out to them; reads fold the in-memory window.
+	CQEngine = cq.Engine
+	// CQSpec describes one standing query: the lake-query shape (filters,
+	// group-by, agg, granularity) plus a sliding or tumbling window and
+	// optional threshold/anomaly alerting.
+	CQSpec = cq.Spec
+	// CQAlertSpec attaches Above/Below thresholds and an online anomaly
+	// score bound (optionally over Holt-Winters forecast residuals).
+	CQAlertSpec = cq.AlertSpec
+	// CQView is one standing query's materialized state.
+	CQView = cq.View
+	// CQAlert is one fired threshold/anomaly alert.
+	CQAlert = cq.Alert
+	// CQPump drains bronze topics into a CQEngine with crash-consistent,
+	// exactly-once checkpointing (offsets + view state in one atomic file).
+	CQPump = cq.Pump
+	// CQPumpConfig wires a pump to topics and a checkpoint directory.
+	CQPumpConfig = cq.PumpConfig
+	// CQViewStats is a view's live position and counters.
+	CQViewStats = cq.ViewStats
+)
+
+// Continuous-query window kinds.
+const (
+	CQWindowSliding  = cq.WindowSliding
+	CQWindowTumbling = cq.WindowTumbling
+)
+
+// NewCQPump drains the given broker topics into a CQ engine; most
+// callers want Facility.NewCQPump, which wires the facility's bronze
+// topics automatically.
+func NewCQPump(e *CQEngine, b *stream.Broker, cfg CQPumpConfig) (*CQPump, error) {
+	return cq.NewPump(e, b, cfg)
+}
