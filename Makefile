@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-query bench-obs bench-federate bench-serve bench-cq fuzz-smoke verify clean
+.PHONY: all build vet test race chaos chaos-cluster bench bench-query bench-obs bench-federate bench-serve bench-cq bench-cluster fuzz-smoke verify clean
 
 all: verify
 
@@ -21,9 +21,10 @@ test:
 # tier-federation path (object store gets under offload, glacier recall),
 # the serving layer (gateway token buckets + priority admission,
 # httpapi handlers + prepared-query registry), and the continuous-query
-# engine (concurrent Apply/Read/Subscribe/checkpoint under a live pump).
+# engine (concurrent Apply/Read/Subscribe/checkpoint under a live pump),
+# and the replicated cluster (quorum publish, failover, scatter-gather).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi ./internal/cq
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi ./internal/cq ./internal/cluster
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -31,6 +32,14 @@ race:
 ODA_CHAOS_SEED ?= 20240601
 chaos:
 	ODA_CHAOS_SEED=$(ODA_CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos' ./internal/core -v
+
+# Cluster chaos pass: kill-a-node, kill-the-leader-mid-publish,
+# asymmetric link partition, join/leave rebalance, and CQ-pump failover
+# resume, all under the race detector with a pinned fault schedule. Each
+# scenario asserts exactly-once committed data and degraded-not-down
+# serving at every step.
+chaos-cluster:
+	ODA_CHAOS_SEED=$(ODA_CHAOS_SEED) $(GO) test -race -count=1 -run 'ChaosCluster' ./internal/cluster -v
 
 # Parallel ingest benchmarks (1/4/16 goroutines x batch 1/64/1024).
 bench:
@@ -77,6 +86,16 @@ bench-cq:
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_cq.json $(GO) test -run xxx -bench 'CQServe/read' -benchtime 1s -timeout 600s .
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_cq.json $(GO) test -run xxx -bench 'CQServe/publish' -benchtime 2000000x -timeout 600s .
 
+# Cluster deployment grid: replicated publish throughput at
+# nodes/rf = 1/1, 3/1, 3/2 (the RF=2 column prices the follower-ack
+# quorum wait), plus kill/restart failover cycles measuring
+# time-to-first-committed-publish and time-to-health-ok; rows land in
+# BENCH_cluster.json.
+bench-cluster:
+	rm -f $(CURDIR)/BENCH_cluster.json
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_cluster.json $(GO) test -run xxx -bench 'ClusterPublish' -benchtime 100000x -timeout 600s .
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_cluster.json $(GO) test -run xxx -bench 'ClusterFailover' -benchtime 20x -timeout 600s .
+
 # Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
 # (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
 fuzz-smoke:
@@ -84,7 +103,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
 	$(GO) test -run xxx -fuzz FuzzColumnarExt -fuzztime 30s ./internal/columnar
 
-verify: vet build test race chaos fuzz-smoke bench-federate bench-serve bench-cq
+verify: vet build test race chaos chaos-cluster fuzz-smoke bench-federate bench-serve bench-cq
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,15 @@
 //	odaserve -addr :8080 -cq
 //	curl localhost:8080/api/v1/cq
 //	curl -N -H 'Accept: text/event-stream' 'localhost:8080/api/v1/cq/<id>/watch?count=3'
+//
+// With -cluster-nodes the ingested window is mirrored into an N-node
+// in-process cluster (replication factor -rf): lake queries are served
+// by the replica-aware scatter-gather router (byte-identical results),
+// /healthz folds in replication health, oda_cluster_* metrics land on
+// /metrics, and a background repair loop re-replicates after failures.
+//
+//	odaserve -addr :8080 -cluster-nodes=3 -rf=2
+//	curl localhost:8080/healthz
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"odakit/internal/gateway"
 	"odakit/internal/httpapi"
 	"odakit/internal/obs"
+	"odakit/internal/tsdb"
 )
 
 func main() {
@@ -50,6 +60,8 @@ func main() {
 		withGW    = flag.Bool("gateway", false, "front the portal with the multi-tenant gateway (demo tenants)")
 		withCQ    = flag.Bool("cq", false, "register a demo continuous query and pump the bronze topics into it")
 		cqDir     = flag.String("cq-checkpoint-dir", "", "CQ pump checkpoint directory (crash-consistent restore); empty disables")
+		cnodes    = flag.Int("cluster-nodes", 0, "serve lake queries from an N-node replicated cluster; 0 disables")
+		rf        = flag.Int("rf", 2, "cluster replication factor (with -cluster-nodes)")
 	)
 	flag.Parse()
 
@@ -105,7 +117,35 @@ func main() {
 		go func() { log.Fatal(dbg.ListenAndServe()) }()
 		fmt.Printf("debug surface (pprof, /metrics, /api/v1/traces) on %s\n", *debugAddr)
 	}
-	var handler http.Handler = httpapi.New(f)
+	api := httpapi.New(f)
+	if *cnodes > 0 {
+		ids := make([]string, *cnodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("n%d", i+1)
+		}
+		c, err := oda.NewCluster(ids, oda.ClusterConfig{
+			RF: *rf, LakeOptions: tsdb.Options{RollupInterval: f.Opts.SilverWindow},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mirroring bronze into a %d-node cluster (rf=%d)...", *cnodes, *rf)
+		records, rows, err := f.MirrorToCluster(context.Background(), c, oda.SourcePowerTemp, oda.SourceGPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mirrored %d records, %d lake rows; cluster epoch %d", records, rows, c.Epoch())
+		c.Instrument(f.Obs)
+		go func() {
+			if err := c.RepairLoop(context.Background(), 2*time.Second); err != nil && err != context.Canceled {
+				log.Printf("cluster repair loop: %v", err)
+			}
+		}()
+		api.SetQueryBackend(c)
+		api.SetClusterHealth(c.Health)
+		fmt.Printf("lake queries served by the %d-node cluster; /healthz carries replication state\n", *cnodes)
+	}
+	var handler http.Handler = api
 	if *withGW {
 		g := gateway.New(handler, gateway.Options{
 			Platform: f.Apps, Registry: f.Obs, Slots: f.Lake.ScanSlotCap(),

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"odakit/internal/faults"
+	"odakit/internal/stream"
+)
+
+// publishRetry drives a publish batch to commit the way a durable
+// producer would: retry the same batch on transient errors. Keyed
+// batches are exactly-once across retries, so the committed log holds
+// each message exactly once no matter how many attempts it took.
+func publishRetry(t *testing.T, c *Cluster, topic string, msgs []stream.Message, attempts int) {
+	t.Helper()
+	var err error
+	for a := 0; a < attempts; a++ {
+		if _, err = c.PublishBatch(topic, msgs); err == nil {
+			return
+		}
+	}
+	t.Fatalf("publish did not commit after %d attempts: %v", attempts, err)
+}
+
+// expectPartition computes a keyed message's partition the way both the
+// broker and the cluster route: FNV-1a 32 over the key.
+func expectPartition(key []byte, parts int) int {
+	return int(fnv32(key) % uint32(parts))
+}
+
+// assertExactSequences fetches every partition through the cluster read
+// path and requires exactly the expected value sequence — no committed
+// record lost, none duplicated, order preserved.
+func assertExactSequences(t *testing.T, c *Cluster, topic string, want map[int][]string, where string) {
+	t.Helper()
+	parts, err := c.Partitions(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < parts; p++ {
+		recs := fetchAll(t, c, topic, p)
+		if len(recs) != len(want[p]) {
+			t.Fatalf("%s: partition %d holds %d records, want %d (committed data lost or duplicated)",
+				where, p, len(recs), len(want[p]))
+		}
+		for i, r := range recs {
+			if string(r.Value) != want[p][i] {
+				t.Fatalf("%s: partition %d record %d = %q, want %q (order or content diverged)",
+					where, p, i, r.Value, want[p][i])
+			}
+		}
+	}
+}
+
+// TestChaosClusterKillNode kills every node in turn (restart + repair
+// between) under transient replication faults: no committed record may
+// be lost or duplicated at any point, and health must degrade — not go
+// down — while a node is dead.
+func TestChaosClusterKillNode(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(seed)
+	inj.Set(OpReplicate, faults.Rates{Transient: 0.15})
+	inj.Install(c.Transport())
+
+	want := map[int][]string{}
+	next := 0
+	feed := func(batches int) {
+		for b := 0; b < batches; b++ {
+			msgs := keyedMsgs(rng, next, 16)
+			next++
+			publishRetry(t, c, topic, msgs, 100)
+			for _, m := range msgs {
+				p := expectPartition(m.Key, 4)
+				want[p] = append(want[p], string(m.Value))
+			}
+		}
+	}
+
+	feed(10)
+	assertExactSequences(t, c, topic, want, "before faults")
+	for _, victim := range []string{"n1", "n2", "n3"} {
+		if err := c.Kill(victim); err != nil {
+			t.Fatal(err)
+		}
+		if h := c.Health(); h.Status == "down" {
+			t.Fatalf("kill %s: cluster down, want degraded (%+v)", victim, h)
+		}
+		assertExactSequences(t, c, topic, want, "after kill "+victim)
+		feed(5) // the cluster keeps accepting writes while degraded
+		assertExactSequences(t, c, topic, want, "degraded writes after kill "+victim)
+		if err := c.Restart(victim); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Repair(); err != nil {
+			t.Fatalf("repair after restart %s: %v", victim, err)
+		}
+		assertExactSequences(t, c, topic, want, "after restart "+victim)
+	}
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+}
+
+// TestChaosClusterKillLeaderMidPublish crashes a partition leader in the
+// middle of a publish — after the batch is staged on the leader log but
+// before replication completes — via a transport hook that marks the
+// leader dead on its next replication attempt. The producer's retry must
+// converge on exactly one copy of every message: the staged-batch
+// fingerprint dedupes the retry, and the failover re-appends only the
+// suffix the promoted follower was missing.
+func TestChaosClusterKillLeaderMidPublish(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	var armed atomic.Bool
+	var killed atomic.Value // string: the leader the hook crashed
+	c.Transport().SetFaultHook(func(op, target string) error {
+		if op != OpReplicate || !armed.Load() {
+			return nil
+		}
+		if !armed.CompareAndSwap(true, false) {
+			return nil
+		}
+		// target is "leader>follower": crash the leader mid-commit. The
+		// alive flag flips directly because c.Kill would self-deadlock on
+		// the partition lock the publish path holds around this hook.
+		var leader string
+		for i := range target {
+			if target[i] == '>' {
+				leader = target[:i]
+				break
+			}
+		}
+		if n := c.node(leader); n != nil {
+			n.alive.Store(false)
+			killed.Store(leader)
+		}
+		return &faults.InjectedError{Op: op, Target: target}
+	})
+
+	want := map[int][]string{}
+	next := 0
+	feed := func(batches int) {
+		for b := 0; b < batches; b++ {
+			msgs := keyedMsgs(rng, next, 16)
+			next++
+			publishRetry(t, c, topic, msgs, 100)
+			for _, m := range msgs {
+				p := expectPartition(m.Key, 4)
+				want[p] = append(want[p], string(m.Value))
+			}
+		}
+	}
+
+	feed(10)
+	armed.Store(true)
+	feed(10) // one of these publishes loses its leader mid-commit
+	if killed.Load() == nil {
+		t.Fatal("chaos hook never fired: no replication call while armed")
+	}
+	victim := killed.Load().(string)
+	if c.node(victim).Alive() {
+		t.Fatalf("victim %s still alive", victim)
+	}
+	if h := c.Health(); h.Status == "down" {
+		t.Fatalf("cluster down after leader crash, want degraded (%+v)", h)
+	}
+	assertExactSequences(t, c, topic, want, "after leader crash")
+	feed(5)
+	assertExactSequences(t, c, topic, want, "degraded writes")
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactSequences(t, c, topic, want, "after recovery")
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+}
+
+// TestChaosClusterAsymmetricPartition blocks exactly one direction of a
+// leader→follower link. With Quorum = RF = 2 the partitioned publish
+// must refuse to commit (ErrQuorumLost) rather than diverge, committed
+// data must stay readable, failover must NOT trigger (the node is alive;
+// promoting would risk split-brain), and healing the link must let the
+// same batch commit exactly once.
+func TestChaosClusterAsymmetricPartition(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int][]string{}
+	record := func(msgs []stream.Message) {
+		for _, m := range msgs {
+			want[0] = append(want[0], string(m.Value))
+		}
+	}
+	pre := keyedMsgs(rng, 0, 16)
+	publishRetry(t, c, topic, pre, 10)
+	record(pre)
+
+	tp, err := c.topic(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := tp.parts[0]
+	ps.mu.Lock()
+	leader, followers, epoch := ps.leader, append([]string(nil), ps.followers...), ps.epoch
+	ps.mu.Unlock()
+	if len(followers) == 0 {
+		t.Fatal("partition has no follower at RF=2")
+	}
+	follower := followers[0]
+
+	// Block only leader→follower; the reverse direction stays up.
+	c.Transport().PartitionLink(leader, follower)
+
+	blocked := keyedMsgs(rng, 1, 8)
+	if _, err := c.PublishBatch(topic, blocked); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("publish across partition = %v, want ErrQuorumLost", err)
+	}
+	// Committed prefix still serves; the staged batch is invisible.
+	assertExactSequences(t, c, topic, want, "during partition")
+	ps.mu.Lock()
+	sameLeader, sameEpoch := ps.leader == leader, ps.epoch == epoch
+	ps.mu.Unlock()
+	if !sameLeader || !sameEpoch {
+		t.Fatal("asymmetric partition triggered a failover; only crashes may")
+	}
+	if h := c.Health(); h.Status == "down" {
+		t.Fatalf("health = down during link partition (%+v)", h)
+	}
+
+	c.Transport().HealLink(leader, follower)
+	publishRetry(t, c, topic, blocked, 10) // same batch: dedupe must apply
+	record(blocked)
+	assertExactSequences(t, c, topic, want, "after heal")
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+}
+
+// TestChaosClusterJoinLeaveRebalance grows the cluster by one node and
+// then drains one of the founders, under transient faults on every
+// cluster operation. Placement converges (health ok, full RF) and the
+// committed log and every record stay exactly-once through both
+// rebalances.
+func TestChaosClusterJoinLeaveRebalance(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(seed)
+	inj.Set(OpReplicate, faults.Rates{Transient: 0.1})
+	inj.Set(OpResync, faults.Rates{Transient: 0.1})
+	inj.Install(c.Transport())
+
+	want := map[int][]string{}
+	next := 0
+	feed := func(batches int) {
+		for b := 0; b < batches; b++ {
+			msgs := keyedMsgs(rng, next, 16)
+			next++
+			publishRetry(t, c, topic, msgs, 100)
+			for _, m := range msgs {
+				p := expectPartition(m.Key, 4)
+				want[p] = append(want[p], string(m.Value))
+			}
+		}
+	}
+
+	feed(10)
+	if err := c.AddNode("n4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(); err != nil {
+		t.Fatalf("repair after join: %v", err)
+	}
+	assertExactSequences(t, c, topic, want, "after join")
+	feed(5)
+	if err := c.RemoveNode("n1"); err != nil {
+		t.Fatalf("drain n1: %v", err)
+	}
+	for _, id := range c.Nodes() {
+		if id == "n1" {
+			t.Fatal("n1 still a member after drain")
+		}
+	}
+	assertExactSequences(t, c, topic, want, "after drain")
+	feed(5)
+	assertExactSequences(t, c, topic, want, "after post-drain writes")
+	if err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+	// No partition or stripe may still reference the drained node.
+	for _, tp := range c.topicList() {
+		for _, ps := range tp.parts {
+			ps.mu.Lock()
+			leader, flws := ps.leader, append([]string(nil), ps.followers...)
+			ps.mu.Unlock()
+			if leader == "n1" {
+				t.Fatalf("partition %d still led by drained node", ps.idx)
+			}
+			for _, f := range flws {
+				if f == "n1" {
+					t.Fatalf("partition %d still follows on drained node", ps.idx)
+				}
+			}
+		}
+	}
+
+	sum := fmt.Sprintf("%v", inj.Stats())
+	t.Logf("fault stats: %s", sum)
+}

@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"odakit/internal/resilience"
+	"odakit/internal/schema"
+	"odakit/internal/tsdb"
+)
+
+// InsertBatch replicates a batch of observations into the LAKE: each
+// observation's stripe (tsdb.StripeFor, the engine's own placement) is
+// applied to every in-sync replica of that stripe. A per-stripe cluster
+// mutex serializes writers, so every replica ingests a stripe's
+// observations in one global order — which is why any replica can answer
+// a stripe scan byte-identically.
+//
+// A replica that fails an insert after retries is marked out-of-sync and
+// dropped from the stripe's serving set (Repair resyncs it from a
+// healthy peer); the batch succeeds as long as one replica per touched
+// stripe applied it. Do not retry a batch whose error names a down
+// stripe — the surviving stripes already applied it.
+func (c *Cluster) InsertBatch(obs []schema.Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	byStripe := make(map[int][]schema.Observation)
+	for _, o := range obs {
+		s := tsdb.StripeFor(o.Component, o.Metric)
+		byStripe[s] = append(byStripe[s], o)
+	}
+	stripes := make([]int, 0, len(byStripe))
+	for s := range byStripe {
+		stripes = append(stripes, s)
+	}
+	sort.Ints(stripes)
+	var firstErr error
+	for _, s := range stripes {
+		if err := c.insertStripe(s, byStripe[s]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// insertStripe applies one stripe's sub-batch to every in-sync replica.
+func (c *Cluster) insertStripe(s int, sub []schema.Observation) error {
+	c.stripeMu[s].Lock()
+	defer c.stripeMu[s].Unlock()
+	targets := c.stripeServers(s, true)
+	if len(targets) == 0 {
+		return fmt.Errorf("%w: %d", ErrStripeDown, s)
+	}
+	applied := 0
+	for _, id := range targets {
+		n := c.node(id)
+		if n == nil || !n.Alive() {
+			c.markStripeUnsynced(s, id)
+			continue
+		}
+		err := resilience.Retry(context.Background(), c.cfg.Retry, func() error {
+			if err := c.transport.call(OpInsert, routerID, id); err != nil {
+				return err
+			}
+			// tsdb's fault hook runs before any stripe mutates, so a
+			// failed attempt applied nothing and the retry is safe.
+			return n.Lake().InsertBatch(sub)
+		})
+		if err != nil {
+			// The replica may or may not hold this batch now — either
+			// way it can no longer be trusted to match its peers.
+			c.markStripeUnsynced(s, id)
+			continue
+		}
+		applied++
+	}
+	if applied == 0 {
+		return fmt.Errorf("%w: %d (all replicas failed the insert)", ErrStripeDown, s)
+	}
+	return nil
+}
+
+// stripeServers returns stripe s's in-sync replica set, sorted;
+// aliveOnly filters to live nodes.
+func (c *Cluster) stripeServers(s int, aliveOnly bool) []string {
+	c.lmu.Lock()
+	ids := make([]string, 0, len(c.servers[s]))
+	for id := range c.servers[s] {
+		ids = append(ids, id)
+	}
+	c.lmu.Unlock()
+	sort.Strings(ids)
+	if !aliveOnly {
+		return ids
+	}
+	live := ids[:0]
+	for _, id := range ids {
+		if n := c.node(id); n != nil && n.Alive() {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+func (c *Cluster) markStripeUnsynced(s int, id string) {
+	c.lmu.Lock()
+	delete(c.servers[s], id)
+	c.lmu.Unlock()
+}
+
+// RunWithStats executes a query scatter-gather: every stripe is scanned
+// on one live in-sync replica (stripes grouped per node, nodes scanned
+// concurrently), and the per-stripe partials fold back together in
+// ascending stripe order — tsdb.MergeStripePartials replays Run's exact
+// float accumulation order, so the merged frame is byte-identical to a
+// single node running the same query.
+func (c *Cluster) RunWithStats(q tsdb.Query) (*schema.Frame, tsdb.QueryStats, error) {
+	t0 := time.Now()
+	var st tsdb.QueryStats
+	parts, owners, err := c.scatter(q)
+	if err != nil {
+		return nil, st, err
+	}
+	frame, err := tsdb.MergeStripePartials(q, parts)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Workers = owners
+	for _, sp := range parts {
+		st.SegmentsScanned += sp.Stats.SegmentsScanned
+		st.SegmentsPruned += sp.Stats.SegmentsPruned
+		st.CellsScanned += sp.Stats.CellsScanned
+		st.CellsMatched += sp.Stats.CellsMatched
+	}
+	st.TotalWall = time.Since(t0)
+	return frame, st, nil
+}
+
+// Run executes a query across the cluster. See RunWithStats.
+func (c *Cluster) Run(q tsdb.Query) (*schema.Frame, error) {
+	f, _, err := c.RunWithStats(q)
+	return f, err
+}
+
+// scatter fans the query's stripe scans across the owning nodes and
+// returns the partials in ascending stripe order plus the node fan-out.
+func (c *Cluster) scatter(q tsdb.Query) ([]*tsdb.StripePartial, int, error) {
+	// Pick each stripe's scan owner: the smallest live in-sync replica,
+	// deterministic so repeated queries hit warm nodes.
+	byNode := make(map[string][]int)
+	for s := 0; s < tsdb.NumStripes; s++ {
+		live := c.stripeServers(s, true)
+		if len(live) == 0 {
+			return nil, 0, fmt.Errorf("%w: %d", ErrStripeDown, s)
+		}
+		byNode[live[0]] = append(byNode[live[0]], s)
+	}
+	parts := make([]*tsdb.StripePartial, tsdb.NumStripes)
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(byNode))
+	var emu sync.Mutex
+	for id, stripes := range byNode {
+		wg.Add(1)
+		go func(id string, stripes []int) {
+			defer wg.Done()
+			n := c.node(id)
+			for _, s := range stripes {
+				if n == nil || !n.Alive() {
+					emu.Lock()
+					errs = append(errs, &nodeDownError{id: id})
+					emu.Unlock()
+					return
+				}
+				var sp *tsdb.StripePartial
+				err := resilience.Retry(context.Background(), c.cfg.Retry, func() error {
+					if err := c.transport.call(OpQuery, routerID, id); err != nil {
+						return err
+					}
+					var serr error
+					sp, serr = n.Lake().StripePartial(q, s)
+					return serr
+				})
+				if err != nil {
+					emu.Lock()
+					errs = append(errs, err)
+					emu.Unlock()
+					return
+				}
+				parts[s] = sp
+			}
+		}(id, stripes)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, 0, errs[0]
+	}
+	return parts, len(byNode), nil
+}
+
+// TopN ranks a dimension's values across the cluster, byte-identical to
+// a single node's tsdb.TopN: the scatter-gather merge yields the same
+// per-value aggregates, and the ordering (value descending, dimension
+// ascending on ties) is total, so ranks cannot be perturbed by where
+// stripes were scanned.
+func (c *Cluster) TopN(q tsdb.Query, dim string, n int) ([]tsdb.TopNEntry, error) {
+	q.GroupBy = []string{dim}
+	q.Granularity = 0
+	parts, _, err := c.scatter(q)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := tsdb.MergeStripePartials(q, parts)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]tsdb.TopNEntry, 0, frame.Len())
+	for i := 0; i < frame.Len(); i++ {
+		r := frame.Row(i)
+		entries = append(entries, tsdb.TopNEntry{Dim: r[1].StrVal(), Value: r[2].FloatVal()})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		return entries[i].Dim < entries[j].Dim
+	})
+	if n > 0 && len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries, nil
+}
+
+// Repair restores full replication after failures and membership
+// changes: every partition re-replicates its committed suffix out to a
+// refreshed follower set (and hands leadership back to ring owners),
+// and every under-replicated lake stripe is resynced onto its desired
+// owners from a healthy replica. It is idempotent and safe to run on a
+// schedule (see RepairLoop); the bench's failover time-to-recovery is
+// Kill → first Repair after which Health reports ok.
+func (c *Cluster) Repair() error {
+	var firstErr error
+	for _, t := range c.topicList() {
+		for _, ps := range t.parts {
+			if err := c.repairPartition(t, ps); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := c.repairLake(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// repairPartition refreshes one partition's replica set: ensure a live
+// leader, rebuild followers from ring preference (restarted nodes
+// re-enter here), catch every follower up, and once the ring's primary
+// owner is fully caught up hand leadership back to it so placement
+// converges after membership changes.
+func (c *Cluster) repairPartition(t *topicState, ps *partitionState) error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if err := c.ensureLeaderLocked(t, ps); err != nil {
+		return err
+	}
+	c.refreshFollowersLocked(ps)
+	if err := c.commitSuffixLocked(t, ps); err != nil {
+		return err
+	}
+	pref := c.preference(partitionKey(ps.topic, ps.idx))
+	if len(pref) == 0 {
+		return nil
+	}
+	primary := ""
+	for _, id := range pref {
+		if n := c.node(id); n != nil && n.Alive() {
+			primary = id
+			break
+		}
+	}
+	if primary == "" || primary == ps.leader {
+		return nil
+	}
+	// The primary is among the freshly-synced followers (refresh puts
+	// live preference holders first), so after a successful commit pass
+	// its log holds the full committed prefix: transfer is safe.
+	if end, err := c.node(primary).Broker.EndOffset(t.name, ps.idx); err == nil && end >= ps.hw {
+		ps.leader = primary
+		ps.epoch++
+		c.refreshFollowersLocked(ps)
+	}
+	return nil
+}
+
+// repairLake converges every stripe's replica set toward its ring
+// placement: missing desired replicas are resynced (drop + ordered
+// re-import) from a live in-sync peer, then stragglers beyond RF are
+// trimmed. The stripe's write mutex is held across each copy so no
+// insert interleaves with the snapshot.
+func (c *Cluster) repairLake() error {
+	var firstErr error
+	for s := 0; s < tsdb.NumStripes; s++ {
+		if err := c.repairStripe(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (c *Cluster) repairStripe(s int) error {
+	c.stripeMu[s].Lock()
+	defer c.stripeMu[s].Unlock()
+	live := c.stripeServers(s, true)
+	desired := make([]string, 0, c.cfg.RF)
+	for _, id := range c.stripePreference(s) {
+		if len(desired) >= c.cfg.RF {
+			break
+		}
+		if n := c.node(id); n != nil && n.Alive() {
+			desired = append(desired, id)
+		}
+	}
+	if len(live) == 0 {
+		// Every in-sync replica is gone; the stripe's data is lost with
+		// them (or was empty). If no replica at all remains — not even a
+		// dead one that might restart with nothing — seed the desired
+		// owners as empty-but-in-sync so ingest can resume.
+		if len(c.stripeServers(s, false)) == 0 {
+			c.lmu.Lock()
+			for _, id := range desired {
+				c.servers[s][id] = true
+			}
+			c.lmu.Unlock()
+			return nil
+		}
+		return fmt.Errorf("%w: %d", ErrStripeDown, s)
+	}
+	src := live[0]
+	have := make(map[string]bool, len(live))
+	for _, id := range live {
+		have[id] = true
+	}
+	for _, id := range desired {
+		if have[id] {
+			continue
+		}
+		if err := c.resyncStripe(s, src, id); err != nil {
+			return err
+		}
+		have[id] = true
+	}
+	// Trim replicas outside the desired set once it is full, so leave/
+	// join rebalances converge instead of accumulating copies.
+	if len(desired) >= c.cfg.RF {
+		want := make(map[string]bool, len(desired))
+		for _, id := range desired {
+			want[id] = true
+		}
+		for _, id := range c.stripeServers(s, false) {
+			if want[id] {
+				continue
+			}
+			c.markStripeUnsynced(s, id)
+			if n := c.node(id); n != nil && n.Alive() {
+				_ = n.Lake().DropStripes([]int{s})
+			}
+		}
+	}
+	return nil
+}
+
+// resyncStripe copies stripe s from src onto tgt: drop whatever tgt
+// holds, then import src's order-preserving export. Caller holds
+// stripeMu[s], so the copy is atomic with respect to inserts.
+func (c *Cluster) resyncStripe(s int, src, tgt string) error {
+	sn, tn := c.node(src), c.node(tgt)
+	if sn == nil || !sn.Alive() {
+		return &nodeDownError{id: src}
+	}
+	if tn == nil || !tn.Alive() {
+		return &nodeDownError{id: tgt}
+	}
+	return resilience.Retry(context.Background(), c.cfg.Retry, func() error {
+		if err := c.transport.call(OpResync, src, tgt); err != nil {
+			return err
+		}
+		frame, err := sn.Lake().ExportStripes([]int{s})
+		if err != nil {
+			return err
+		}
+		if err := tn.Lake().DropStripes([]int{s}); err != nil {
+			return err
+		}
+		if err := tn.Lake().ImportRollups(frame); err != nil {
+			return err
+		}
+		c.lmu.Lock()
+		c.servers[s][tgt] = true
+		c.lmu.Unlock()
+		c.lakeResyncs.Add(1)
+		return nil
+	})
+}
+
+// RepairLoop runs Repair on a cadence under a resilience supervisor
+// until ctx ends — the background re-replication daemon. The supervisor
+// restarts the loop if a repair pass panics; its damping window uses the
+// cluster clock, so failover tests can fast-forward instead of sleeping.
+func (c *Cluster) RepairLoop(ctx context.Context, every time.Duration) error {
+	if every <= 0 {
+		every = time.Second
+	}
+	sup := resilience.NewSupervisor(resilience.SupervisorConfig{
+		Name:  "cluster-repair",
+		Clock: c.cfg.Clock,
+	})
+	return sup.Run(ctx, func(ctx context.Context) error {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick.C:
+				_ = c.Repair() // degraded partitions/stripes retry next tick
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"strconv"
+
+	"odakit/internal/obs"
+	"odakit/internal/tsdb"
+)
+
+// Instrument registers the oda_cluster_* metric family with an obs
+// registry. Everything the cluster already tracks under its own locks —
+// membership, per-partition replication state, stripe replica sets, the
+// failure counters — is exposed by a scrape-time collector, so the
+// publish/replicate hot paths gain zero instructions.
+func (c *Cluster) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		h := c.Health()
+		emit(obs.Sample{Name: "oda_cluster_nodes", Kind: obs.KindGauge,
+			Help: "Cluster members.", Value: float64(h.NodesTotal)})
+		emit(obs.Sample{Name: "oda_cluster_nodes_alive", Kind: obs.KindGauge,
+			Help: "Cluster members currently alive.", Value: float64(h.NodesAlive)})
+		emit(obs.Sample{Name: "oda_cluster_epoch", Kind: obs.KindGauge,
+			Help: "Membership epoch (bumps on kill/restart/join/leave).", Value: float64(h.Epoch)})
+		emit(obs.Sample{Name: "oda_cluster_failovers_total", Kind: obs.KindCounter,
+			Help: "Partition leader failovers.", Value: float64(h.Failovers)})
+		emit(obs.Sample{Name: "oda_cluster_rebalances_total", Kind: obs.KindCounter,
+			Help: "Membership rebalances (joins and leaves).", Value: float64(h.Rebalances)})
+		emit(obs.Sample{Name: "oda_cluster_lake_resyncs_total", Kind: obs.KindCounter,
+			Help: "Lake stripe re-replications completed.", Value: float64(h.LakeResyncs)})
+		emit(obs.Sample{Name: "oda_cluster_quorum_failures_total", Kind: obs.KindCounter,
+			Help: "Publishes that missed the commit quorum.", Value: float64(h.QuorumFailures)})
+		emit(obs.Sample{Name: "oda_cluster_committed_batches_total", Kind: obs.KindCounter,
+			Help: "Publish batches committed at quorum.", Value: float64(c.committed.Load())})
+		emit(obs.Sample{Name: "oda_cluster_replicated_records_total", Kind: obs.KindCounter,
+			Help: "Records shipped leader to follower.", Value: float64(c.replicated.Load())})
+		emit(obs.Sample{Name: "oda_cluster_truncated_records_total", Kind: obs.KindCounter,
+			Help: "Committed records lost to beyond-quorum failures.", Value: float64(h.TruncatedHW)})
+		emit(obs.Sample{Name: "oda_cluster_under_replicated_partitions", Kind: obs.KindGauge,
+			Help: "Partitions below full replication (still serving).", Value: float64(h.UnderReplicatedPartitions)})
+		emit(obs.Sample{Name: "oda_cluster_leaderless_partitions", Kind: obs.KindGauge,
+			Help: "Partitions with no live replica (not serving).", Value: float64(h.LeaderlessPartitions)})
+		emit(obs.Sample{Name: "oda_cluster_under_replicated_stripes", Kind: obs.KindGauge,
+			Help: "Lake stripes below full replication (still serving).", Value: float64(h.UnderReplicatedStripes)})
+		emit(obs.Sample{Name: "oda_cluster_down_stripes", Kind: obs.KindGauge,
+			Help: "Lake stripes with no live in-sync replica.", Value: float64(h.DownStripes)})
+		calls, dropped := c.transport.Stats()
+		emit(obs.Sample{Name: "oda_cluster_transport_calls_total", Kind: obs.KindCounter,
+			Help: "Inter-node transport messages attempted.", Value: float64(calls)})
+		emit(obs.Sample{Name: "oda_cluster_transport_dropped_total", Kind: obs.KindCounter,
+			Help: "Inter-node messages dropped by faults or partitions.", Value: float64(dropped)})
+
+		// Per-partition replication lag: how far each live follower's
+		// replicated end trails the committed high watermark.
+		for _, t := range c.topicList() {
+			for _, ps := range t.parts {
+				ps.mu.Lock()
+				hw := ps.hw
+				lag := int64(0)
+				for _, f := range ps.followers {
+					n := c.node(f)
+					if n == nil || !n.Alive() {
+						continue
+					}
+					if d := hw - ps.acked[f]; d > lag {
+						lag = d
+					}
+				}
+				idx := ps.idx
+				ps.mu.Unlock()
+				l := obs.Labels("topic", t.name, "partition", strconv.Itoa(idx))
+				emit(obs.Sample{Name: "oda_cluster_replication_lag_records" + l,
+					Kind: obs.KindGauge, Family: "oda_cluster_replication_lag_records",
+					Help:  "Worst live-follower lag behind the high watermark, in records.",
+					Value: float64(lag)})
+			}
+		}
+
+		// Stripe replica population, summarized to one gauge per count so
+		// the exposition stays O(RF) not O(stripes).
+		counts := make(map[int]int)
+		for s := 0; s < tsdb.NumStripes; s++ {
+			counts[len(c.stripeServers(s, true))]++
+		}
+		for replicas := 0; replicas <= c.cfg.RF; replicas++ {
+			n, ok := counts[replicas]
+			if !ok && replicas != c.cfg.RF {
+				continue
+			}
+			l := obs.Labels("replicas", strconv.Itoa(replicas))
+			emit(obs.Sample{Name: "oda_cluster_stripe_replicas" + l,
+				Kind: obs.KindGauge, Family: "oda_cluster_stripe_replicas",
+				Help:  "Lake stripes by live in-sync replica count.",
+				Value: float64(n)})
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"odakit/internal/stream"
+	"odakit/internal/tsdb"
+)
+
+// Node is one cluster member: its own broker (STREAM replica logs) and
+// its own tsdb store (LAKE stripe replicas). Nodes are in-process;
+// Kill/Restart simulate a crash — a restarted node comes back empty and
+// re-replicates, exactly like a storage server that lost its memory-
+// resident hot tier.
+type Node struct {
+	ID     string
+	Broker *stream.Broker
+
+	lake  atomic.Pointer[tsdb.DB]
+	alive atomic.Bool
+}
+
+func newNode(id string, lakeOpts tsdb.Options) *Node {
+	n := &Node{ID: id, Broker: stream.NewBroker()}
+	n.lake.Store(tsdb.New(lakeOpts))
+	n.alive.Store(true)
+	return n
+}
+
+// Lake returns the node's current tsdb store. The pointer is swapped
+// wholesale on Restart (crash loses the hot tier), so callers grab it
+// once per operation rather than caching it.
+func (n *Node) Lake() *tsdb.DB { return n.lake.Load() }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// resetLake replaces the store with an empty one (crash-restart wipe).
+func (n *Node) resetLake(opts tsdb.Options) { n.lake.Store(tsdb.New(opts)) }

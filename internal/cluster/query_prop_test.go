@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"odakit/internal/schema"
+	"odakit/internal/tsdb"
+)
+
+var dimNames = []string{tsdb.DimSystem, tsdb.DimSource, tsdb.DimComponent, tsdb.DimMetric}
+
+// randomQuery mirrors the tsdb property-test generator: random window,
+// granularity, aggregation, group-by subset, and filters mixing known,
+// unknown, and empty value lists.
+func randomQuery(rng *rand.Rand) tsdb.Query {
+	from := base.Add(time.Duration(rng.Intn(40)-5) * time.Minute)
+	q := tsdb.Query{
+		From: from,
+		To:   from.Add(time.Duration(1+rng.Intn(40*60)) * time.Second),
+		Agg:  tsdb.AggKind(rng.Intn(6)),
+	}
+	q.Granularity = []time.Duration{0, 15 * time.Second, time.Minute, 7 * time.Minute}[rng.Intn(4)]
+	dims := append([]string(nil), dimNames...)
+	rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+	q.GroupBy = dims[:rng.Intn(len(dims)+1)]
+	q.Filters = map[string][]string{}
+	known := map[string][]string{
+		tsdb.DimSystem:    {"sys0", "sys1"},
+		tsdb.DimSource:    {"src0", "src1"},
+		tsdb.DimComponent: {"node00000", "node00003", "node00007"},
+		tsdb.DimMetric:    {"node_power_w", "cpu_temp_c"},
+	}
+	for _, d := range dimNames {
+		switch rng.Intn(5) {
+		case 0:
+			vals := known[d]
+			q.Filters[d] = []string{vals[rng.Intn(len(vals))]}
+		case 1:
+			vals := append([]string(nil), known[d]...)
+			if rng.Intn(2) == 0 {
+				vals = append(vals, "ghost")
+			}
+			rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			q.Filters[d] = vals[:1+rng.Intn(len(vals))]
+		case 2:
+			if rng.Intn(4) == 0 {
+				q.Filters[d] = []string{}
+			}
+		}
+	}
+	if len(q.Filters) == 0 {
+		q.Filters = nil
+	}
+	return q
+}
+
+// insertBoth feeds the same observations to the reference store and the
+// cluster; both must accept (a cluster insert failure here is a test
+// failure, not a tolerated fault).
+func insertBoth(t *testing.T, ref *tsdb.DB, c *Cluster, obs []schema.Observation) {
+	t.Helper()
+	if err := ref.InsertBatch(obs); err != nil {
+		t.Fatalf("reference insert: %v", err)
+	}
+	if err := c.InsertBatch(obs); err != nil {
+		t.Fatalf("cluster insert: %v", err)
+	}
+}
+
+// assertQueriesMatch runs n random queries against the cluster's
+// scatter-gather router and the single-node reference, requiring
+// byte-identical frames (same rows, same order, same float bits).
+func assertQueriesMatch(t *testing.T, ref *tsdb.DB, c *Cluster, rng *rand.Rand, n int, epoch string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		q := randomQuery(rng)
+		want, err := ref.Run(q)
+		if err != nil {
+			t.Fatalf("%s query %d: reference: %v", epoch, i, err)
+		}
+		got, err := c.Run(q)
+		if err != nil {
+			t.Fatalf("%s query %d: cluster: %v", epoch, i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s query %d: clustered result diverges from single-node\nquery: %+v\nwant: %v\ngot: %v",
+				epoch, i, q, want.Rows(), got.Rows())
+		}
+	}
+}
+
+// TestClusterQueryByteIdentityAcrossEpochs is the tentpole's correctness
+// property: at every membership epoch — initial, node killed, repaired,
+// restarted, node joined, node drained out — the scatter-gather router
+// answers randomized queries byte-identically to a single-node store
+// holding the same data. Fresh data lands between epochs so each
+// assertion also covers post-event ingest.
+func TestClusterQueryByteIdentityAcrossEpochs(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	ref := tsdb.New(lakeOpts())
+	c := testCluster(t, 3, 2)
+
+	feed := func(n int) {
+		batch := make([]schema.Observation, n)
+		for i := range batch {
+			batch[i] = seedObs(rng, rng.Intn(1<<20))
+		}
+		insertBoth(t, ref, c, batch)
+	}
+	step := func(name string, ev func() error) {
+		t.Helper()
+		if err := ev(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		feed(400)
+		assertQueriesMatch(t, ref, c, rng, 60, fmt.Sprintf("%s(epoch %d)", name, c.Epoch()))
+		if h := c.Health(); h.Status == "down" {
+			t.Fatalf("%s: cluster reports down (%+v)", name, h)
+		}
+	}
+
+	step("initial", func() error { return nil })
+	step("kill n2", func() error { return c.Kill("n2") })
+	step("repair", c.Repair)
+	step("restart n2", func() error {
+		if err := c.Restart("n2"); err != nil {
+			return err
+		}
+		return c.Repair()
+	})
+	step("join n4", func() error {
+		if err := c.AddNode("n4"); err != nil {
+			return err
+		}
+		return c.Repair()
+	})
+	step("drain n1", func() error { return c.RemoveNode("n1") })
+	step("final repair", c.Repair)
+
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s, want ok (%+v)", h.Status, h)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+
+	"odakit/internal/obs"
+	"odakit/internal/schema"
+	"odakit/internal/stream"
+	"odakit/internal/telemetry"
+)
+
+// ClusterSink is the replicated ingest surface of an N-node deployment
+// (implemented by *cluster.Cluster). core depends only on this slice of
+// it, so the facility stays buildable without the cluster package and
+// tests can substitute a recording fake.
+type ClusterSink interface {
+	// EnsureTopic creates a replicated topic when absent; an existing
+	// topic is a no-op (stream.Broker.EnsureTopic semantics).
+	EnsureTopic(name string, cfg stream.TopicConfig) error
+	// PublishBatch appends a batch with replication-quorum durability.
+	// Keyed batches must be exactly-once across retries of the same
+	// batch, which is what lets MirrorToCluster retry safely.
+	PublishBatch(topic string, msgs []stream.Message) (int, error)
+	// InsertBatch fans rows out to the replicated LAKE stripes.
+	InsertBatch(obs []schema.Observation) error
+}
+
+// MirrorToCluster replays the facility's retained bronze topics into a
+// cluster: topics are created with matching partition counts, every
+// retained record is re-published under its original key (bronze records
+// are keyed by component and both sides route keys with the same FNV-1a
+// hash, so partition assignment is preserved), and the decoded rows fan
+// out to the replicated LAKE. Poison records are skipped, not
+// quarantined again — ReplayBronzeToLake owns the DLQ. All cluster
+// writes retry under the facility policy; keyed publish retries dedupe
+// on the cluster side, so a transient fault never duplicates a record.
+// Returns records mirrored into the replicated STREAM and rows inserted
+// into the replicated LAKE.
+func (f *Facility) MirrorToCluster(ctx context.Context, sink ClusterSink, sources ...telemetry.Source) (records, rows int64, err error) {
+	if len(sources) == 0 {
+		sources = telemetry.MetricSources
+	}
+	ctx, sp := obs.StartSpan(ctx, "cluster.mirror")
+	defer sp.End()
+	defer func() {
+		sp.Annotate("records", "%d", records)
+		sp.Annotate("rows", "%d", rows)
+	}()
+	msgs := make([]stream.Message, 0, f.Opts.IngestBatch)
+	batch := make([]schema.Observation, 0, f.Opts.IngestBatch)
+	for _, src := range sources {
+		topic := BronzeTopic(src)
+		parts, err := f.Broker.Partitions(topic)
+		if err != nil {
+			return records, rows, err
+		}
+		if err := sink.EnsureTopic(topic, stream.TopicConfig{
+			Partitions: parts, RetentionBytes: f.Opts.StreamRetentionBytes,
+		}); err != nil {
+			return records, rows, err
+		}
+		st, err := f.Broker.Stats(topic)
+		if err != nil {
+			return records, rows, err
+		}
+		for p := 0; p < parts; p++ {
+			off, end := st.OldestOffsets[p], st.EndOffsets[p]
+			for off < end {
+				recs, err := f.fetchRetry(ctx, topic, p, off, f.Opts.IngestBatch)
+				if err != nil {
+					return records, rows, err
+				}
+				if len(recs) == 0 {
+					break
+				}
+				msgs, batch = msgs[:0], batch[:0]
+				for _, r := range recs {
+					msgs = append(msgs, stream.Message{Key: r.Key, Value: r.Value})
+					row, _, derr := schema.DecodeRow(r.Value)
+					if derr == nil {
+						derr = row.Conforms(schema.ObservationSchema)
+					}
+					if derr != nil {
+						continue
+					}
+					batch = append(batch, schema.ObservationFromRow(row))
+				}
+				if err := f.retry(ctx, "cluster publish "+topic, func() error {
+					_, perr := sink.PublishBatch(topic, msgs)
+					return perr
+				}); err != nil {
+					return records, rows, err
+				}
+				records += int64(len(msgs))
+				if len(batch) > 0 {
+					if err := f.retry(ctx, "cluster insert", func() error {
+						return sink.InsertBatch(batch)
+					}); err != nil {
+						return records, rows, err
+					}
+					rows += int64(len(batch))
+				}
+				off = recs[len(recs)-1].Offset + 1
+			}
+		}
+	}
+	return records, rows, nil
+}

@@ -11,18 +11,36 @@ import (
 	"time"
 
 	"odakit/internal/atomicfile"
+	"odakit/internal/resilience"
 	"odakit/internal/schema"
 	"odakit/internal/stream"
 )
 
-// PumpConfig wires a Pump to the broker.
+// Source is where a Pump reads bronze records from: a single broker or
+// the cluster's replicated read path — anything exposing non-blocking
+// partition reads with offset semantics matching stream.Broker. The
+// cluster's EndOffset is its quorum-committed high watermark, so a pump
+// on a cluster only ever sees records that survive any single-node
+// failover: resuming from a checkpoint on a promoted leader can neither
+// duplicate nor lose applies.
+type Source interface {
+	Partitions(topic string) (int, error)
+	FetchNoWait(topic string, partition int, offset int64, max int) ([]stream.Record, error)
+	EndOffset(topic string, partition int) (int64, error)
+	OldestOffset(topic string, partition int) (int64, error)
+}
+
+var _ Source = (*stream.Broker)(nil)
+
+// PumpConfig wires a Pump to its source.
 type PumpConfig struct {
 	// Name names the checkpoint file (default "cq").
 	Name string
 	// Topics are the bronze topics to drain. Fold order is topic-name
 	// ascending, matching ReplayBronzeToLake's replay order.
 	Topics []string
-	// Group is the consumer-group prefix (default "cq").
+	// Group is the consumer-group prefix (default "cq"); retained for
+	// checkpoint-name compatibility.
 	Group string
 	// BatchSize caps records per poll (default 512).
 	BatchSize int
@@ -63,11 +81,14 @@ type PumpMetrics struct {
 // view state atomically. One Pump owns its engine's apply path; do not
 // run two pumps against the same engine.
 type Pump struct {
-	engine    *Engine
-	broker    *stream.Broker
-	cfg       PumpConfig
-	topics    []string // sorted
-	consumers map[string]*stream.Consumer
+	engine *Engine
+	source Source
+	cfg    PumpConfig
+	topics []string // sorted
+	// offsets holds the next offset to fetch per topic partition — the
+	// same "next offset" semantics stream.Consumer.Position used, so
+	// checkpoints written before the Source refactor restore unchanged.
+	offsets map[string][]int64
 
 	// Decode scratch: one reused row and an interner for the dimension
 	// vocabulary, so the drain loop's per-record decode is allocation-
@@ -80,27 +101,43 @@ type Pump struct {
 	metrics   PumpMetrics
 }
 
-// NewPump subscribes to every topic and restores from the checkpoint
-// when one exists: specs are re-registered, view state is rebuilt
-// cell-for-cell, and consumers seek to the checkpointed offsets.
+// NewPump wires a pump to a single broker and restores from the
+// checkpoint when one exists. See NewPumpSource.
 func NewPump(engine *Engine, broker *stream.Broker, cfg PumpConfig) (*Pump, error) {
+	return NewPumpSource(engine, broker, cfg)
+}
+
+// NewPumpSource wires a pump to any Source (a broker, the cluster) and
+// restores from the checkpoint when one exists: specs are re-registered,
+// view state is rebuilt cell-for-cell, and cursors seek to the
+// checkpointed offsets.
+func NewPumpSource(engine *Engine, src Source, cfg PumpConfig) (*Pump, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Topics) == 0 {
 		return nil, fmt.Errorf("cq: pump needs at least one topic")
 	}
 	p := &Pump{
-		engine: engine, broker: broker, cfg: cfg,
-		topics:    append([]string(nil), cfg.Topics...),
-		consumers: make(map[string]*stream.Consumer, len(cfg.Topics)),
-		intern:    schema.NewInterner(),
+		engine: engine, source: src, cfg: cfg,
+		topics:  append([]string(nil), cfg.Topics...),
+		offsets: make(map[string][]int64, len(cfg.Topics)),
+		intern:  schema.NewInterner(),
 	}
 	sort.Strings(p.topics)
 	for _, t := range p.topics {
-		c, err := broker.Subscribe(t, cfg.Group+"-"+cfg.Name, stream.StartEarliest)
+		parts, err := src.Partitions(t)
 		if err != nil {
-			return nil, fmt.Errorf("cq: subscribe %s: %w", t, err)
+			return nil, fmt.Errorf("cq: partitions %s: %w", t, err)
 		}
-		p.consumers[t] = c
+		offs := make([]int64, parts)
+		for i := range offs {
+			// Start earliest, like the consumer the pump replaced.
+			off, err := src.OldestOffset(t, i)
+			if err != nil {
+				return nil, fmt.Errorf("cq: oldest %s/%d: %w", t, i, err)
+			}
+			offs[i] = off
+		}
+		p.offsets[t] = offs
 	}
 	if err := p.restore(); err != nil {
 		return nil, err
@@ -112,24 +149,45 @@ func NewPump(engine *Engine, broker *stream.Broker, cfg PumpConfig) (*Pump, erro
 // running Run loop; call between steps or after Drain.
 func (p *Pump) Metrics() PumpMetrics { return p.metrics }
 
-// step polls every topic once and applies what arrived, preserving
-// per-partition record order. Returns records applied.
+// step polls every topic partition once and applies what arrived,
+// preserving per-partition record order. Returns records applied.
+// Transient source errors (a fetch mid-failover, an injected fault) skip
+// the partition for this step — the cursor does not move, so the next
+// step resumes exactly where this one left off.
 func (p *Pump) step(ctx context.Context) (int, error) {
 	total := 0
 	for _, t := range p.topics {
-		// Bounded wait so one idle topic cannot stall the others.
-		pctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
-		recs, err := p.consumers[t].Poll(pctx, p.cfg.BatchSize)
-		cancel()
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		offs := p.offsets[t]
+		for part := range offs {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+			recs, err := p.source.FetchNoWait(t, part, offs[part], p.cfg.BatchSize)
+			switch {
+			case errors.Is(err, stream.ErrOffsetTrimmed):
+				// Retention ran ahead of the pump; resume at the oldest
+				// record still held.
+				oldest, oerr := p.source.OldestOffset(t, part)
+				if oerr != nil || oldest <= offs[part] {
+					continue
+				}
+				offs[part] = oldest
+				continue
+			case errors.Is(err, stream.ErrOffsetInFuture):
+				continue // nothing committed past the cursor yet
+			case resilience.IsTransient(err):
+				continue // retry this partition next step
+			case err != nil:
+				return total, fmt.Errorf("cq: poll %s/%d: %w", t, part, err)
+			}
+			if len(recs) == 0 {
 				continue
 			}
-			return total, fmt.Errorf("cq: poll %s: %w", t, err)
+			p.metrics.Polled += int64(len(recs))
+			total += len(recs)
+			p.applyRecords(t, recs)
+			offs[part] = recs[len(recs)-1].Offset + 1
 		}
-		p.metrics.Polled += int64(len(recs))
-		total += len(recs)
-		p.applyRecords(t, recs)
 	}
 	if total > 0 {
 		p.sinceCkpt++
@@ -142,9 +200,9 @@ func (p *Pump) step(ctx context.Context) (int, error) {
 	return total, nil
 }
 
-// applyRecords splits a poll batch into per-partition runs (Poll emits
-// each partition's records contiguously and in offset order) and fans
-// each run out to the engine.
+// applyRecords splits a poll batch into per-partition runs (fetches are
+// per-partition and in offset order) and fans each run out to the
+// engine.
 func (p *Pump) applyRecords(topic string, recs []stream.Record) {
 	run := p.scratch[:0]
 	runPart := -1
@@ -180,15 +238,23 @@ func (p *Pump) applyRecords(topic string, recs []stream.Record) {
 	p.scratch = run[:0]
 }
 
-// Run pumps until ctx is done. Poll blocking keeps the loop quiescent
-// on an idle broker.
+// Run pumps until ctx is done, idling briefly between empty polls so a
+// quiet source costs no CPU.
 func (p *Pump) Run(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if _, err := p.step(ctx); err != nil {
+		n, err := p.step(ctx)
+		if err != nil {
 			return err
+		}
+		if n == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
 		}
 	}
 }
@@ -197,6 +263,9 @@ func (p *Pump) Run(ctx context.Context) error {
 // Tests and benchmarks use it to reach a known-synchronized state.
 func (p *Pump) Drain(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := p.step(ctx)
 		if err != nil {
 			return err
@@ -206,12 +275,17 @@ func (p *Pump) Drain(ctx context.Context) error {
 		}
 		caughtUp := true
 		for _, t := range p.topics {
-			lags, err := p.consumers[t].Lag()
-			if err != nil {
-				return fmt.Errorf("cq: lag %s: %w", t, err)
-			}
-			for _, l := range lags {
-				if l > 0 {
+			offs := p.offsets[t]
+			for part := range offs {
+				end, err := p.source.EndOffset(t, part)
+				if err != nil {
+					if resilience.IsTransient(err) {
+						caughtUp = false
+						continue
+					}
+					return fmt.Errorf("cq: lag %s/%d: %w", t, part, err)
+				}
+				if end > offs[part] {
 					caughtUp = false
 				}
 			}
@@ -226,8 +300,8 @@ func (p *Pump) checkpointPath() string {
 	return filepath.Join(p.cfg.CheckpointDir, p.cfg.Name+".ckpt.json")
 }
 
-// Checkpoint atomically persists consumer offsets plus every view's
-// full state. A no-op without a checkpoint dir.
+// Checkpoint atomically persists cursor offsets plus every view's full
+// state. A no-op without a checkpoint dir.
 func (p *Pump) Checkpoint() error {
 	p.sinceCkpt = 0
 	if p.cfg.CheckpointDir == "" {
@@ -235,7 +309,7 @@ func (p *Pump) Checkpoint() error {
 	}
 	ck := ckptFile{Name: p.cfg.Name, Offsets: make(map[string][]int64, len(p.topics))}
 	for _, t := range p.topics {
-		ck.Offsets[t] = p.consumers[t].Position()
+		ck.Offsets[t] = append([]int64(nil), p.offsets[t]...)
 	}
 	for _, v := range p.engine.Views() {
 		ck.Views = append(ck.Views, v.snapshot())
@@ -257,7 +331,7 @@ func (p *Pump) Checkpoint() error {
 
 // restore loads the checkpoint if present: torn temp files are swept,
 // specs re-registered, cell state rebuilt in insertion order, and
-// consumers sought to the saved offsets so the un-checkpointed suffix
+// cursors sought to the saved offsets so the un-checkpointed suffix
 // replays into pre-suffix state.
 func (p *Pump) restore() error {
 	if p.cfg.CheckpointDir == "" {
@@ -291,14 +365,15 @@ func (p *Pump) restore() error {
 		v.bump()
 	}
 	for t, offs := range ck.Offsets {
-		c := p.consumers[t]
-		if c == nil {
+		cur := p.offsets[t]
+		if cur == nil {
 			continue // topic no longer pumped
 		}
 		for part, off := range offs {
-			if err := c.Seek(part, off); err != nil {
-				return fmt.Errorf("cq: checkpoint seek %s/%d: %w", t, part, err)
+			if part >= len(cur) {
+				return fmt.Errorf("cq: checkpoint seek %s/%d: partition out of range", t, part)
 			}
+			cur[part] = off
 		}
 	}
 	p.metrics.Recovered = true

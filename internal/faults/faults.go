@@ -199,3 +199,13 @@ func (inj *Injector) InstallStore(s *objstore.Store) { s.SetFaultHook(inj.Before
 // InstallLake points the LAKE store's fault hook at this injector,
 // arming the lake.insert operation.
 func (inj *Injector) InstallLake(db *tsdb.DB) { db.SetFaultHook(inj.Before) }
+
+// Install points any component exposing SetFaultHook at this injector.
+// The interface keeps faults decoupled from consumers it does not need
+// to know concretely — the cluster's inter-node transport arms its
+// cluster.* operations this way.
+func (inj *Injector) Install(f interface {
+	SetFaultHook(func(op, target string) error)
+}) {
+	f.SetFaultHook(inj.Before)
+}

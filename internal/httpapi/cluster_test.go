@@ -1,0 +1,132 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"odakit/internal/cluster"
+	"odakit/internal/core"
+	"odakit/internal/telemetry"
+	"odakit/internal/tsdb"
+)
+
+// TestClusterBackedServing mirrors an ingested facility into a 3-node
+// RF=2 cluster, swaps the server's query backend to it, and requires the
+// clustered answers to be byte-identical to the local engine's — then
+// kills a node and checks /healthz degrades (not down) and keeps
+// serving, and that repair after restart returns the probe to ok.
+func TestClusterBackedServing(t *testing.T) {
+	sys := telemetry.FrontierLike(17).Scaled(8)
+	sys.LossRate = 0
+	f, err := core.NewFacility(core.Options{
+		System: sys, WorkloadSeed: 17,
+		ScheduleFrom: t0.Add(-time.Hour), ScheduleTo: t0.Add(2 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	if _, err := f.IngestWindow(t0, t0.Add(time.Minute), telemetry.SourcePowerTemp); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := cluster.New([]string{"n1", "n2", "n3"}, cluster.Config{
+		RF: 2, LakeOptions: tsdb.Options{RollupInterval: f.Opts.SilverWindow},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, rows, err := f.MirrorToCluster(context.Background(), c, telemetry.SourcePowerTemp)
+	if err != nil {
+		t.Fatalf("mirror: %v", err)
+	}
+	if records == 0 || rows == 0 {
+		t.Fatalf("mirror moved records=%d rows=%d, want both > 0", records, rows)
+	}
+
+	s := New(f)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	queryURL := fmt.Sprintf("%s/api/v1/lake/query?metric=node_power_w&agg=avg&granularity=15s&groupby=component&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	topNURL := fmt.Sprintf("%s/api/v1/lake/topn?metric=node_power_w&n=5&from=%s&to=%s",
+		srv.URL, t0.Format(time.RFC3339), t0.Add(time.Minute).Format(time.RFC3339))
+	body := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	localQuery, localTopN := body(queryURL), body(topNURL)
+	if localQuery == "" || localQuery == "[]\n" {
+		t.Fatalf("local query served nothing: %q", localQuery)
+	}
+	s.SetQueryBackend(c)
+	s.SetClusterHealth(c.Health)
+	if got := body(queryURL); got != localQuery {
+		t.Fatalf("clustered query diverged from local engine\nlocal: %s\ncluster: %s", localQuery, got)
+	}
+	if got := body(topNURL); got != localTopN {
+		t.Fatalf("clustered topn diverged from local engine\nlocal: %s\ncluster: %s", localTopN, got)
+	}
+
+	health := func() map[string]any {
+		t.Helper()
+		var h map[string]any
+		if code := getJSON(t, srv.URL+"/healthz", &h); code != 200 {
+			t.Fatalf("healthz status = %d", code)
+		}
+		return h
+	}
+	if h := health(); h["status"] != "ok" {
+		t.Fatalf("health with full cluster = %v", h["status"])
+	}
+
+	if err := c.Kill("n2"); err != nil {
+		t.Fatal(err)
+	}
+	h := health()
+	if h["status"] != "degraded" {
+		t.Fatalf("health after node death = %v, want degraded", h["status"])
+	}
+	ch, ok := h["cluster"].(map[string]any)
+	if !ok || ch["nodes_alive"].(float64) != 2 {
+		t.Fatalf("cluster health detail missing or wrong: %v", h["cluster"])
+	}
+	// Degraded means still serving: the surviving replicas answer with
+	// the same bytes.
+	if got := body(queryURL); got != localQuery {
+		t.Fatalf("degraded clustered query diverged from local engine\nlocal: %s\ncluster: %s", localQuery, got)
+	}
+
+	if err := c.Restart("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if h := health(); h["status"] != "ok" {
+		b, _ := json.Marshal(h)
+		t.Fatalf("health after repair = %s", b)
+	}
+	if got := body(queryURL); got != localQuery {
+		t.Fatalf("repaired clustered query diverged from local engine")
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"odakit/internal/cluster"
 	"odakit/internal/core"
 	"odakit/internal/logsearch"
 	"odakit/internal/obs"
@@ -67,6 +68,15 @@ import (
 // endpoints start shedding (1.0 = every slot busy).
 const shedLoad = 1.0
 
+// QueryBackend answers the LAKE query endpoints. The default is the
+// facility's local tsdb.DB; a clustered deployment swaps in the
+// replica-aware scatter-gather router (internal/cluster), whose results
+// are byte-identical to the local engine's.
+type QueryBackend interface {
+	RunWithStats(q tsdb.Query) (*schema.Frame, tsdb.QueryStats, error)
+	TopN(q tsdb.Query, dim string, n int) ([]tsdb.TopNEntry, error)
+}
+
 // Server wraps a facility with HTTP handlers.
 type Server struct {
 	f   *core.Facility
@@ -76,6 +86,16 @@ type Server struct {
 	// Defaults to "all tsdb scan slots are in use"; tests override it to
 	// exercise the shed paths deterministically.
 	overloaded func() bool
+
+	// backend serves the lake query routes; backendLocal gates the
+	// stale-cache shed path, which only the local engine can answer.
+	backend      QueryBackend
+	backendLocal bool
+
+	// clusterHealth, when set, folds cluster replication state into
+	// /healthz: an under-replicated cluster degrades the probe, a cluster
+	// with unservable partitions or stripes reports down.
+	clusterHealth func() cluster.Health
 
 	// prepared holds registered parameterized queries (see prepared.go).
 	prepared *preparedRegistry
@@ -87,6 +107,7 @@ type Server struct {
 // New returns a server for the facility.
 func New(f *core.Facility) *Server {
 	s := &Server{f: f, mux: http.NewServeMux(), prepared: newPreparedRegistry()}
+	s.backend, s.backendLocal = f.Lake, true
 	s.overloaded = func() bool { return f.Lake.ScanLoad() >= shedLoad }
 	s.shedStale = f.Obs.Counter("oda_http_shed_stale_total",
 		"Overloaded queries answered from the stale cache side.")
@@ -127,6 +148,20 @@ func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
 // SetOverloadCheck replaces the overload predicate (tests and custom
 // deployments).
 func (s *Server) SetOverloadCheck(fn func() bool) { s.overloaded = fn }
+
+// SetQueryBackend routes the lake query endpoints through b instead of
+// the facility's local engine. The stale-cache shed path is disabled —
+// the cache belongs to the local engine, and answering cluster queries
+// from it could serve another topology's data — so overloaded requests
+// shed with 503 only.
+func (s *Server) SetQueryBackend(b QueryBackend) {
+	s.backend = b
+	s.backendLocal = b == QueryBackend(s.f.Lake)
+}
+
+// SetClusterHealth merges cluster replication health into /healthz.
+// Pass the Cluster's Health method; nil disables the merge.
+func (s *Server) SetClusterHealth(fn func() cluster.Health) { s.clusterHealth = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -176,7 +211,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	if status == "ok" && s.overloaded() {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"lake_segments":  lake.Segments,
 		"lake_rows":      lake.RawIngested,
@@ -184,7 +219,25 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		"log_docs":       s.f.Logs.Stats().Docs,
 		"topics":         s.f.Broker.Topics(),
 		"pipelines":      pipelines,
-	})
+	}
+	if s.clusterHealth != nil {
+		ch := s.clusterHealth()
+		body["cluster"] = ch
+		// A dead node with surviving replicas degrades the probe — the
+		// cluster keeps serving, so the status must not scare pollers into
+		// failing it over. Only unservable data (a leaderless partition, a
+		// stripe with no live replica) reports down. Still 200 either way,
+		// so scrapers keep reading the detail.
+		switch ch.Status {
+		case "down":
+			body["status"] = "down"
+		case "degraded":
+			if status == "ok" {
+				body["status"] = "degraded"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // pipelines reports every supervised pipeline's status: supervisor
@@ -201,7 +254,7 @@ func (s *Server) shed(w http.ResponseWriter, query tsdb.Query, emit func(*schema
 	if !s.overloaded() {
 		return false
 	}
-	if fr, ok := s.f.Lake.CachedStale(query); ok {
+	if fr, ok := s.cachedStale(query); ok {
 		w.Header().Set("X-ODA-Stale", "true")
 		s.shedStale.Inc()
 		emit(fr)
@@ -210,6 +263,15 @@ func (s *Server) shed(w http.ResponseWriter, query tsdb.Query, emit func(*schema
 	s.shedReject.Inc()
 	s.writeError(w, http.StatusServiceUnavailable, "overloaded", "lake overloaded, retry later")
 	return true
+}
+
+// cachedStale consults the local engine's stale cache — only when it is
+// the active backend (see SetQueryBackend).
+func (s *Server) cachedStale(query tsdb.Query) (*schema.Frame, bool) {
+	if !s.backendLocal {
+		return nil, false
+	}
+	return s.f.Lake.CachedStale(query)
 }
 
 // parseWindow reads from/to query params (RFC3339); a missing pair
@@ -418,7 +480,7 @@ func (s *Server) lakeQuery(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
-	frame, stats, err := s.f.Lake.RunWithStats(query)
+	frame, stats, err := s.backend.RunWithStats(query)
 	if err != nil {
 		s.badRequest(w, err.Error())
 		return
@@ -465,7 +527,7 @@ func (s *Server) lakeTopN(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	top, err := s.f.Lake.TopN(tsdb.Query{
+	top, err := s.backend.TopN(tsdb.Query{
 		From: from, To: to,
 		Filters: map[string][]string{tsdb.DimMetric: {metric}},
 		Agg:     tsdb.AggAvg,

@@ -146,7 +146,7 @@ func (s *Server) preparedRun(w http.ResponseWriter, r *http.Request) {
 	}) {
 		return
 	}
-	frame, stats, err := s.f.Lake.RunWithStats(query)
+	frame, stats, err := s.backend.RunWithStats(query)
 	if err != nil {
 		s.badRequest(w, err.Error())
 		return

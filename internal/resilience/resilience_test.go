@@ -3,6 +3,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -252,5 +253,66 @@ func TestSupervisorRestartStormDamping(t *testing.T) {
 	st := s.Stats()
 	if st.State != "failed" || st.Restarts != 3 || st.LastErr == "" {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSupervisorClockFastForward(t *testing.T) {
+	// With an injectable clock that advances past the damping window on
+	// every failure, restart instants age out before the storm threshold
+	// and the supervisor restarts indefinitely — the cluster failover
+	// tests rely on exactly this fast-forward instead of sleeping.
+	var fake struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	fake.now = time.Unix(0, 0)
+	clock := func() time.Time {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		return fake.now
+	}
+	advance := func(d time.Duration) {
+		fake.mu.Lock()
+		fake.now = fake.now.Add(d)
+		fake.mu.Unlock()
+	}
+
+	s := NewSupervisor(SupervisorConfig{
+		Name: "ff", MaxRestarts: 2, Window: time.Hour,
+		Backoff: Policy{BaseDelay: 50 * time.Microsecond, MaxDelay: 100 * time.Microsecond},
+		Clock:   clock,
+	})
+	calls := 0
+	err := s.Run(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls >= 10 {
+			return nil
+		}
+		advance(2 * time.Hour) // each failure lands in a fresh window
+		return MarkTransient(errBoom)
+	})
+	if err != nil {
+		t.Fatalf("fast-forwarded supervisor stormed: %v (calls=%d)", err, calls)
+	}
+	if calls != 10 {
+		t.Fatalf("calls = %d, want 10 (9 restarts, all damped away by the clock)", calls)
+	}
+
+	// Frozen clock: the same failure rate is a storm, decided purely by
+	// the injected clock — both paths must consult it (the regression was
+	// one code path still reading time.Now directly, which under a frozen
+	// fake clock made storm decisions depend on wall time).
+	s2 := NewSupervisor(SupervisorConfig{
+		Name: "frozen", MaxRestarts: 2, Window: time.Hour,
+		Backoff: Policy{BaseDelay: 50 * time.Microsecond, MaxDelay: 100 * time.Microsecond},
+	})
+	s2.SetClock(clock)
+	calls = 0
+	err = s2.Run(context.Background(), func(ctx context.Context) error {
+		calls++
+		return MarkTransient(errBoom)
+	})
+	if !errors.Is(err, ErrRestartStorm) || calls != 3 {
+		t.Fatalf("frozen clock: err=%v calls=%d, want storm after 3 incarnations", err, calls)
 	}
 }

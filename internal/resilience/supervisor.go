@@ -33,6 +33,10 @@ type SupervisorConfig struct {
 	// OnRestart, when non-nil, observes every restart decision: the
 	// restart ordinal (1-based) and the error that caused it.
 	OnRestart func(restart int, err error)
+	// Clock supplies the damping window's notion of now (default
+	// time.Now). Failover tests fast-forward it so a restart storm — or
+	// its absence — is decided deterministically instead of by wall time.
+	Clock func() time.Time
 }
 
 func (c SupervisorConfig) withDefaults() SupervisorConfig {
@@ -45,6 +49,9 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Classify == nil {
 		c.Classify = IsTransient
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -96,6 +103,24 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 	return &Supervisor{cfg: cfg.withDefaults()}
 }
 
+// SetClock replaces the damping-window clock (for deterministic tests),
+// mirroring Breaker.SetClock. Safe to call while Run is live.
+func (s *Supervisor) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	s.cfg.Clock = now
+}
+
+// clock snapshots the damping clock under the state lock.
+func (s *Supervisor) clock() func() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Clock
+}
+
 // Run invokes start, restarting it on transient failure until it
 // returns nil, fails fatally, exhausts the damping budget, or ctx is
 // done. start is called once per incarnation with the same ctx, so a
@@ -117,7 +142,7 @@ func (s *Supervisor) Run(ctx context.Context, start func(ctx context.Context) er
 		}
 		// Damping: drop restart instants that aged out of the window; if
 		// the window is still full, this is a restart storm.
-		now := time.Now()
+		now := s.clock()()
 		keep := recent[:0]
 		for _, t := range recent {
 			if now.Sub(t) < s.cfg.Window {

@@ -172,7 +172,7 @@ func (b *Broker) DeleteTopic(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoTopic, name)
 	}
 	for _, p := range t.parts {
-		p.close()
+		p.markDeleted()
 	}
 	delete(b.topics, name)
 	return nil
@@ -327,6 +327,44 @@ func (b *Broker) PublishTo(topicName string, partition int, key, value []byte) (
 	return t.parts[partition].append(b.nowFunc()(), key, value, t.cfg)
 }
 
+// PublishBatchTo appends a batch of messages to one explicit partition
+// under a single lock acquisition, returning the offset assigned to the
+// first message. The cluster's partition leaders use it so a replicated
+// publish is one contiguous offset range on the leader log.
+func (b *Broker) PublishBatchTo(topicName string, partition int, msgs []Message) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	if err := b.fault("broker.publish", topicName); err != nil {
+		return 0, err
+	}
+	return t.parts[partition].appendBatch(b.nowFunc()(), msgs, t.cfg)
+}
+
+// ReplicateBatch appends records copied verbatim from a leader's log,
+// preserving their leader-assigned offsets and timestamps so this
+// broker's partition is a byte-identical prefix of the leader's.
+// Records the partition already holds are skipped, so re-delivery after
+// a failed replication session is idempotent. Only valid for
+// non-compacted topics.
+func (b *Broker) ReplicateBatch(topicName string, partition int, recs []Record) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if t.cfg.Compacted {
+		return fmt.Errorf("stream: replicate into compacted topic %s", topicName)
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	return t.parts[partition].replicateBatch(recs, t.cfg)
+}
+
 func (b *Broker) nowFunc() func() time.Time {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -368,6 +406,40 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partition int, off
 		return nil, err
 	}
 	return t.parts[partition].fetch(ctx, offset, max)
+}
+
+// FetchNoWait reads up to max records from a partition starting at
+// offset, returning immediately with whatever is available (possibly
+// nothing). Offset semantics match Fetch: below the retention horizon is
+// ErrOffsetTrimmed, beyond the end of the log is ErrOffsetInFuture.
+func (b *Broker) FetchNoWait(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	if err := b.fault("broker.fetch", topicName); err != nil {
+		return nil, err
+	}
+	return t.parts[partition].fetchNoWait(offset, max)
+}
+
+// OldestOffset returns the lowest offset still addressable in a
+// partition (the retention horizon).
+func (b *Broker) OldestOffset(topicName string, partition int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topicName, partition)
+	}
+	return t.parts[partition].stats().oldest, nil
 }
 
 // TopicStats aggregates counters across a topic's partitions.

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,11 @@ type partition struct {
 	count  int
 	bytes  int64
 	closed bool
+	// deleted marks a partition whose topic was removed via DeleteTopic,
+	// as opposed to a broker shutdown. Readers holding a stale *topic
+	// (an in-flight group rebalance, a blocked Fetch) must see the
+	// topic-not-found error, never leftover records or ErrBrokerClosed.
+	deleted bool
 	// notify is closed and replaced on every append so blocked fetchers
 	// wake without a condition variable (select-able with ctx.Done()).
 	notify chan struct{}
@@ -92,11 +98,35 @@ func (p *partition) trimLocked(n int) {
 func (p *partition) close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.closeLocked()
+}
+
+func (p *partition) closeLocked() {
 	if p.closed {
 		return
 	}
 	p.closed = true
 	close(p.notify)
+}
+
+// markDeleted closes the partition for topic deletion: the ring is
+// dropped so no stale record can be served to a reader that resolved the
+// topic before DeleteTopic won the race, and the deleted flag turns every
+// later read into ErrNoTopic.
+func (p *partition) markDeleted() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deleted = true
+	p.buf, p.head, p.count, p.bytes = nil, 0, 0, 0
+	p.horizon = p.next
+	p.closeLocked()
+}
+
+func (p *partition) errIfDeletedLocked() error {
+	if p.deleted {
+		return fmt.Errorf("%w: %s", ErrNoTopic, p.topic)
+	}
+	return nil
 }
 
 func (p *partition) endOffset() int64 {
@@ -179,6 +209,67 @@ func (p *partition) appendBatch(ts time.Time, msgs []Message, cfg TopicConfig) (
 	return first, nil
 }
 
+// replicateBatch appends records copied from a leader's log, preserving
+// the leader-assigned offsets and timestamps so the follower's log is a
+// byte-identical prefix of the leader's. Records at offsets the follower
+// already holds are skipped (idempotent re-delivery), and an empty or
+// lagging follower may jump forward past a retention gap — offsets only
+// ever move monotonically. Replication is only defined for non-compacted
+// topics (the cluster rejects compacted configs), so no compaction pass
+// runs here.
+func (p *partition) replicateBatch(recs []Record, cfg TopicConfig) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if err := p.errIfDeletedLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrBrokerClosed
+	}
+	appended := 0
+	var added int64
+	var lastTs time.Time
+	for i := range recs {
+		r := &recs[i]
+		if r.Offset < p.next {
+			continue // already replicated
+		}
+		if p.count == 0 {
+			// Nothing retained: adopt the leader's horizon at this record.
+			p.horizon = r.Offset
+		}
+		// The source buffers belong to the transport; copy like appendBatch.
+		rec := Record{
+			Topic: p.topic, Partition: p.id, Offset: r.Offset, Ts: r.Ts,
+			Key:   append([]byte(nil), r.Key...),
+			Value: append([]byte(nil), r.Value...),
+		}
+		p.next = r.Offset + 1
+		p.pushLocked(rec)
+		sz := rec.size()
+		p.bytes += sz
+		added += sz
+		appended++
+		lastTs = r.Ts
+	}
+	if appended == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	p.totalRecords.Add(int64(appended))
+	p.totalBytes.Add(added)
+	p.enforceRetentionLocked(lastTs, cfg)
+	ch := p.notify
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+	close(ch)
+	return nil
+}
+
 // compactLocked keeps only the newest record per key (keyless records are
 // always kept), preserving offsets — the log is left with holes. The
 // surviving records are slid down in ring order, so no allocation.
@@ -259,6 +350,10 @@ func (p *partition) fetch(ctx context.Context, offset int64, max int) ([]Record,
 	}
 	for {
 		p.mu.Lock()
+		if err := p.errIfDeletedLocked(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
 		if offset < p.horizon {
 			p.mu.Unlock()
 			return nil, ErrOffsetTrimmed
@@ -298,6 +393,9 @@ func (p *partition) fetch(ctx context.Context, offset int64, max int) ([]Record,
 func (p *partition) fetchNoWait(offset int64, max int) ([]Record, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.errIfDeletedLocked(); err != nil {
+		return nil, err
+	}
 	if offset < p.horizon {
 		return nil, ErrOffsetTrimmed
 	}

@@ -1,0 +1,208 @@
+// Scatter-gather surface for the cluster's query router: a query can be
+// executed one lock stripe at a time (StripePartial), shipped across
+// nodes, and folded back together (MergeStripePartials) with results
+// byte-identical to a single-node Run. The identity holds because float
+// accumulation order only matters within one output group, every group's
+// cells live on exactly one stripe (striping hashes the same dimensions
+// the group key is built from, component+metric — and the dimensions a
+// group does not include are aggregated over cells that still fold in
+// stripe-major, chunk-ascending, insertion order), and the merge folds
+// partials in the same fixed stripe order 0..NumStripes-1 that Run's
+// in-process merge uses. The final sort and emit are shared with Run.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+
+	"odakit/internal/schema"
+)
+
+// StripeScanStats counts what one stripe-local scan did; the router sums
+// them into a cluster-level QueryStats.
+type StripeScanStats struct {
+	SegmentsScanned int
+	SegmentsPruned  int
+	CellsScanned    int64
+	CellsMatched    int64
+}
+
+// StripePartial is one stripe's partial-aggregation result: the output
+// groups that stripe's cells contribute to, with full aggregation state
+// so any AggKind can be finalized after the merge. The cell order inside
+// a partial is unspecified (hash-table layout); determinism comes from
+// per-group accumulation order, which scanShard fixes at chunk-ascending,
+// insertion order.
+type StripePartial struct {
+	Stripe int
+	Stats  StripeScanStats
+	keys   []groupKey
+	cells  []aggCell
+}
+
+// Groups returns how many output groups the partial carries.
+func (sp *StripePartial) Groups() int { return len(sp.keys) }
+
+// StripePartial executes q against a single lock stripe of the hot tier
+// and returns that stripe's partial aggregation. The cold tier is not
+// consulted: clustered nodes serve the hot tier and leave OCEAN/GLACIER
+// federation to the single-facility query path.
+func (db *DB) StripePartial(q Query, stripe int) (*StripePartial, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if stripe < 0 || stripe >= NumStripes {
+		return nil, fmt.Errorf("%w: stripe %d out of range", ErrBadQuery, stripe)
+	}
+	cq := compileQuery(q)
+	var gt groupTable
+	ss := db.scanShard(stripe, &cq, &gt)
+	sp := &StripePartial{
+		Stripe: stripe,
+		Stats: StripeScanStats{
+			SegmentsScanned: ss.segsScanned,
+			SegmentsPruned:  ss.segsPruned,
+			CellsScanned:    ss.cellsScanned,
+			CellsMatched:    ss.cellsMatched,
+		},
+		keys:  make([]groupKey, 0, gt.n),
+		cells: make([]aggCell, 0, gt.n),
+	}
+	for i := range gt.slots {
+		if s := &gt.slots[i]; s.used {
+			sp.keys = append(sp.keys, s.key)
+			sp.cells = append(sp.cells, s.cell)
+		}
+	}
+	return sp, nil
+}
+
+// MergeStripePartials folds stripe partials — which must be supplied in
+// ascending stripe order, Run's fixed fold order — into the final result
+// frame, sorted and emitted exactly like Run. Nil entries (stripes with
+// no live owner already reported as errors by the router) are rejected:
+// a silent gap would silently drop that stripe's groups.
+func MergeStripePartials(q Query, parts []*StripePartial) (*schema.Frame, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	groups := make(map[groupKey]*aggCell)
+	prev := -1
+	for _, sp := range parts {
+		if sp == nil {
+			return nil, fmt.Errorf("%w: nil stripe partial", ErrBadQuery)
+		}
+		if sp.Stripe <= prev {
+			return nil, fmt.Errorf("%w: stripe partials out of order (%d after %d)", ErrBadQuery, sp.Stripe, prev)
+		}
+		prev = sp.Stripe
+		for i := range sp.keys {
+			g, ok := groups[sp.keys[i]]
+			if !ok {
+				g = &aggCell{}
+				groups[sp.keys[i]] = g
+			}
+			g.merge(sp.cells[i])
+		}
+	}
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	nDims := len(q.GroupBy)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ts != keys[j].ts {
+			return keys[i].ts < keys[j].ts
+		}
+		for d := 0; d < nDims; d++ {
+			if keys[i].dims[d] != keys[j].dims[d] {
+				return keys[i].dims[d] < keys[j].dims[d]
+			}
+		}
+		return false
+	})
+	out := schema.NewFrame(q.ResultSchema())
+	row := make(schema.Row, 0, nDims+2)
+	for _, k := range keys {
+		row = row[:0]
+		row = append(row, schema.TimeNanos(k.ts))
+		for d := 0; d < nDims; d++ {
+			row = append(row, schema.Str(k.dims[d]))
+		}
+		row = append(row, schema.Float(aggValue(q.Agg, groups[k])))
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExportStripes serializes every cell of the given stripes as a
+// RollupSchema frame in stripe-major, chunk-ascending, insertion order —
+// the exact fold order of a stripe scan. Unlike Export (which sorts for
+// the OCEAN offload format), importing this frame into a fresh DB via
+// ImportRollups rebuilds each (stripe, chunk) cell table with identical
+// insertion order, so a re-replicated replica answers StripePartial
+// byte-identically to the replica it was copied from. Both stores must
+// share SegmentDuration and RollupInterval.
+func (db *DB) ExportStripes(stripes []int) (*schema.Frame, error) {
+	out := schema.NewFrame(RollupSchema)
+	for _, si := range stripes {
+		if si < 0 || si >= NumStripes {
+			return nil, fmt.Errorf("tsdb: export stripe %d out of range", si)
+		}
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		chunks := make([]int64, 0, len(sh.segments))
+		for k := range sh.segments {
+			chunks = append(chunks, k)
+		}
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+		for _, chunkN := range chunks {
+			seg := sh.segments[chunkN]
+			for i := range seg.cells.keys {
+				k := &seg.cells.keys[i]
+				c := &seg.cells.cells[i]
+				row := schema.Row{
+					schema.TimeNanos(k.ts), schema.Str(k.system), schema.Str(k.source),
+					schema.Str(k.component), schema.Str(k.metric),
+					schema.Int(c.count), schema.Float(c.sum),
+					schema.Float(c.min), schema.Float(c.max),
+					schema.Float(c.last), schema.TimeNanos(c.lastTs),
+				}
+				if err := out.AppendRow(row); err != nil {
+					sh.mu.RUnlock()
+					return nil, err
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out, nil
+}
+
+// DropStripes discards every segment whose cells live on the given
+// stripes, leaving the rest of the store untouched. This is the
+// destructive half of stripe re-replication: a replica that diverged
+// (missed an insert) drops the stripe and re-imports it from a healthy
+// peer's ExportStripes frame, which rebuilds cells in the peer's exact
+// scan order.
+func (db *DB) DropStripes(stripes []int) error {
+	for _, s := range stripes {
+		if s < 0 || s >= NumStripes {
+			return fmt.Errorf("tsdb: drop: stripe %d out of range [0,%d)", s, NumStripes)
+		}
+	}
+	for _, s := range stripes {
+		sh := &db.shards[s]
+		sh.mu.Lock()
+		for _, seg := range sh.segments {
+			sh.ingested -= seg.rows
+		}
+		sh.segments = make(map[int64]*segment)
+		sh.version.Add(1)
+		sh.mu.Unlock()
+	}
+	return nil
+}

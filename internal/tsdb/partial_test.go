@@ -1,0 +1,97 @@
+package tsdb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStripePartialMergeMatchesRun is the scatter-gather equivalence
+// property: executing a query stripe by stripe and folding the partials
+// back together must be byte-identical to Run, across randomized query
+// shapes — the same contract the cluster router's distributed merge
+// relies on.
+func TestStripePartialMergeMatchesRun(t *testing.T) {
+	forceParallel(t)
+	db := propDB(64)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		q := randomQuery(rng)
+		want, err := db.Run(q)
+		if err != nil {
+			t.Fatalf("query %d: run: %v (%+v)", i, err, q)
+		}
+		parts := make([]*StripePartial, 0, NumStripes)
+		for s := 0; s < NumStripes; s++ {
+			sp, err := db.StripePartial(q, s)
+			if err != nil {
+				t.Fatalf("query %d: stripe %d: %v", i, s, err)
+			}
+			parts = append(parts, sp)
+		}
+		got, err := MergeStripePartials(q, parts)
+		if err != nil {
+			t.Fatalf("query %d: merge: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("query %d: stripe merge diverges from Run\nquery: %+v\nrun: %v\nmerged: %v",
+				i, q, want.Rows(), got.Rows())
+		}
+	}
+}
+
+// TestExportStripesRoundTripPreservesScanOrder rebuilds a store from the
+// order-preserving stripe export and checks the rebuilt replica answers
+// queries — whole runs and individual stripe partials — byte-identically
+// to the original. This is the re-replication path: a replacement
+// replica built this way cannot perturb the cluster's merged results.
+func TestExportStripesRoundTripPreservesScanOrder(t *testing.T) {
+	db := propDB(64)
+	all := make([]int, NumStripes)
+	for i := range all {
+		all[i] = i
+	}
+	frame, err := db.ExportStripes(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := New(Options{SegmentDuration: 10 * time.Minute, RollupInterval: 15 * time.Second})
+	if err := re.ImportRollups(frame); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 300; i++ {
+		q := randomQuery(rng)
+		want, err := db.RunSerial(q)
+		if err != nil {
+			t.Fatalf("query %d: original: %v", i, err)
+		}
+		got, err := re.RunSerial(q)
+		if err != nil {
+			t.Fatalf("query %d: rebuilt: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("query %d: rebuilt replica diverges\nquery: %+v", i, q)
+		}
+		s := rng.Intn(NumStripes)
+		wp, err := db.StripePartial(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := re.StripePartial(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := MergeStripePartials(q, []*StripePartial{wp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := MergeStripePartials(q, []*StripePartial{gp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gf.Equal(wf) {
+			t.Fatalf("query %d stripe %d: rebuilt stripe partial diverges", i, s)
+		}
+	}
+}

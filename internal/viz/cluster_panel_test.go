@@ -1,0 +1,49 @@
+package viz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"odakit/internal/cluster"
+	"odakit/internal/stream"
+	"odakit/internal/tsdb"
+)
+
+// TestClusterPanelGolden drives a deterministic cluster through a node
+// death and locks the rendered panel — the degraded glyph, the node bar,
+// and the under-replication flags — against a golden file.
+func TestClusterPanelGolden(t *testing.T) {
+	c, err := cluster.New([]string{"n1", "n2", "n3"}, cluster.Config{
+		RF: 2, LakeOptions: tsdb.Options{RollupInterval: 15 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("telemetry", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20240601))
+	for b := 0; b < 4; b++ {
+		msgs := make([]stream.Message, 8)
+		for i := range msgs {
+			msgs[i] = stream.Message{
+				Key:   []byte(fmt.Sprintf("k%d", rng.Intn(64))),
+				Value: []byte(fmt.Sprintf("v%d-%d", b, i)),
+			}
+		}
+		if _, err := c.PublishBatch("telemetry", msgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Kill("n3"); err != nil {
+		t.Fatal(err)
+	}
+	got := ClusterPanel(c.Health())
+	if !strings.Contains(got, "◐ degraded") || !strings.Contains(got, "●●○") {
+		t.Fatalf("panel misses the degraded state:\n%s", got)
+	}
+	compareGolden(t, got, "cluster_panel.golden")
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"odakit/internal/archive"
+	"odakit/internal/cluster"
 	"odakit/internal/core"
 	"odakit/internal/cq"
 	"odakit/internal/faults"
@@ -354,3 +355,29 @@ const (
 func NewCQPump(e *CQEngine, b *stream.Broker, cfg CQPumpConfig) (*CQPump, error) {
 	return cq.NewPump(e, b, cfg)
 }
+
+// Cluster re-exports: N-node replicated deployment of STREAM + LAKE
+// behind a consistent-hash ring, with quorum replication, failover, and
+// a scatter-gather query router whose results are byte-identical to the
+// single-node engine.
+type (
+	// Cluster is the replicated N-node deployment (internal/cluster).
+	Cluster = cluster.Cluster
+	// ClusterConfig tunes replication factor, quorum, ring geometry,
+	// and the per-node LAKE options.
+	ClusterConfig = cluster.Config
+	// ClusterHealth is the replication-aware health summary merged into
+	// /healthz by clustered servers.
+	ClusterHealth = cluster.Health
+)
+
+// NewCluster builds an N-node in-process cluster. Node lakes must share
+// the facility's rollup geometry for byte-identical query results:
+// pass tsdb-compatible options via ClusterConfig.LakeOptions.
+func NewCluster(nodeIDs []string, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(nodeIDs, cfg)
+}
+
+// ClusterPanel renders cluster replication health as a terminal panel,
+// the operator complement to the /healthz JSON.
+func ClusterPanel(h ClusterHealth) string { return viz.ClusterPanel(h) }
