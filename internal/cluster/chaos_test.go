@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -183,6 +184,169 @@ func TestChaosClusterKillLeaderMidPublish(t *testing.T) {
 	assertExactSequences(t, c, topic, want, "after leader crash")
 	feed(5)
 	assertExactSequences(t, c, topic, want, "degraded writes")
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactSequences(t, c, topic, want, "after recovery")
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+}
+
+// armKillLeaderOnNthReplicate installs a transport hook that, once
+// armed, lets n-1 replication calls through and crashes the sending
+// leader on the nth. From then on every replication call the dead
+// leader originates keeps failing — a crashed node cannot ship its log —
+// so the in-flight commit genuinely misses quorum instead of limping
+// through the still-reachable in-process broker. The alive flag flips
+// directly because c.Kill would self-deadlock on the partition lock the
+// publish path holds around this hook.
+func armKillLeaderOnNthReplicate(c *Cluster, n int64) (arm func(), killed *atomic.Value) {
+	killed = &atomic.Value{}
+	var armed atomic.Bool
+	var calls atomic.Int64
+	c.Transport().SetFaultHook(func(op, target string) error {
+		if op != OpReplicate {
+			return nil
+		}
+		from := target[:strings.IndexByte(target, '>')]
+		if v := killed.Load(); v != nil {
+			if from == v.(string) {
+				return &faults.InjectedError{Op: op, Target: target}
+			}
+			return nil
+		}
+		if !armed.Load() || calls.Add(1) < n {
+			return nil
+		}
+		armed.Store(false)
+		if nd := c.node(from); nd != nil {
+			nd.alive.Store(false)
+			killed.Store(from)
+		}
+		return &faults.InjectedError{Op: op, Target: target}
+	})
+	return func() { armed.Store(true) }, killed
+}
+
+// TestChaosClusterKillLeaderAfterFollowerSync crashes the leader
+// mid-commit AFTER one follower has fully replicated the staged batch
+// (RF=3, Quorum=3): the promoted follower's log retains the staged
+// region, so the producer's retry must fingerprint-resume that region —
+// never stage a second copy after the surviving one — and the batch
+// must commit exactly once when the third replica returns.
+func TestChaosClusterKillLeaderAfterFollowerSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
+	c, err := New([]string{"n1", "n2", "n3"}, Config{RF: 3, Quorum: 3, LakeOptions: lakeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]string{}
+	record := func(msgs []stream.Message) {
+		for _, m := range msgs {
+			want[0] = append(want[0], string(m.Value))
+		}
+	}
+	pre := keyedMsgs(rng, 0, 16)
+	publishRetry(t, c, topic, pre, 10)
+	record(pre)
+
+	// Let the first follower's sync through untouched, then crash the
+	// leader on the second replication call (the other follower's sync):
+	// one survivor now holds the entire staged batch.
+	arm, killed := armKillLeaderOnNthReplicate(c, 2)
+	arm()
+	batch := keyedMsgs(rng, 1, 16)
+	if _, err := c.PublishBatch(topic, batch); err == nil {
+		t.Fatal("publish committed although the leader died before quorum")
+	}
+	if killed.Load() == nil {
+		t.Fatal("chaos hook never fired: no replication call while armed")
+	}
+	victim := killed.Load().(string)
+
+	// The staged batch is invisible and the cluster serves degraded.
+	assertExactSequences(t, c, topic, want, "after leader crash")
+	if h := c.Health(); h.Status == "down" {
+		t.Fatalf("cluster down after leader crash, want degraded (%+v)", h)
+	}
+	// Quorum 3 of 3 is unreachable with a node dead: the retry must keep
+	// failing without growing the staged region — the old failover path
+	// wiped the fingerprint here and re-appended the whole batch after
+	// the surviving copy.
+	if _, err := c.PublishBatch(topic, batch); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("degraded retry = %v, want ErrQuorumLost", err)
+	}
+	assertExactSequences(t, c, topic, want, "during degraded retries")
+
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	publishRetry(t, c, topic, batch, 10)
+	record(batch)
+	assertExactSequences(t, c, topic, want, "after resumed commit")
+	if err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(); h.Status != "ok" {
+		t.Fatalf("final health = %s (%+v)", h.Status, h)
+	}
+}
+
+// TestChaosClusterKillLeaderMidChunkedSync crashes the leader between
+// replication chunks of one large batch (RF=2): the follower is
+// promoted holding a strict prefix of the staged region, so the retry
+// must re-append exactly the missing suffix — the surviving prefix must
+// not be duplicated and the lost tail must not be dropped.
+func TestChaosClusterKillLeaderMidChunkedSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]string{}
+	record := func(msgs []stream.Message) {
+		for _, m := range msgs {
+			want[0] = append(want[0], string(m.Value))
+		}
+	}
+	pre := keyedMsgs(rng, 0, 16)
+	publishRetry(t, c, topic, pre, 10)
+	record(pre)
+
+	// Replication ships 1024-record chunks, so a 1040-record batch takes
+	// two hops: let chunk one land on the follower, crash the leader
+	// before chunk two.
+	arm, killed := armKillLeaderOnNthReplicate(c, 2)
+	arm()
+	batch := keyedMsgs(rng, 1, 1040)
+	if _, err := c.PublishBatch(topic, batch); err == nil {
+		t.Fatal("publish committed although the leader died mid-sync")
+	}
+	if killed.Load() == nil {
+		t.Fatal("chaos hook never fired: no replication call while armed")
+	}
+	victim := killed.Load().(string)
+	assertExactSequences(t, c, topic, want, "after leader crash")
+	if h := c.Health(); h.Status == "down" {
+		t.Fatalf("cluster down after leader crash, want degraded (%+v)", h)
+	}
+
+	// RF=2 on a 3-node cluster: the promoted follower recruits the third
+	// node, so the retry commits while the victim is still down — after
+	// re-appending only the records chunk two never shipped.
+	publishRetry(t, c, topic, batch, 10)
+	record(batch)
+	assertExactSequences(t, c, topic, want, "after resumed commit")
+
 	if err := c.Restart(victim); err != nil {
 		t.Fatal(err)
 	}

@@ -103,9 +103,13 @@ func (c Config) withDefaults(nodes int) Config {
 // staged is a leader-appended, not-yet-committed publish: the one
 // uncommitted region a partition may carry. The fingerprint makes a
 // retry of the same batch resume this commit instead of re-appending —
-// the exactly-once half of the publish path. committed flips when a
-// Repair pass (rather than the publisher's retry) finishes the commit,
-// so the retry returns success without touching the log.
+// the exactly-once half of the publish path. committed flips when some
+// other path (a Repair pass, or an earlier partition of the same
+// partial-failed batch) finished the commit, so the retry dedupes
+// without touching the log; the state is dropped only once the
+// publisher observes success for its whole batch (ackCommitted), so a
+// later batch that happens to carry identical content appends as a new
+// publish instead of being silently deduped.
 type staged struct {
 	fp        uint64
 	n         int
@@ -530,7 +534,25 @@ func (c *Cluster) failoverLocked(t *topicState, ps *partitionState) error {
 		c.truncatedHW.Add(ps.hw - bestEnd)
 		ps.hw = bestEnd
 	}
-	ps.inflight = nil // staged region lived on the dead leader's log
+	if st := ps.inflight; st != nil {
+		// Followers may already hold part or all of the staged region
+		// (syncFollowerLocked ships chunks before the quorum check), so
+		// the promoted log can retain it. Keep the fingerprint whenever a
+		// survivor holds any of it, so the producer's retry resumes that
+		// region — re-appending only the missing suffix — instead of
+		// staging a second copy after the surviving one.
+		switch {
+		case bestEnd <= st.first:
+			// No survivor holds any of the staged region; the retry
+			// re-stages the whole batch on the new leader.
+			ps.inflight = nil
+		case bestEnd < st.first+int64(st.n):
+			// A strict prefix survived. The region is incomplete again no
+			// matter who committed it before, so the retry must re-append
+			// the lost suffix rather than dedupe against it.
+			st.committed = false
+		}
+	}
 	c.refreshFollowersLocked(ps)
 	return nil
 }

@@ -269,3 +269,40 @@ func TestClusterHealthTransitions(t *testing.T) {
 		t.Fatalf("health after restart+repair = %s (%+v)", h.Status, h)
 	}
 }
+
+// TestClusterIdenticalBatchRepublish publishes the same content twice,
+// each publish observed successful: the second is a new publish, not a
+// retry, so it must append — content-identical batches (heartbeats,
+// repeated measurements, constant-valued events) must never be silently
+// deduped against an earlier committed batch.
+func TestClusterIdenticalBatchRepublish(t *testing.T) {
+	c := testCluster(t, 3, 2)
+	const topic = "telemetry"
+	if err := c.CreateTopic(topic, stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []stream.Message{
+		{Key: []byte("hb"), Value: []byte("alive")},
+		{Key: []byte("hb"), Value: []byte("alive")},
+	}
+	for i := 0; i < 2; i++ {
+		if n, err := c.PublishBatch(topic, msgs); err != nil || n != len(msgs) {
+			t.Fatalf("publish %d = (%d, %v), want (%d, nil)", i, n, err, len(msgs))
+		}
+	}
+	p := expectPartition([]byte("hb"), 2)
+	if recs := fetchAll(t, c, topic, p); len(recs) != 4 {
+		t.Fatalf("identical republish deduped: %d records, want 4", len(recs))
+	}
+	// Publish must report each record's own committed offset even when
+	// the content repeats.
+	for i := 0; i < 2; i++ {
+		part, off, err := c.Publish(topic, []byte("hb"), []byte("alive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part != p || off != int64(4+i) {
+			t.Fatalf("publish %d landed at %d/%d, want %d/%d", i, part, off, p, 4+i)
+		}
+	}
+}

@@ -81,7 +81,7 @@ func (c *Cluster) PublishBatch(topicName string, msgs []stream.Message) (int, er
 		if len(sub) == 0 {
 			continue
 		}
-		if err := c.publishPart(t, t.parts[p], sub); err != nil {
+		if _, err := c.publishPart(t, t.parts[p], sub); err != nil {
 			failed = append(failed, sub...)
 			failErr = err
 			continue
@@ -91,7 +91,31 @@ func (c *Cluster) PublishBatch(topicName string, msgs []stream.Message) (int, er
 	if failErr != nil {
 		return published, &stream.PartialPublishError{Published: published, Failed: failed, Err: failErr}
 	}
+	// The whole batch committed and the caller is about to observe
+	// success, so no retry of it can arrive: drop each partition's dedup
+	// state. Until this point it must survive — a partial failure retries
+	// the full batch, and the partitions that already committed dedupe
+	// their sub-batches by fingerprint. Dropping it now is what lets a
+	// later batch with identical content (heartbeats, constant-valued
+	// events) append as a new publish instead of being silently deduped.
+	for p, sub := range byPart {
+		if len(sub) == 0 {
+			continue
+		}
+		c.ackCommitted(t.parts[p], fingerprintMsgs(sub), len(sub))
+	}
 	return published, nil
+}
+
+// ackCommitted drops a partition's committed-batch dedup state once the
+// publisher has observed success for its whole batch. A mismatched
+// fingerprint means another publisher already staged new work; leave it.
+func (c *Cluster) ackCommitted(ps *partitionState, fp uint64, n int) {
+	ps.mu.Lock()
+	if st := ps.inflight; st != nil && st.committed && st.fp == fp && st.n == n {
+		ps.inflight = nil
+	}
+	ps.mu.Unlock()
 }
 
 // Publish publishes one record, returning its partition and committed
@@ -108,12 +132,15 @@ func (c *Cluster) Publish(topicName string, key, value []byte) (int, int64, erro
 		p = int(fnv32(key) % uint32(len(t.parts)))
 	}
 	ps := t.parts[p]
-	if err := c.publishPart(t, ps, []stream.Message{{Key: key, Value: value}}); err != nil {
+	msgs := []stream.Message{{Key: key, Value: value}}
+	// publishPart reports the record's committed offset from the staged
+	// region while it still holds the partition lock; reading hw-1 after
+	// relocking would race with concurrent publishers to the partition.
+	off, err := c.publishPart(t, ps, msgs)
+	if err != nil {
 		return 0, 0, err
 	}
-	ps.mu.Lock()
-	off := ps.hw - 1
-	ps.mu.Unlock()
+	c.ackCommitted(ps, fingerprintMsgs(msgs), len(msgs))
 	return p, off, nil
 }
 
@@ -121,12 +148,14 @@ func (c *Cluster) Publish(topicName string, key, value []byte) (int, int64, erro
 // the leader log, replicate [hw, leaderEnd) to followers, commit (advance
 // hw) once Quorum replicas hold it. The partition lock serializes
 // publishes, so at most one staged batch exists at a time — that is what
-// lets a fingerprint match identify "the same batch, retried".
-func (c *Cluster) publishPart(t *topicState, ps *partitionState, msgs []stream.Message) error {
+// lets a fingerprint match identify "the same batch, retried". It
+// returns the batch's first committed offset, taken from the staged
+// region while the lock is held.
+func (c *Cluster) publishPart(t *topicState, ps *partitionState, msgs []stream.Message) (int64, error) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if err := c.ensureLeaderLocked(t, ps); err != nil {
-		return err
+		return 0, err
 	}
 	fp := fingerprintMsgs(msgs)
 	if st := ps.inflight; st != nil && st.fp == fp && st.n == len(msgs) {
@@ -134,7 +163,7 @@ func (c *Cluster) publishPart(t *topicState, ps *partitionState, msgs []stream.M
 		// partially, after a failover). Resume the commit, never
 		// re-append the whole batch.
 		if st.committed {
-			return nil // a Repair pass finished the commit for us
+			return st.first, nil // a Repair pass finished the commit for us
 		}
 		return c.commitStagedLocked(t, ps, msgs)
 	}
@@ -143,33 +172,34 @@ func (c *Cluster) publishPart(t *topicState, ps *partitionState, msgs []stream.M
 		// retrying. Resolve the old region first (commit whatever the
 		// leader log holds) so a single staged region remains.
 		if err := c.commitSuffixLocked(t, ps); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	ps.inflight = nil
 	ld := c.node(ps.leader)
 	if ld == nil || !ld.Alive() {
-		return &nodeDownError{id: ps.leader}
+		return 0, &nodeDownError{id: ps.leader}
 	}
 	if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-		return err
+		return 0, err
 	}
 	first, err := ld.Broker.PublishBatchTo(t.name, ps.idx, msgs)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ps.inflight = &staged{fp: fp, n: len(msgs), first: first}
 	return c.commitStagedLocked(t, ps, msgs)
 }
 
 // commitStagedLocked finishes committing the staged batch, re-appending
-// whatever suffix a failover lost. The new leader's end offset can only
-// be inside [hw, first+n]: below first+n when the promoted follower had
-// not replicated the whole staged batch, never above because the
-// partition lock admits no other publish while a batch is staged.
-func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []stream.Message) error {
+// whatever suffix a failover lost, and returns the batch's first
+// committed offset. The new leader's end offset can only be inside
+// [hw, first+n]: below first+n when the promoted follower had not
+// replicated the whole staged batch, never above because the partition
+// lock admits no other publish while a batch is staged.
+func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []stream.Message) (int64, error) {
 	if err := c.ensureLeaderLocked(t, ps); err != nil {
-		return err
+		return 0, err
 	}
 	st := ps.inflight
 	if st == nil {
@@ -177,29 +207,29 @@ func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []s
 		// the whole batch is gone from every surviving log. Re-stage it.
 		ld := c.node(ps.leader)
 		if ld == nil || !ld.Alive() {
-			return &nodeDownError{id: ps.leader}
+			return 0, &nodeDownError{id: ps.leader}
 		}
 		if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-			return err
+			return 0, err
 		}
 		first, err := ld.Broker.PublishBatchTo(t.name, ps.idx, msgs)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		st = &staged{fp: fingerprintMsgs(msgs), n: len(msgs), first: first}
 		ps.inflight = st
 	}
 	ld := c.node(ps.leader)
 	if ld == nil || !ld.Alive() {
-		return &nodeDownError{id: ps.leader}
+		return 0, &nodeDownError{id: ps.leader}
 	}
 	end, err := ld.Broker.EndOffset(t.name, ps.idx)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	want := st.first + int64(st.n)
 	if end > want {
-		return fmt.Errorf("cluster: %s/%d leader end %d beyond staged region end %d",
+		return 0, fmt.Errorf("cluster: %s/%d leader end %d beyond staged region end %d",
 			t.name, ps.idx, end, want)
 	}
 	if end < want {
@@ -210,21 +240,24 @@ func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []s
 			missing = msgs[end-st.first:]
 		}
 		if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-			return err
+			return 0, err
 		}
 		first2, err := ld.Broker.PublishBatchTo(t.name, ps.idx, missing)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if first2 != end {
-			return fmt.Errorf("cluster: %s/%d staged re-append landed at %d, want %d",
+			return 0, fmt.Errorf("cluster: %s/%d staged re-append landed at %d, want %d",
 				t.name, ps.idx, first2, end)
 		}
 		if end <= st.first {
 			st.first = first2 // whole batch was lost; region restarts here
 		}
 	}
-	return c.commitSuffixLocked(t, ps)
+	if err := c.commitSuffixLocked(t, ps); err != nil {
+		return 0, err
+	}
+	return st.first, nil
 }
 
 // commitSuffixLocked replicates the leader log's uncommitted suffix
@@ -241,15 +274,23 @@ func (c *Cluster) commitSuffixLocked(t *topicState, ps *partitionState) error {
 	if err != nil {
 		return err
 	}
-	// A dead follower would pin the partition below quorum until the
-	// next repair pass; re-pick followers from live members instead, so
-	// a single node loss degrades durability for exactly one commit —
-	// the replacement is caught up inline below before it acks.
-	for _, r := range ps.followers {
-		if n := c.node(r); n == nil || !n.Alive() {
-			c.refreshFollowersLocked(ps)
-			break
+	// A dead follower — or a follower set left short by a failover when
+	// fewer than RF members were alive — would pin the partition below
+	// quorum until the next repair pass; re-pick followers from live
+	// members instead, so a node loss (or a restart that restores RF
+	// live members) changes durability for exactly one commit — the
+	// replacement is caught up inline below before it acks.
+	refresh := len(ps.followers) < c.cfg.RF-1
+	if !refresh {
+		for _, r := range ps.followers {
+			if n := c.node(r); n == nil || !n.Alive() {
+				refresh = true
+				break
+			}
 		}
+	}
+	if refresh {
+		c.refreshFollowersLocked(ps)
 	}
 	ps.acked[ps.leader] = lend
 	acks := 1
