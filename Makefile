@@ -22,9 +22,10 @@ test:
 # the serving layer (gateway token buckets + priority admission,
 # httpapi handlers + prepared-query registry), and the continuous-query
 # engine (concurrent Apply/Read/Subscribe/checkpoint under a live pump),
-# and the replicated cluster (quorum publish, failover, scatter-gather).
+# the replicated cluster (quorum publish, failover, scatter-gather), and
+# the per-node WAL (concurrent appends/syncs against replay and close).
 race:
-	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi ./internal/cq ./internal/cluster
+	$(GO) test -race ./internal/stream ./internal/tsdb ./internal/core ./internal/logsearch ./internal/columnar ./internal/faults ./internal/resilience ./internal/sproc ./internal/obs ./internal/objstore ./internal/archive ./internal/gateway ./internal/httpapi ./internal/cq ./internal/cluster ./internal/wal
 
 # Chaos pass: the full pipeline under deterministic fault injection with
 # the race detector on. ODA_CHAOS_SEED pins the injection schedule so a
@@ -34,10 +35,16 @@ chaos:
 	ODA_CHAOS_SEED=$(ODA_CHAOS_SEED) $(GO) test -race -count=1 -run 'Chaos' ./internal/core -v
 
 # Cluster chaos pass: kill-a-node, kill-the-leader-mid-publish,
-# asymmetric link partition, join/leave rebalance, and CQ-pump failover
-# resume, all under the race detector with a pinned fault schedule. Each
-# scenario asserts exactly-once committed data and degraded-not-down
-# serving at every step.
+# asymmetric link partition, join/leave rebalance, CQ-pump failover
+# resume, the WAL crash-point sweep (kill a node at every WAL
+# append/fsync boundary, restart it from disk, require a byte-identical
+# committed prefix), and restart-from-disk under a partial transport
+# partition — all under the race detector with a pinned fault schedule.
+# Each scenario asserts exactly-once committed data and degraded-not-down
+# serving at every step. ODA_CHAOS_SEED drives both the fault schedules
+# and the crash-point workloads: a failure message names the seed, and
+# `make chaos-cluster ODA_CHAOS_SEED=<seed>` replays that exact run
+# (boundary counts, publish contents, and injection points included).
 chaos-cluster:
 	ODA_CHAOS_SEED=$(ODA_CHAOS_SEED) $(GO) test -race -count=1 -run 'ChaosCluster' ./internal/cluster -v
 
@@ -88,13 +95,15 @@ bench-cq:
 
 # Cluster deployment grid: replicated publish throughput at
 # nodes/rf = 1/1, 3/1, 3/2 (the RF=2 column prices the follower-ack
-# quorum wait), plus kill/restart failover cycles measuring
-# time-to-first-committed-publish and time-to-health-ok; rows land in
-# BENCH_cluster.json.
+# quorum wait), kill/restart failover cycles measuring
+# time-to-first-committed-publish and time-to-health-ok, and the warm
+# node recovery pair — peer resync vs WAL disk replay under an identical
+# modeled per-hop transport latency; rows land in BENCH_cluster.json.
 bench-cluster:
 	rm -f $(CURDIR)/BENCH_cluster.json
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_cluster.json $(GO) test -run xxx -bench 'ClusterPublish' -benchtime 100000x -timeout 600s .
 	ODA_BENCH_JSON=$(CURDIR)/BENCH_cluster.json $(GO) test -run xxx -bench 'ClusterFailover' -benchtime 20x -timeout 600s .
+	ODA_BENCH_JSON=$(CURDIR)/BENCH_cluster.json $(GO) test -run xxx -bench 'ClusterRecovery' -benchtime 20x -timeout 600s .
 
 # Fuzz smoke: 30 seconds per fuzz target on top of the committed corpora
 # (testdata/fuzz). Decoders for untrusted bytes must error, never panic.
@@ -102,6 +111,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeRow -fuzztime 30s ./internal/schema
 	$(GO) test -run xxx -fuzz FuzzFileReader -fuzztime 30s ./internal/columnar
 	$(GO) test -run xxx -fuzz FuzzColumnarExt -fuzztime 30s ./internal/columnar
+	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 
 verify: vet build test race chaos chaos-cluster fuzz-smoke bench-federate bench-serve bench-cq
 

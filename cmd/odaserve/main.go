@@ -62,6 +62,7 @@ func main() {
 		cqDir     = flag.String("cq-checkpoint-dir", "", "CQ pump checkpoint directory (crash-consistent restore); empty disables")
 		cnodes    = flag.Int("cluster-nodes", 0, "serve lake queries from an N-node replicated cluster; 0 disables")
 		rf        = flag.Int("rf", 2, "cluster replication factor (with -cluster-nodes)")
+		walDir    = flag.String("wal-dir", "", "cluster per-node WAL directory (crash recovery from disk); empty keeps nodes memory-only")
 	)
 	flag.Parse()
 
@@ -125,6 +126,7 @@ func main() {
 		}
 		c, err := oda.NewCluster(ids, oda.ClusterConfig{
 			RF: *rf, LakeOptions: tsdb.Options{RollupInterval: f.Opts.SilverWindow},
+			WALDir: *walDir,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net/url"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"odakit/internal/resilience"
 	"odakit/internal/stream"
 	"odakit/internal/tsdb"
+	"odakit/internal/wal"
 )
 
 // Cluster errors.
@@ -79,6 +82,16 @@ type Config struct {
 	// Clock supplies timestamps for failover timing metrics (default
 	// time.Now); chaos tests inject a fake.
 	Clock func() time.Time
+	// WALDir, when non-empty, gives every node a persistent write-ahead
+	// log under WALDir/<node id>: leaders and followers append+fsync
+	// replicated records before acking, and Restart replays the local
+	// WAL to rebuild the node's broker logs and lake hot tier before
+	// fetching only the missing suffix from peers. Empty keeps the
+	// memory-only behavior (a restarted node resyncs wholesale).
+	WALDir string
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (wal.DefaultSegmentBytes when zero).
+	WALSegmentBytes int64
 }
 
 func (c Config) withDefaults(nodes int) Config {
@@ -97,7 +110,19 @@ func (c Config) withDefaults(nodes int) Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = wal.DefaultSegmentBytes
+	}
 	return c
+}
+
+// nodeWAL places a node's write-ahead log under WALDir/<escaped id>;
+// the zero wal.Config (empty Dir) disables the WAL entirely.
+func (c Config) nodeWAL(id string) wal.Config {
+	if c.WALDir == "" {
+		return wal.Config{}
+	}
+	return wal.Config{Dir: filepath.Join(c.WALDir, url.PathEscape(id)), SegmentBytes: c.WALSegmentBytes}
 }
 
 // staged is a leader-appended, not-yet-committed publish: the one
@@ -133,6 +158,18 @@ type partitionState struct {
 	acked     map[string]int64 // replica → replicated end offset (as of last sync)
 	hw        int64            // high watermark: reads stop here
 	inflight  *staged
+	truncs    []hwTrunc // beyond-quorum hw truncations, for stale-WAL fencing
+}
+
+// hwTrunc records one beyond-quorum truncation: at epoch, the committed
+// prefix was cut back to off. A restarting node whose WAL's last commit
+// barrier predates epoch must not trust offsets ≥ off — the cluster may
+// have rewritten them — so WAL recovery fences its replay below the
+// earliest truncation newer than its barrier (leader-epoch fencing, in
+// the Kafka sense).
+type hwTrunc struct {
+	epoch int64
+	off   int64
 }
 
 type topicState struct {
@@ -162,6 +199,11 @@ type Cluster struct {
 	lmu      sync.Mutex
 	servers  [tsdb.NumStripes]map[string]bool
 	stripeMu [tsdb.NumStripes]sync.Mutex
+	// stripeSeqs[s] counts stripe s's committed insert batches (guarded
+	// by stripeMu[s]); replica WALs record each batch under its sequence
+	// so recovery can tell a fully-caught-up stripe from one missing a
+	// suffix.
+	stripeSeqs [tsdb.NumStripes]atomic.Int64
 
 	epoch atomic.Int64 // bumps on every membership event
 
@@ -173,6 +215,14 @@ type Cluster struct {
 	committed      atomic.Int64 // committed publish batches
 	replicated     atomic.Int64 // records shipped leader → follower
 	truncatedHW    atomic.Int64 // committed records lost to multi-failure
+
+	// WAL counters (all zero when Config.WALDir is empty).
+	walCrashes          atomic.Int64 // nodes failed because their WAL could not persist
+	walRecoveredRecords atomic.Int64 // partition records rebuilt from local WALs
+	walRecoveredRows    atomic.Int64 // lake rows rebuilt from local WALs
+	walRecoveriesDisk   atomic.Int64 // Restarts that recovered state from disk
+	walRecoveriesPeer   atomic.Int64 // Restarts that came back empty (peer resync)
+	lakeCatchups        atomic.Int64 // stripe suffix catch-ups from a peer's WAL
 }
 
 // New builds a cluster of the given node IDs. The node list is the
@@ -200,7 +250,11 @@ func New(nodeIDs []string, cfg Config) (*Cluster, error) {
 		topics:    make(map[string]*topicState),
 	}
 	for _, id := range nodeIDs {
-		c.nodes[id] = newNode(id, cfg.LakeOptions)
+		n, err := newNode(id, cfg.LakeOptions, cfg.nodeWAL(id))
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[id] = n
 		c.ring.Add(id)
 	}
 	for s := range c.servers {
@@ -369,10 +423,13 @@ func (c *Cluster) Kill(id string) error {
 	return nil
 }
 
-// Restart brings a killed node back empty — the crash wiped its broker
-// logs and lake store — and re-enters it into the membership. Repair
-// replays it back into every replica set it belongs to (catch-up from
-// the leaders' logs, stripe resync from clean lake replicas).
+// Restart brings a killed node back and re-enters it into the
+// membership. Without a WAL the crash wiped its broker logs and lake
+// store, so it returns empty and Repair re-replicates it wholesale.
+// With one, the local WAL replays first — rebuilding the broker logs
+// (fenced below any truncation a newer epoch performed, so a stale WAL
+// cannot resurrect superseded records) and the lake hot tier — and
+// Repair then ships only the suffix past the recovered high watermark.
 func (c *Cluster) Restart(id string) error {
 	n := c.node(id)
 	if n == nil {
@@ -382,6 +439,8 @@ func (c *Cluster) Restart(id string) error {
 		return nil
 	}
 	// Wipe: recreate every replicated topic empty, swap in a fresh lake.
+	// With a WAL this is still the starting point — recovery replays the
+	// log into the fresh broker and store.
 	for _, t := range c.topicList() {
 		_ = n.Broker.DeleteTopic(t.name)
 		if err := n.Broker.EnsureTopic(t.name, t.cfg); err != nil {
@@ -389,6 +448,9 @@ func (c *Cluster) Restart(id string) error {
 		}
 	}
 	n.resetLake(c.cfg.LakeOptions)
+	for s := range n.stripeSeq {
+		n.stripeSeq[s].Store(0)
+	}
 	c.lmu.Lock()
 	for s := range c.servers {
 		delete(c.servers[s], id)
@@ -399,6 +461,17 @@ func (c *Cluster) Restart(id string) error {
 			ps.mu.Lock()
 			delete(ps.acked, id) // its log restarted at zero
 			ps.mu.Unlock()
+		}
+	}
+	if n.walCfg.Dir != "" {
+		w, err := n.reopenWAL()
+		if err != nil {
+			return fmt.Errorf("cluster: restart %s: %w", id, err)
+		}
+		if c.recoverNode(n, w) {
+			c.walRecoveriesDisk.Add(1)
+		} else {
+			c.walRecoveriesPeer.Add(1)
 		}
 	}
 	n.alive.Store(true)
@@ -418,7 +491,11 @@ func (c *Cluster) AddNode(id string) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: node %s already present", id)
 	}
-	n := newNode(id, c.cfg.LakeOptions)
+	n, err := newNode(id, c.cfg.LakeOptions, c.cfg.nodeWAL(id))
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
 	for _, t := range c.topics {
 		if err := n.Broker.EnsureTopic(t.name, t.cfg); err != nil {
 			c.mu.Unlock()
@@ -530,9 +607,12 @@ func (c *Cluster) failoverLocked(t *topicState, ps *partitionState) error {
 	if bestEnd < ps.hw {
 		// More nodes died than the quorum tolerates: committed records
 		// beyond the survivor's log are gone. Record the truncation
-		// honestly instead of serving offsets no replica holds.
+		// honestly instead of serving offsets no replica holds, and keep
+		// the fence so a dead replica's WAL — written before this epoch —
+		// cannot replay the superseded region back into the cluster.
 		c.truncatedHW.Add(ps.hw - bestEnd)
 		ps.hw = bestEnd
+		ps.truncs = append(ps.truncs, hwTrunc{epoch: ps.epoch, off: bestEnd})
 	}
 	if st := ps.inflight; st != nil {
 		// Followers may already hold part or all of the staged region

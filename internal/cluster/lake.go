@@ -47,7 +47,12 @@ func (c *Cluster) InsertBatch(obs []schema.Observation) error {
 	return firstErr
 }
 
-// insertStripe applies one stripe's sub-batch to every in-sync replica.
+// insertStripe applies one stripe's sub-batch to every in-sync replica
+// under the next cluster-wide stripe sequence number. Each replica logs
+// the batch (append + fsync) on its WAL before counting toward the ack;
+// the cluster sequence advances only once some replica applied it, so a
+// WAL replay can always tell a fully-caught-up replica from one missing
+// a suffix.
 func (c *Cluster) insertStripe(s int, sub []schema.Observation) error {
 	c.stripeMu[s].Lock()
 	defer c.stripeMu[s].Unlock()
@@ -55,6 +60,7 @@ func (c *Cluster) insertStripe(s int, sub []schema.Observation) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("%w: %d", ErrStripeDown, s)
 	}
+	seq := c.stripeSeqs[s].Load() + 1
 	applied := 0
 	for _, id := range targets {
 		n := c.node(id)
@@ -72,15 +78,27 @@ func (c *Cluster) insertStripe(s int, sub []schema.Observation) error {
 		})
 		if err != nil {
 			// The replica may or may not hold this batch now — either
-			// way it can no longer be trusted to match its peers.
+			// way it can no longer be trusted to match its peers, and
+			// its position in the stripe history is unknown (-1), so a
+			// WAL suffix catch-up can never resume from it.
+			n.stripeSeq[s].Store(-1)
 			c.markStripeUnsynced(s, id)
 			continue
 		}
+		if err := c.walAppendInsert(n, s, seq, sub); err != nil {
+			// The WAL failure crashed the node; its lake held the batch
+			// but nothing durable says so, which is exactly the state a
+			// crash after apply would leave — drop it from serving.
+			c.markStripeUnsynced(s, id)
+			continue
+		}
+		n.stripeSeq[s].Store(seq)
 		applied++
 	}
 	if applied == 0 {
 		return fmt.Errorf("%w: %d (all replicas failed the insert)", ErrStripeDown, s)
 	}
+	c.stripeSeqs[s].Store(seq)
 	return nil
 }
 
@@ -348,6 +366,13 @@ func (c *Cluster) repairStripe(s int) error {
 		if have[id] {
 			continue
 		}
+		// Cheap path first: replay only the missing suffix out of a live
+		// peer's WAL. Falls back to the wholesale copy when the target's
+		// position is unknown or the peer's log cannot reach back to it.
+		if c.catchupStripeFromWAL(s, src, id) {
+			have[id] = true
+			continue
+		}
 		if err := c.resyncStripe(s, src, id); err != nil {
 			return err
 		}
@@ -367,6 +392,12 @@ func (c *Cluster) repairStripe(s int) error {
 			c.markStripeUnsynced(s, id)
 			if n := c.node(id); n != nil && n.Alive() {
 				_ = n.Lake().DropStripes([]int{s})
+				// The replica holds nothing now; a stale sequence (or WAL
+				// history) would claim otherwise on the next recovery.
+				n.stripeSeq[s].Store(0)
+				if w := n.WAL(); w != nil {
+					_ = w.Remove(stripeLog(s))
+				}
 			}
 		}
 	}
@@ -375,7 +406,11 @@ func (c *Cluster) repairStripe(s int) error {
 
 // resyncStripe copies stripe s from src onto tgt: drop whatever tgt
 // holds, then import src's order-preserving export. Caller holds
-// stripeMu[s], so the copy is atomic with respect to inserts.
+// stripeMu[s], so the copy is atomic with respect to inserts. The
+// target's stripe WAL resets — an out-of-band copy is state its log
+// never described, so the stripe is no longer disk-recoverable on tgt
+// (its history restarts mid-sequence); only peer catch-up or another
+// wholesale copy can rebuild it after tgt's next crash.
 func (c *Cluster) resyncStripe(s int, src, tgt string) error {
 	sn, tn := c.node(src), c.node(tgt)
 	if sn == nil || !sn.Alive() {
@@ -398,6 +433,10 @@ func (c *Cluster) resyncStripe(s int, src, tgt string) error {
 		if err := tn.Lake().ImportRollups(frame); err != nil {
 			return err
 		}
+		if w := tn.WAL(); w != nil {
+			_ = w.Remove(stripeLog(s))
+		}
+		tn.stripeSeq[s].Store(c.stripeSeqs[s].Load())
 		c.lmu.Lock()
 		c.servers[s][tgt] = true
 		c.lmu.Unlock()

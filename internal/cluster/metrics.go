@@ -5,6 +5,7 @@ import (
 
 	"odakit/internal/obs"
 	"odakit/internal/tsdb"
+	"odakit/internal/wal"
 )
 
 // Instrument registers the oda_cluster_* metric family with an obs
@@ -76,6 +77,55 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 					Help:  "Worst live-follower lag behind the high watermark, in records.",
 					Value: float64(lag)})
 			}
+		}
+
+		// WAL activity, aggregated across every node that has one. The
+		// recovery counters always emit (they distinguish disk-backed
+		// restarts from peer resyncs); the oda_wal_* I/O family emits
+		// only when at least one node actually runs a WAL.
+		emit(obs.Sample{Name: "oda_cluster_wal_crashes_total", Kind: obs.KindCounter,
+			Help: "Nodes failed because their WAL could not persist.", Value: float64(c.walCrashes.Load())})
+		emit(obs.Sample{Name: "oda_cluster_wal_recovered_records_total", Kind: obs.KindCounter,
+			Help: "Partition records rebuilt from local WALs on restart.", Value: float64(c.walRecoveredRecords.Load())})
+		emit(obs.Sample{Name: "oda_cluster_wal_recovered_rows_total", Kind: obs.KindCounter,
+			Help: "Lake rows rebuilt from local WALs on restart.", Value: float64(c.walRecoveredRows.Load())})
+		emit(obs.Sample{Name: "oda_cluster_recoveries_total" + obs.Labels("source", "disk"),
+			Kind: obs.KindCounter, Family: "oda_cluster_recoveries_total",
+			Help:  "Node restarts by recovery source (disk replay vs peer resync).",
+			Value: float64(c.walRecoveriesDisk.Load())})
+		emit(obs.Sample{Name: "oda_cluster_recoveries_total" + obs.Labels("source", "peer"),
+			Kind: obs.KindCounter, Family: "oda_cluster_recoveries_total",
+			Help:  "Node restarts by recovery source (disk replay vs peer resync).",
+			Value: float64(c.walRecoveriesPeer.Load())})
+		emit(obs.Sample{Name: "oda_cluster_lake_wal_catchups_total", Kind: obs.KindCounter,
+			Help: "Lake stripe suffix catch-ups served from a peer's WAL.", Value: float64(c.lakeCatchups.Load())})
+		var ws wal.Stats
+		haveWAL := false
+		c.mu.RLock()
+		for _, n := range c.nodes {
+			if w := n.WAL(); w != nil {
+				ws.Add(w.Stats())
+				haveWAL = true
+			}
+		}
+		c.mu.RUnlock()
+		if haveWAL {
+			emit(obs.Sample{Name: "oda_wal_appends_total", Kind: obs.KindCounter,
+				Help: "WAL entries staged for append, all nodes.", Value: float64(ws.Appends)})
+			emit(obs.Sample{Name: "oda_wal_appended_bytes_total", Kind: obs.KindCounter,
+				Help: "WAL frame bytes flushed to segments, all nodes.", Value: float64(ws.AppendedBytes)})
+			emit(obs.Sample{Name: "oda_wal_fsyncs_total", Kind: obs.KindCounter,
+				Help: "WAL durability barriers (Sync) completed, all nodes.", Value: float64(ws.Fsyncs)})
+			emit(obs.Sample{Name: "oda_wal_segments_rotated_total", Kind: obs.KindCounter,
+				Help: "WAL segments sealed by rotation, all nodes.", Value: float64(ws.Rotations)})
+			emit(obs.Sample{Name: "oda_wal_replayed_entries_total", Kind: obs.KindCounter,
+				Help: "WAL entries streamed by recovery replays, all nodes.", Value: float64(ws.ReplayedEntries)})
+			emit(obs.Sample{Name: "oda_wal_replayed_bytes_total", Kind: obs.KindCounter,
+				Help: "Valid WAL frame bytes read by replays, all nodes.", Value: float64(ws.ReplayedBytes)})
+			emit(obs.Sample{Name: "oda_wal_truncated_tails_total", Kind: obs.KindCounter,
+				Help: "Torn-tail truncation events on WAL open, all nodes.", Value: float64(ws.TruncatedTails)})
+			emit(obs.Sample{Name: "oda_wal_truncated_bytes_total", Kind: obs.KindCounter,
+				Help: "Bytes discarded by WAL truncation, all nodes.", Value: float64(ws.TruncatedBytes)})
 		}
 
 		// Stripe replica population, summarized to one gauge per count so

@@ -1,30 +1,54 @@
 package cluster
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"odakit/internal/stream"
 	"odakit/internal/tsdb"
+	"odakit/internal/wal"
 )
 
-// Node is one cluster member: its own broker (STREAM replica logs) and
-// its own tsdb store (LAKE stripe replicas). Nodes are in-process;
-// Kill/Restart simulate a crash — a restarted node comes back empty and
-// re-replicates, exactly like a storage server that lost its memory-
-// resident hot tier.
+// Node is one cluster member: its own broker (STREAM replica logs), its
+// own tsdb store (LAKE stripe replicas), and — when the cluster is
+// configured with a WAL directory — its own write-ahead log. Nodes are
+// in-process; Kill/Restart simulate a crash. Without a WAL a restarted
+// node comes back empty and re-replicates wholesale; with one, Restart
+// replays the local log and fetches only the missing suffix from peers.
 type Node struct {
 	ID     string
 	Broker *stream.Broker
 
 	lake  atomic.Pointer[tsdb.DB]
 	alive atomic.Bool
+
+	// wlog is the node's write-ahead log handle; nil when the cluster
+	// runs without one. The pointer swaps wholesale on Restart (the
+	// crash-restart boundary): the old handle is abandoned un-flushed
+	// and a fresh one re-reads the directory, exactly like a new
+	// process reopening its data dir.
+	wlog   atomic.Pointer[wal.NodeWAL]
+	walCfg wal.Config
+
+	// stripeSeq[s] is the last lake insert-batch sequence this node
+	// applied to stripe s (0 = none, -1 = unknown after a failed
+	// insert). It trails the cluster's per-stripe sequence so recovery
+	// knows which suffix of the stripe's history this replica misses.
+	stripeSeq [tsdb.NumStripes]atomic.Int64
 }
 
-func newNode(id string, lakeOpts tsdb.Options) *Node {
-	n := &Node{ID: id, Broker: stream.NewBroker()}
+func newNode(id string, lakeOpts tsdb.Options, walCfg wal.Config) (*Node, error) {
+	n := &Node{ID: id, Broker: stream.NewBroker(), walCfg: walCfg}
 	n.lake.Store(tsdb.New(lakeOpts))
+	if walCfg.Dir != "" {
+		w, err := wal.Open(walCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s wal: %w", id, err)
+		}
+		n.wlog.Store(w)
+	}
 	n.alive.Store(true)
-	return n
+	return n, nil
 }
 
 // Lake returns the node's current tsdb store. The pointer is swapped
@@ -32,8 +56,30 @@ func newNode(id string, lakeOpts tsdb.Options) *Node {
 // once per operation rather than caching it.
 func (n *Node) Lake() *tsdb.DB { return n.lake.Load() }
 
+// WAL returns the node's current write-ahead log handle (nil when the
+// cluster runs without one). Grab it once per operation: Restart swaps
+// it, and operations against a swapped-out handle fail with
+// wal.ErrClosed — which the write paths treat as the crash it is.
+func (n *Node) WAL() *wal.NodeWAL { return n.wlog.Load() }
+
 // Alive reports whether the node is up.
 func (n *Node) Alive() bool { return n.alive.Load() }
 
 // resetLake replaces the store with an empty one (crash-restart wipe).
 func (n *Node) resetLake(opts tsdb.Options) { n.lake.Store(tsdb.New(opts)) }
+
+// reopenWAL crosses the process-restart boundary: the old handle is
+// abandoned (buffered, never-fsynced entries drop — a real crash lost
+// them) and the directory reopens from disk, torn-tail truncation and
+// all. In-flight writers holding the old handle get wal.ErrClosed.
+func (n *Node) reopenWAL() (*wal.NodeWAL, error) {
+	if old := n.wlog.Swap(nil); old != nil {
+		old.Abandon()
+	}
+	w, err := wal.Open(n.walCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.wlog.Store(w)
+	return w, nil
+}

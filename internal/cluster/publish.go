@@ -176,14 +176,7 @@ func (c *Cluster) publishPart(t *topicState, ps *partitionState, msgs []stream.M
 		}
 	}
 	ps.inflight = nil
-	ld := c.node(ps.leader)
-	if ld == nil || !ld.Alive() {
-		return 0, &nodeDownError{id: ps.leader}
-	}
-	if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-		return 0, err
-	}
-	first, err := ld.Broker.PublishBatchTo(t.name, ps.idx, msgs)
+	first, err := c.stageOnLeaderLocked(t, ps, msgs)
 	if err != nil {
 		return 0, err
 	}
@@ -205,14 +198,7 @@ func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []s
 	if st == nil {
 		// A failover between retries dropped the staged region below hw:
 		// the whole batch is gone from every surviving log. Re-stage it.
-		ld := c.node(ps.leader)
-		if ld == nil || !ld.Alive() {
-			return 0, &nodeDownError{id: ps.leader}
-		}
-		if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-			return 0, err
-		}
-		first, err := ld.Broker.PublishBatchTo(t.name, ps.idx, msgs)
+		first, err := c.stageOnLeaderLocked(t, ps, msgs)
 		if err != nil {
 			return 0, err
 		}
@@ -239,10 +225,7 @@ func (c *Cluster) commitStagedLocked(t *topicState, ps *partitionState, msgs []s
 		if end > st.first {
 			missing = msgs[end-st.first:]
 		}
-		if err := c.transport.call(OpPublish, routerID, ps.leader); err != nil {
-			return 0, err
-		}
-		first2, err := ld.Broker.PublishBatchTo(t.name, ps.idx, missing)
+		first2, err := c.stageOnLeaderLocked(t, ps, missing)
 		if err != nil {
 			return 0, err
 		}
@@ -295,19 +278,49 @@ func (c *Cluster) commitSuffixLocked(t *topicState, ps *partitionState) error {
 	ps.acked[ps.leader] = lend
 	acks := 1
 	var lastErr error
+	type followerAck struct {
+		id      string
+		shipped bool
+	}
+	ackedFollowers := make([]followerAck, 0, len(ps.followers))
 	for _, r := range ps.followers {
-		if err := c.syncFollowerLocked(t, ps, r, lend); err != nil {
+		shipped, err := c.syncFollowerLocked(t, ps, r, lend)
+		if err != nil {
 			lastErr = err
 			continue
 		}
+		ackedFollowers = append(ackedFollowers, followerAck{id: r, shipped: shipped})
 		acks++
 	}
 	if acks < c.cfg.Quorum {
 		c.quorumFailures.Add(1)
 		return &quorumError{topic: t.name, part: ps.idx, acks: acks, quorum: c.cfg.Quorum, cause: lastErr}
 	}
+	hwBefore := ps.hw
 	if lend > ps.hw {
 		ps.hw = lend
+	}
+	// WAL commit barriers, on the replicas whose knowledge changed this
+	// pass: the leader when hw advanced, an acked follower when it also
+	// shipped records (its log grew) or hw advanced. Quiescent repair
+	// passes change nothing and write nothing. Barrier failures crash
+	// the replica (walCrash) but never undo the quorum commit above.
+	if name := partitionLog(t.name, ps.idx); ps.hw > hwBefore {
+		_ = c.walCommitBarrier(ld, name, ps.hw, ps.epoch)
+		for _, f := range ackedFollowers {
+			if fn := c.node(f.id); fn != nil && fn.Alive() {
+				_ = c.walCommitBarrier(fn, name, ps.hw, ps.epoch)
+			}
+		}
+	} else {
+		for _, f := range ackedFollowers {
+			if !f.shipped {
+				continue
+			}
+			if fn := c.node(f.id); fn != nil && fn.Alive() {
+				_ = c.walCommitBarrier(fn, name, ps.hw, ps.epoch)
+			}
+		}
 	}
 	if ps.inflight != nil {
 		// Keep the fingerprint: a publisher retrying this batch after a
@@ -319,27 +332,31 @@ func (c *Cluster) commitSuffixLocked(t *topicState, ps *partitionState) error {
 }
 
 // syncFollowerLocked ships the leader log to one follower until the
-// follower holds [.., lend). Each hop crosses the faultable transport
-// under the retry policy; ReplicateBatch preserves leader offsets and
-// skips records the follower already holds, so re-delivery after a
-// failed session cannot duplicate or reorder.
-func (c *Cluster) syncFollowerLocked(t *topicState, ps *partitionState, id string, lend int64) error {
+// follower holds [.., lend), returning whether any records moved. Each
+// hop crosses the faultable transport under the retry policy;
+// ReplicateBatch preserves leader offsets and skips records the
+// follower already holds, so re-delivery after a failed session cannot
+// duplicate or reorder. Shipped chunks land on the follower's WAL
+// (append + fsync) before the loop continues — the follower's ack is
+// only ever granted for durable records.
+func (c *Cluster) syncFollowerLocked(t *topicState, ps *partitionState, id string, lend int64) (bool, error) {
+	shipped := false
 	f := c.node(id)
 	if f == nil || !f.Alive() {
-		return &nodeDownError{id: id}
+		return shipped, &nodeDownError{id: id}
 	}
 	ld := c.node(ps.leader)
 	if ld == nil || !ld.Alive() {
-		return &nodeDownError{id: ps.leader}
+		return shipped, &nodeDownError{id: ps.leader}
 	}
 	for {
 		fend, err := f.Broker.EndOffset(t.name, ps.idx)
 		if err != nil {
-			return err
+			return shipped, err
 		}
 		if fend >= lend {
 			ps.acked[id] = fend
-			return nil
+			return shipped, nil
 		}
 		var recs []stream.Record
 		err = resilience.Retry(context.Background(), c.cfg.Retry, func() error {
@@ -362,15 +379,19 @@ func (c *Cluster) syncFollowerLocked(t *topicState, ps *partitionState, id strin
 			return ferr
 		})
 		if err != nil {
-			return err
+			return shipped, err
 		}
 		if len(recs) == 0 {
-			return fmt.Errorf("cluster: %s/%d replication stalled at %d (leader end %d)",
+			return shipped, fmt.Errorf("cluster: %s/%d replication stalled at %d (leader end %d)",
 				t.name, ps.idx, fend, lend)
 		}
 		if err := f.Broker.ReplicateBatch(t.name, ps.idx, recs); err != nil {
-			return err
+			return shipped, err
 		}
+		if err := c.walAppendRecords(f, partitionLog(t.name, ps.idx), recs); err != nil {
+			return shipped, err
+		}
+		shipped = true
 		c.replicated.Add(int64(len(recs)))
 	}
 }

@@ -9,6 +9,7 @@
 //	stream.Broker  — "broker.fetch", "broker.publish"
 //	objstore.Store — "store.put", "store.append", "store.get"
 //	tsdb.DB        — "lake.insert"
+//	wal.NodeWAL    — "wal.open", "wal.append", "wal.fsync", "wal.replay"
 //
 // Hooks fire *before* the guarded operation mutates anything, so a
 // caller that retries an injected failure re-executes exactly once —
@@ -34,6 +35,7 @@ import (
 	"odakit/internal/objstore"
 	"odakit/internal/stream"
 	"odakit/internal/tsdb"
+	"odakit/internal/wal"
 )
 
 // Operation names the injector recognizes (the infrastructure packages
@@ -45,6 +47,10 @@ const (
 	OpStoreAppend   = "store.append"
 	OpStoreGet      = "store.get"
 	OpLakeInsert    = "lake.insert"
+	OpWALOpen       = wal.OpOpen
+	OpWALAppend     = wal.OpAppend
+	OpWALFsync      = wal.OpFsync
+	OpWALReplay     = wal.OpReplay
 )
 
 // InjectedError is the error an Injector produces. Transient faults
@@ -199,6 +205,11 @@ func (inj *Injector) InstallStore(s *objstore.Store) { s.SetFaultHook(inj.Before
 // InstallLake points the LAKE store's fault hook at this injector,
 // arming the lake.insert operation.
 func (inj *Injector) InstallLake(db *tsdb.DB) { db.SetFaultHook(inj.Before) }
+
+// InstallWAL points a node WAL's fault hook at this injector, arming
+// the wal.open, wal.append, wal.fsync, and wal.replay operations —
+// the durability boundaries crash-point suites kill at.
+func (inj *Injector) InstallWAL(w *wal.NodeWAL) { w.SetFaultHook(inj.Before) }
 
 // Install points any component exposing SetFaultHook at this injector.
 // The interface keeps faults decoupled from consumers it does not need

@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"odakit/internal/schema"
+)
+
+// Kind discriminates WAL entries.
+type Kind uint8
+
+const (
+	// KindRecord is one replicated stream record (a partition log entry).
+	KindRecord Kind = 1
+	// KindCommit is a commit barrier: every record appended before it was
+	// quorum-committed through offset HW at partition epoch Epoch.
+	KindCommit Kind = 2
+	// KindInsert is one lake stripe insert batch, tagged with its
+	// per-stripe sequence number.
+	KindInsert Kind = 3
+)
+
+// Entry is one WAL record. Kind selects which fields are meaningful.
+type Entry struct {
+	Kind Kind
+
+	// KindRecord: a partition log record. Ts is unix nanoseconds.
+	Offset int64
+	Ts     int64
+	Key    []byte
+	Value  []byte
+
+	// KindCommit: the committed high watermark and the partition epoch
+	// it was observed at.
+	HW    int64
+	Epoch int64
+
+	// KindInsert: a stripe insert batch and its sequence number.
+	Seq int64
+	Obs []schema.Observation
+}
+
+// Frame layout: [u32 payload length][u32 CRC32-C of payload][payload].
+// All integers are little-endian and fixed-width (no varints): the
+// encoding is canonical, so decoding a writer-produced WAL and
+// re-encoding it reproduces the exact bytes — the round-trip property
+// FuzzWALReplay pins.
+const (
+	frameHeader = 8
+	// MaxFrame bounds one frame's payload so a corrupt length field can
+	// never drive a giant allocation.
+	MaxFrame = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errBadEntry = errors.New("wal: bad entry")
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func appendBlob(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendEntry appends e's canonical payload encoding to b.
+func AppendEntry(b []byte, e Entry) ([]byte, error) {
+	b = append(b, byte(e.Kind))
+	switch e.Kind {
+	case KindRecord:
+		b = appendI64(b, e.Offset)
+		b = appendI64(b, e.Ts)
+		b = appendBlob(b, e.Key)
+		b = appendBlob(b, e.Value)
+	case KindCommit:
+		b = appendI64(b, e.HW)
+		b = appendI64(b, e.Epoch)
+	case KindInsert:
+		b = appendI64(b, e.Seq)
+		b = appendU32(b, uint32(len(e.Obs)))
+		for _, o := range e.Obs {
+			b = appendI64(b, o.Ts.UnixNano())
+			b = appendStr(b, o.System)
+			b = appendStr(b, o.Source)
+			b = appendStr(b, o.Component)
+			b = appendStr(b, o.Metric)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(o.Value))
+		}
+	default:
+		return b, fmt.Errorf("%w: unknown kind %d", errBadEntry, e.Kind)
+	}
+	return b, nil
+}
+
+type decoder struct{ b []byte }
+
+func (d *decoder) u32() (uint32, bool) {
+	if len(d.b) < 4 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v, true
+}
+
+func (d *decoder) i64() (int64, bool) {
+	if len(d.b) < 8 {
+		return 0, false
+	}
+	v := int64(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v, true
+}
+
+// blob copies the length-prefixed bytes out of the buffer (a zero
+// length decodes to nil) so entries never alias the replay buffer.
+func (d *decoder) blob() ([]byte, bool) {
+	n, ok := d.u32()
+	if !ok || int64(n) > int64(len(d.b)) {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, true
+	}
+	out := make([]byte, n)
+	copy(out, d.b)
+	d.b = d.b[n:]
+	return out, true
+}
+
+func (d *decoder) str() (string, bool) {
+	n, ok := d.u32()
+	if !ok || int64(n) > int64(len(d.b)) {
+		return "", false
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, true
+}
+
+// DecodeEntry decodes one canonical payload. Trailing bytes after the
+// entry make the payload invalid — canonical encodings have exactly one
+// byte representation per entry.
+func DecodeEntry(p []byte) (Entry, error) {
+	if len(p) == 0 {
+		return Entry{}, errBadEntry
+	}
+	d := &decoder{b: p[1:]}
+	e := Entry{Kind: Kind(p[0])}
+	ok := true
+	switch e.Kind {
+	case KindRecord:
+		var o1, o2 bool
+		e.Offset, o1 = d.i64()
+		e.Ts, o2 = d.i64()
+		var o3, o4 bool
+		e.Key, o3 = d.blob()
+		e.Value, o4 = d.blob()
+		ok = o1 && o2 && o3 && o4
+	case KindCommit:
+		var o1, o2 bool
+		e.HW, o1 = d.i64()
+		e.Epoch, o2 = d.i64()
+		ok = o1 && o2
+	case KindInsert:
+		var o1, o2 bool
+		e.Seq, o1 = d.i64()
+		var cnt uint32
+		cnt, o2 = d.u32()
+		ok = o1 && o2
+		// Each observation is at least 8+4*4+8 = 32 bytes; reject counts
+		// the remaining payload cannot possibly hold before allocating.
+		if ok && int64(cnt)*32 > int64(len(d.b)) {
+			ok = false
+		}
+		if ok && cnt > 0 {
+			e.Obs = make([]schema.Observation, 0, cnt)
+			for i := uint32(0); i < cnt && ok; i++ {
+				var o schema.Observation
+				var ns int64
+				var bits uint64
+				var k1, k2, k3, k4, k5, k6 bool
+				ns, k1 = d.i64()
+				o.System, k2 = d.str()
+				o.Source, k3 = d.str()
+				o.Component, k4 = d.str()
+				o.Metric, k5 = d.str()
+				if len(d.b) >= 8 {
+					bits = binary.LittleEndian.Uint64(d.b)
+					d.b = d.b[8:]
+					k6 = true
+				}
+				ok = k1 && k2 && k3 && k4 && k5 && k6
+				if ok {
+					o.Ts = time.Unix(0, ns).UTC()
+					o.Value = math.Float64frombits(bits)
+					e.Obs = append(e.Obs, o)
+				}
+			}
+		}
+	default:
+		return Entry{}, fmt.Errorf("%w: unknown kind %d", errBadEntry, e.Kind)
+	}
+	if !ok || len(d.b) != 0 {
+		return Entry{}, errBadEntry
+	}
+	return e, nil
+}
+
+// AppendFrame appends e to b as one framed, checksummed record.
+func AppendFrame(b []byte, e Entry) ([]byte, error) {
+	start := len(b)
+	b = append(b, make([]byte, frameHeader)...)
+	b, err := AppendEntry(b, e)
+	if err != nil {
+		return b[:start], err
+	}
+	payload := b[start+frameHeader:]
+	if len(payload) > MaxFrame {
+		return b[:start], fmt.Errorf("%w: %d-byte entry exceeds MaxFrame", errBadEntry, len(payload))
+	}
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, castagnoli))
+	return b, nil
+}
+
+// DecodeFrames decodes every complete, checksummed frame at the front
+// of data, returning the entries and the byte length of the valid
+// prefix. It never panics on arbitrary input; the first torn, corrupt,
+// or non-canonical frame ends the scan — the same truncate-at-first-
+// bad-frame rule Open applies to a log's tail segment.
+func DecodeFrames(data []byte) ([]Entry, int) {
+	var out []Entry
+	n := 0
+	for {
+		rest := data[n:]
+		if len(rest) < frameHeader {
+			return out, n
+		}
+		ln := binary.LittleEndian.Uint32(rest)
+		if ln == 0 || ln > MaxFrame || int64(ln) > int64(len(rest)-frameHeader) {
+			return out, n
+		}
+		payload := rest[frameHeader : frameHeader+int(ln)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:]) {
+			return out, n
+		}
+		e, err := DecodeEntry(payload)
+		if err != nil {
+			return out, n
+		}
+		out = append(out, e)
+		n += frameHeader + int(ln)
+	}
+}
